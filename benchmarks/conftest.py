@@ -1,0 +1,20 @@
+"""Benchmark-suite plumbing: print every registered paper-vs-measured
+table in the terminal summary, so the reproduction's rows appear in the
+output of ``pytest benchmarks/ --benchmark-only``."""
+
+from repro.bench.report import registered_tables
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    tables = registered_tables()
+    if not tables:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("################################################################")
+    write("# Reproduction results: paper values vs this simulation        #")
+    write("################################################################")
+    for table in tables:
+        for line in table.render().splitlines():
+            write(line)
+    write("")

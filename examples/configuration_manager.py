@@ -1,0 +1,116 @@
+"""Programming-in-the-large: the troupe configuration language (§7.5).
+
+An operator describes *what kind* of machines each troupe member needs —
+not which machines — and the configuration manager solves the rest:
+
+- instantiation: find machines satisfying the specification, start a
+  member on each, register the troupe;
+- reconfiguration after a crash: solve the troupe extension problem
+  (minimum change from the current configuration) and start a member on
+  the chosen replacement machine only.
+
+Run:  python examples/configuration_manager.py
+"""
+
+from repro.binding import BindingClient, start_ringmaster
+from repro.config import ConfigurationManager, parse_specification
+from repro.core import ExportedModule, TroupeRuntime
+from repro.host import Machine
+from repro.net import Network
+from repro.sim import Simulator
+
+SPEC_TEXT = """
+troupe(x, y, z) where
+        x.memory >= 16 and x.has-floating-point
+    and y.memory >= 16 and y.has-floating-point
+    and z.memory >= 8
+    and not z.site = "colo"
+"""
+
+INVENTORY = [
+    ("UCB-Monet", {"memory": 32, "has-floating-point": True,
+                   "site": "evans"}),
+    ("UCB-Degas", {"memory": 16, "has-floating-point": True,
+                   "site": "evans"}),
+    ("UCB-Renoir", {"memory": 16, "has-floating-point": True,
+                    "site": "colo"}),
+    ("UCB-Ernie", {"memory": 8, "has-floating-point": False,
+                   "site": "evans"}),
+    ("UCB-Bert", {"memory": 4, "has-floating-point": False,
+                  "site": "evans"}),
+    ("UCB-Arpa", {"memory": 8, "has-floating-point": False,
+                  "site": "cory"}),
+]
+
+
+def echo_module():
+    def echo(ctx, args):
+        return b"served"
+    return ExportedModule("svc", {0: echo})
+
+
+def main():
+    sim = Simulator()
+    net = Network(sim, seed=19)
+    machines = [Machine(sim, net, name, attributes=attrs)
+                for name, attrs in INVENTORY]
+
+    ringmaster, _ = start_ringmaster(machines[:2])
+    manager = ConfigurationManager(machines)
+    spec = parse_specification(SPEC_TEXT)
+    print("specification:", spec)
+
+    bindings = {}
+
+    def start_member(machine):
+        process = machine.spawn_process("svc")
+        holder = {}
+        runtime = TroupeRuntime(
+            process,
+            resolver=lambda tid: holder["binding"].make_resolver()(tid))
+        binding = BindingClient(runtime, ringmaster)
+        holder["binding"] = binding
+        member = runtime.export(echo_module())
+        runtime.start_server()
+        bindings[machine.name] = binding
+        yield from binding.export_module("svc", member)
+
+    def deploy():
+        return (yield from manager.deploy(spec, "svc", start_member))
+
+    chosen = sim.run_process(deploy())
+    print("instantiated on:", [m.name for m in chosen])
+
+    client_rt = TroupeRuntime(machines[0].spawn_process("client"))
+    client_binding = BindingClient(client_rt, ringmaster)
+
+    def call_once():
+        return (yield from client_binding.call("svc", 0, b""))
+
+    print("replicated call ->", sim.run_process(call_once()))
+
+    # A crash in the z slot forces reconfiguration under the constraints.
+    crashed = chosen[2]
+    crashed.crash()
+    print("crashed", crashed.name)
+
+    def reconfigure():
+        current = [m for m in chosen if m.up]
+        return (yield from manager.deploy(spec, "svc", start_member,
+                                          current=current))
+
+    new_set = sim.run_process(reconfigure())
+    print("reconfigured to:", [m.name for m in new_set])
+    kept = {m.name for m in chosen if m.up} & {m.name for m in new_set}
+    print("members kept (troupe extension minimizes change):",
+          sorted(kept))
+
+    def call_again():
+        return (yield from client_binding.call("svc", 0, b""))
+
+    print("replicated call after reconfiguration ->",
+          sim.run_process(call_again()))
+
+
+if __name__ == "__main__":
+    main()

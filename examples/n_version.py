@@ -1,0 +1,92 @@
+"""N-version programming on troupes (§2.1.3).
+
+"A methodology known as N-version programming uses multiple
+implementations of the same module specification to mask software faults.
+This technique can be used in conjunction with the replicated modules
+proposed in the present work by using independently implemented modules
+instead of exact replicas, thereby increasing software as well as
+hardware fault tolerance."
+
+Three *independently written* integer-square-root implementations form
+one troupe.  One has a classic off-by-one boundary bug.  A majority
+collator over the replicated call masks it — hardware fault tolerance
+(crash masking) and software fault tolerance (vote masking) from the same
+mechanism.
+
+Run:  python examples/n_version.py
+"""
+
+from repro.core import CollationError, ExportedModule, MajorityCollator
+from repro.harness import World
+
+
+def isqrt_newton():
+    """Version 1: Newton's method."""
+    def isqrt(ctx, args):
+        n = int(args)
+        if n < 2:
+            return b"%d" % n
+        x = n
+        y = (x + 1) // 2
+        while y < x:
+            x = y
+            y = (x + n // x) // 2
+        return b"%d" % x
+    return ExportedModule("isqrt-newton", {0: isqrt})
+
+
+def isqrt_bisect():
+    """Version 2: bisection."""
+    def isqrt(ctx, args):
+        n = int(args)
+        lo, hi = 0, n + 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if mid * mid <= n:
+                lo = mid
+            else:
+                hi = mid
+        return b"%d" % lo
+    return ExportedModule("isqrt-bisect", {0: isqrt})
+
+
+def isqrt_buggy():
+    """Version 3: linear scan with an off-by-one fault at exact squares."""
+    def isqrt(ctx, args):
+        n = int(args)
+        r = 0
+        while r * r < n:     # BUG: should be (r+1)*(r+1) <= n
+            r += 1
+        return b"%d" % r
+    return ExportedModule("isqrt-scan", {0: isqrt})
+
+
+def main():
+    world = World(machines=5, seed=2)
+    versions = iter([isqrt_newton, isqrt_bisect, isqrt_buggy])
+    troupe, _ = world.make_troupe("isqrt", lambda: next(versions)(),
+                                  degree=3)
+    client = world.make_client()
+
+    def query(n, collator):
+        def body():
+            return (yield from client.call_troupe(
+                troupe, 0, 0, b"%d" % n, collator=collator))
+        return body
+
+    print("independently implemented versions: newton, bisect, "
+          "scan (scan has an off-by-one bug at non-squares)")
+    for n in (15, 16, 99, 100):
+        answer = world.run(query(n, MajorityCollator())())
+        print("isqrt(%3d) by majority vote = %s" % (n, answer.decode()))
+
+    # The unanimous collator *detects* the software fault instead.
+    try:
+        world.run(query(99, None)())  # default collator: unanimous
+    except CollationError as exc:
+        print("unanimous collation detects the divergent version:")
+        print("   ", str(exc)[:90], "...")
+
+
+if __name__ == "__main__":
+    main()

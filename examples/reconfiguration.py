@@ -1,0 +1,142 @@
+"""Reconfiguration: detecting crashes, replacing members, rebinding.
+
+The Chapter 6 lifecycle, end to end:
+
+1. a stateful counter troupe (3 members) registers with the Ringmaster;
+2. one member's machine crashes — a partial failure the clients mask;
+3. the janitor's garbage-collection sweep probes the members, finds the
+   corpse, and deletes it from the registry (§6.1), changing the troupe
+   ID so cached bindings invalidate (§6.2);
+4. a replacement member joins via get_state + add_troupe_member
+   (§6.4.1), inheriting the counter value;
+5. a client with a stale cache transparently rebinds and keeps going.
+
+Equation 6.2 tells the operator how fast step 4 must happen: it is
+printed at the end for this troupe's parameters.
+
+Run:  python examples/reconfiguration.py
+"""
+
+from repro.analysis import availability, required_repair_time
+from repro.binding import (
+    BindingClient,
+    Janitor,
+    ReplaceableModule,
+    join_troupe,
+    start_ringmaster,
+)
+from repro.core import TroupeRuntime
+from repro.harness import World
+
+
+def counter_module():
+    state = {"count": 0}
+
+    def increment(ctx, args):
+        state["count"] += 1
+        return b"%d" % state["count"]
+
+    module = ReplaceableModule(
+        "counter", {0: increment},
+        externalize=lambda: b"%d" % state["count"],
+        internalize=lambda raw: state.__setitem__("count", int(raw)))
+    return module, state
+
+
+def start_member(world, machine, ringmaster):
+    process = machine.spawn_process("counter")
+    holder = {}
+    runtime = TroupeRuntime(
+        process,
+        resolver=lambda tid: holder["binding"].make_resolver()(tid))
+    binding = BindingClient(runtime, ringmaster)
+    holder["binding"] = binding
+    module, state = counter_module()
+    member = runtime.export(module)
+    runtime.start_server()
+    return runtime, binding, module, member, state
+
+
+def main():
+    world = World(machines=10, seed=11)
+    ringmaster, rm_members = start_ringmaster(world.machines[:2])
+    members = []
+
+    def deploy():
+        for machine in world.machines[2:5]:
+            entry = start_member(world, machine, ringmaster)
+            members.append(entry)
+            yield from entry[1].export_module("counter", entry[3])
+
+    world.run(deploy())
+    print("counter troupe: 3 members registered")
+
+    client_rt = world.make_client()
+    client_binding = BindingClient(client_rt, ringmaster)
+
+    def increments(n):
+        def body():
+            reply = None
+            for _ in range(n):
+                reply = yield from client_binding.call("counter", 0, b"")
+            return reply
+        return body
+
+    print("counter after 4 increments:",
+          world.run(increments(4)()).decode())
+
+    # A partial failure.
+    victim = members[1]
+    victim_host = victim[3].process.host
+    world.machine(victim_host).crash()
+    print("crashed %s; calls still succeed (replication masks it):"
+          % victim_host)
+    print("counter after 1 more increment:",
+          world.run(increments(1)()).decode())
+
+    # The janitor notices and deletes the corpse from the registry.
+    janitor_rt = world.make_client()
+    janitor = Janitor(janitor_rt, BindingClient(janitor_rt, ringmaster))
+
+    def sweep():
+        return (yield from janitor.sweep())
+
+    removed = world.run(sweep())
+    print("janitor removed:", [(name, str(member.process))
+                               for name, member in removed])
+
+    # A replacement joins: state transfer + registration (§6.4.1).
+    replacement = start_member(world, world.machines[5], ringmaster)
+    members.append(replacement)
+
+    def join():
+        return (yield from join_troupe(
+            replacement[0], replacement[2], replacement[3], "counter",
+            replacement[1]))
+
+    world.run(join())
+    print("replacement on %s joined with state=%d (transferred)" % (
+        replacement[3].process.host, replacement[4]["count"]))
+
+    # The client's cache is stale twice over (removal + addition); the
+    # binding layer rebinds transparently.
+    print("counter after 1 more increment:",
+          world.run(increments(1)()).decode())
+    print("client performed %d rebinds along the way"
+          % client_binding.rebinds)
+    live_counts = [entry[4]["count"] for entry in members
+                   if world.machine(entry[3].process.host).up]
+    print("state at live members:", live_counts)
+    assert len(set(live_counts)) == 1
+
+    # §6.4.2: what replacement speed keeps this troupe at 99.9%?
+    lifetime_hours = 1.0
+    repair = required_repair_time(3, lifetime_hours * 60, 0.999)
+    print("Eq 6.2: with 1-hour lifetimes, a 3-member troupe needs "
+          "replacement within %.1f minutes for 99.9%% availability "
+          "(A with that repair rate: %.4f)" % (
+              repair, availability(3, 1 / 60.0, 1 / repair)))
+
+
+if __name__ == "__main__":
+    main()

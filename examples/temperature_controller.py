@@ -1,0 +1,137 @@
+"""Explicit replication: the Figure 7.6/7.7 temperature controller.
+
+Sometimes replication transparency should be sacrificed for
+application-specific knowledge (§7.4):
+
+- A *client troupe* of three sensors calls ``SetTemperature`` — each with
+  a *different* reading.  The controller uses the explicit-replication
+  server stub and receives an argument generator over all three readings,
+  which it averages (Figure 7.7): replica divergence is a feature here,
+  not an error.
+- A client of a replicated read-only store uses the explicit-replication
+  client stub and a result generator to accept the *first* plausible
+  response (Figure 7.6), plus the majority collator (Figure 7.10)
+  programmed over the same generator.
+
+Run:  python examples/temperature_controller.py
+"""
+
+from repro.core import MajorityCollator
+from repro.harness import World
+from repro.sim import Sleep
+from repro.stubs import (
+    ReplicatedClientStub,
+    explicit_server_module,
+    parse_interface,
+)
+from repro.stubs.compiler import compile_interface
+from repro.stubs.explicit import collate
+
+CONTROLLER_IDL = """
+Controller: PROGRAM 9 VERSION 1 =
+BEGIN
+    SetTemperature: PROCEDURE [temperature: INTEGER]
+        RETURNS [accepted: INTEGER] = 0;
+END.
+"""
+
+SENSOR_IDL = """
+SensorArchive: PROGRAM 10 VERSION 1 =
+BEGIN
+    LastReading: PROCEDURE [sensor: STRING]
+        RETURNS [temperature: INTEGER] = 0;
+END.
+"""
+
+
+def main():
+    world = World(machines=12, seed=3)
+
+    # -- Figure 7.7: the collating server -------------------------------
+    controller_spec = parse_interface(CONTROLLER_IDL)
+    history = []
+
+    class ControllerImpl:
+        def SetTemperature(self, ctx, arguments):
+            readings = [args["temperature"] for args in arguments.values()]
+            average = sum(readings) // len(readings)
+            history.append((sorted(readings), average))
+            return average
+
+    controller_troupe, _ = world.make_troupe(
+        "controller",
+        explicit_server_module(controller_spec, ControllerImpl()),
+        degree=1)
+
+    sensor_troupe, sensor_runtimes = world.make_client_troupe(
+        "sensors", degree=3)
+    set_temp = controller_spec.procedures["SetTemperature"]
+    readings = [18, 22, 20]
+    replies = []
+
+    def make_sensor(index, runtime):
+        def body():
+            args = set_temp.arg_record.externalize(
+                {"temperature": readings[index]})
+            raw = yield from runtime.call_troupe(controller_troupe, None,
+                                                 0, args)
+            accepted = set_temp.result_record.internalize(raw)["accepted"]
+            replies.append((index, accepted))
+        return body
+
+    for index, runtime in enumerate(sensor_runtimes):
+        world.spawn(make_sensor(index, runtime)())
+    world.sim.run()
+    print("sensor readings %s -> controller accepted %d (the average)" % (
+        readings, history[0][1]))
+    assert history == [(sorted(readings), 20)]
+    assert sorted(replies) == [(0, 20), (1, 20), (2, 20)]
+
+    # -- Figure 7.6: the early-exit client --------------------------------
+    archive_spec = parse_interface(SENSOR_IDL)
+    member_index = [0]
+
+    def archive_factory():
+        index = member_index[0]
+        member_index[0] += 1
+
+        class ArchiveImpl:
+            def LastReading(self, ctx, sensor, _index=index):
+                # Replicas answer at very different speeds.
+                yield Sleep(15.0 * (_index + 1))
+                return 19 + _index  # one replica is slightly stale
+
+        return compile_interface(archive_spec, ArchiveImpl())
+
+    archive_troupe, _ = world.make_troupe("archive", archive_factory,
+                                          degree=3)
+    client = world.make_client()
+    stub = ReplicatedClientStub(archive_spec, client, archive_troupe)
+
+    def first_acceptable():
+        results = yield from stub.LastReading(sensor="roof")
+        while True:
+            result = yield from results.next()
+            if result is None:
+                return None
+            if result.status == "ok" and result.value is not None:
+                results.cancel()  # early loop exit (§7.4)
+                return result.value
+
+    value = world.run(first_acceptable())
+    print("first archive response accepted: %d (fastest replica)" % value)
+    assert value == 19
+
+    def majority_reading():
+        results = yield from stub.LastReading(sensor="roof")
+        try:
+            return (yield from collate(results, MajorityCollator(), 3))
+        except Exception as exc:
+            return "no majority (%s)" % type(exc).__name__
+
+    print("majority over divergent replicas:",
+          world.run(majority_reading()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — a reproduction of *Replicated Distributed Programs*
+(Eric C. Cooper, Berkeley, 1985): troupes, replicated procedure call, and
+the Circus system, rebuilt on a deterministic discrete-event simulation.
+
+Quick tour
+----------
+
+    from repro.harness import World
+    from repro.core import ExportedModule
+
+    world = World(machines=6, seed=42)
+
+    def echo_factory():
+        def echo(ctx, args):
+            return b"echo:" + args
+        return ExportedModule("echo", {0: echo})
+
+    troupe, members = world.make_troupe("echo-svc", echo_factory, degree=3)
+    client = world.make_client()
+
+    def body():
+        return (yield from client.call_troupe(troupe, 0, 0, b"hello"))
+
+    print(world.run(body()))   # b'echo:hello' — exactly-once at 3 replicas
+
+Packages
+--------
+
+=====================  ====================================================
+``repro.sim``          discrete-event kernel (processes, events, timers)
+``repro.net``          simulated wire, UDP and TCP analogues
+``repro.host``         machines, OS processes, the Table 4.2 cost model
+``repro.pairedmsg``    the Circus paired message protocol (§4.2)
+``repro.rpc``          call/return messages, thread IDs (§3.4.1, §4.3)
+``repro.core``         troupes, replicated calls, collators (§3.5, §4.3)
+``repro.model``        the Chapter 3 formal model, executable
+``repro.transactions`` lightweight transactions, troupe commit, ordered
+                       broadcast (Chapter 5)
+``repro.binding``      the Ringmaster binding agent, reconfiguration
+                       (Chapter 6)
+``repro.stubs``        IDL, stub compiler, explicit binding/replication
+                       (Chapter 7)
+``repro.config``       troupe configuration language and manager (§7.5)
+``repro.analysis``     the paper's closed-form models (Eq 5.1, 6.1, 6.2,
+                       harmonic-number call-time analysis)
+``repro.harness``      convenience assembly of simulated worlds
+=====================  ====================================================
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    CollationError,
+    ExportedModule,
+    FirstComeCollator,
+    MajorityCollator,
+    StaleBindingError,
+    TroupeDescriptor,
+    TroupeFailure,
+    TroupeRuntime,
+    UnanimousCollator,
+)
+from repro.harness import World
+
+__all__ = [
+    "CollationError",
+    "ExportedModule",
+    "FirstComeCollator",
+    "MajorityCollator",
+    "StaleBindingError",
+    "TroupeDescriptor",
+    "TroupeFailure",
+    "TroupeRuntime",
+    "UnanimousCollator",
+    "World",
+    "__version__",
+]

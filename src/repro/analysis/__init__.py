@@ -1,0 +1,32 @@
+"""Analytic models from the paper.
+
+- :mod:`repro.analysis.harmonic` — harmonic numbers and the expected
+  maximum of exponentials (§4.4.2): E[T] = H_n * r for a multicast-based
+  replicated call.
+- :mod:`repro.analysis.availability` — the birth-death / M/M/n/n troupe
+  availability model (§6.4.2): Equation 6.1 and 6.2.
+- :mod:`repro.analysis.commit` — the troupe commit protocol deadlock
+  probability (§5.3.1): Equation 5.1.
+"""
+
+from repro.analysis.harmonic import (
+    expected_max_exponential,
+    expected_replicated_call_time,
+    harmonic,
+)
+from repro.analysis.availability import (
+    availability,
+    failed_member_distribution,
+    required_repair_time,
+)
+from repro.analysis.commit import deadlock_probability
+
+__all__ = [
+    "availability",
+    "deadlock_probability",
+    "expected_max_exponential",
+    "expected_replicated_call_time",
+    "failed_member_distribution",
+    "harmonic",
+    "required_repair_time",
+]

@@ -1,0 +1,26 @@
+"""Deadlock probability of the troupe commit protocol (§5.3.1).
+
+With k conflicting transactions serialized independently and uniformly at
+random by each of n server troupe members, the protocol avoids deadlock
+only when all n members choose the same order:
+
+    P[deadlock] = 1 - (1/k!)^(n-1)        (Equation 5.1)
+
+which rapidly approaches certainty as k grows — the starvation argument
+motivating the ordered-broadcast alternative of §5.4.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def deadlock_probability(k: int, n: int) -> float:
+    """Equation 5.1 for k conflicting transactions and n troupe members."""
+    if k < 1:
+        raise ValueError("at least one transaction required")
+    if n < 1:
+        raise ValueError("at least one troupe member required")
+    if n == 1 or k == 1:
+        return 0.0
+    return 1.0 - (1.0 / math.factorial(k)) ** (n - 1)

@@ -1,0 +1,235 @@
+"""The §4.4.1 echo experiments: UDP, TCP, and Circus replicated calls.
+
+The experimental setup mirrors the paper's: "six identically configured
+VAX-11/750 systems, connected by a single 10 megabit per second Ethernet
+cable", lightly loaded.  The client measures the time of day and its
+user/kernel CPU time around a loop of echo calls (Figures 4.5-4.7) and
+reports milliseconds per call.
+
+The measured quantities come from the simulated process's CPU accounting,
+which is charged by the Table 4.2 syscall cost model — so these workloads
+reproduce the *shape* of Table 4.1: TCP faster than UDP under the
+streamlined read/write interface, an unreplicated Circus call roughly
+twice a raw UDP exchange, and a 10-20 ms increment per additional troupe
+member (Figure 4.8's linear growth).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.core.runtime import ExportedModule, RuntimeConfig
+from repro.harness import World
+from repro.net.tcp import TcpListener, TcpSocket
+
+
+#: Table 4.1 of the paper (milliseconds per call).
+PAPER_TABLE_4_1 = {
+    "UDP": {"real": 26.5, "total": 13.3, "user": 0.8, "kernel": 12.4},
+    "TCP": {"real": 23.2, "total": 8.3, "user": 0.5, "kernel": 7.8},
+    1: {"real": 48.0, "total": 24.1, "user": 5.9, "kernel": 18.2},
+    2: {"real": 58.0, "total": 45.2, "user": 10.0, "kernel": 35.2},
+    3: {"real": 69.4, "total": 66.8, "user": 13.0, "kernel": 53.8},
+    4: {"real": 90.2, "total": 87.2, "user": 16.8, "kernel": 70.4},
+    5: {"real": 109.5, "total": 107.2, "user": 21.0, "kernel": 86.1},
+}
+
+#: Table 4.2 of the paper (CPU ms per system call).
+PAPER_TABLE_4_2 = {
+    "sendmsg": 8.1,
+    "recvmsg": 2.8,
+    "select": 1.8,
+    "setitimer": 1.2,
+    "gettimeofday": 0.7,
+    "sigblock": 0.4,
+}
+
+#: Table 4.3 of the paper (% of total CPU per syscall, by degree).
+PAPER_TABLE_4_3 = {
+    1: {"sendmsg": 27.2, "select": 11.2, "recvmsg": 9.2},
+    2: {"sendmsg": 28.8, "select": 12.7, "recvmsg": 10.6},
+    3: {"sendmsg": 32.5, "select": 11.7, "recvmsg": 11.9},
+    4: {"sendmsg": 32.9, "select": 10.3, "recvmsg": 10.7},
+    5: {"sendmsg": 33.0, "select": 9.9, "recvmsg": 11.1},
+}
+
+
+@dataclasses.dataclass
+class EchoResult:
+    """Per-call averages over the measurement loop (ms/rpc)."""
+
+    label: str
+    iterations: int
+    real: float
+    user: float
+    kernel: float
+    #: kernel CPU per syscall name, for the Table 4.3 profile.
+    profile: Dict[str, float] = dataclasses.field(default_factory=dict)
+    user_total: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.user + self.kernel
+
+    def profile_percentages(self) -> Dict[str, float]:
+        total = (sum(self.profile.values()) + self.user_total) or 1.0
+        return {name: 100.0 * ms / total
+                for name, ms in self.profile.items()}
+
+
+ECHO_PAYLOAD = b"x" * 64
+
+
+def run_udp_echo(iterations: int = 50, seed: int = 0) -> EchoResult:
+    """Figure 4.5: sendmsg / alarm / recvmsg / alarm against an echo
+    server — the lower bound for any datagram-based RPC."""
+    world = World(machines=2, seed=seed)
+    client_proc = world.machines[0].spawn_process("udp-client")
+    server_proc = world.machines[1].spawn_process("udp-server")
+    client_sock = client_proc.udp_socket()
+    server_sock = server_proc.udp_socket(700)
+
+    def server():
+        while True:
+            datagram = yield from server_proc.recvmsg(server_sock)
+            yield from server_proc.sendmsg(server_sock, datagram.payload,
+                                           datagram.src)
+
+    world.sim.spawn(server(), name="udp-server", daemon=True)
+
+    def client():
+        start_real = world.sim.now
+        start_user, start_kernel = client_proc.user_time, client_proc.kernel_time
+        for _ in range(iterations):
+            yield from client_proc.sendmsg(client_sock, ECHO_PAYLOAD,
+                                           server_sock.addr)
+            yield from client_proc.syscall("setitimer")   # alarm(timeout)
+            yield from client_proc.recvmsg(client_sock)
+            yield from client_proc.syscall("setitimer")   # alarm(0)
+            yield from client_proc.compute(0.8)           # loop body
+        return (world.sim.now - start_real,
+                client_proc.user_time - start_user,
+                client_proc.kernel_time - start_kernel)
+
+    real, user, kernel = world.run(client(), name="udp-client")
+    return EchoResult("UDP", iterations, real / iterations,
+                      user / iterations, kernel / iterations)
+
+
+def run_tcp_echo(iterations: int = 50, seed: int = 0) -> EchoResult:
+    """Figure 4.6: one connection, then a write/read loop.  The
+    streamlined read/write interface (no scatter/gather copying) makes
+    this *faster* than the UDP test, as the paper found."""
+    world = World(machines=2, seed=seed)
+    client_proc = world.machines[0].spawn_process("tcp-client")
+    server_proc = world.machines[1].spawn_process("tcp-server")
+    listener = TcpListener(world.net, world.machines[1].name, 700)
+
+    def server():
+        conn = yield listener.accept()
+        while True:
+            msg = yield from conn.receive()
+            yield from server_proc.syscall("read")
+            yield from server_proc.syscall("write")
+            yield from conn.send(msg)
+
+    world.sim.spawn(server(), name="tcp-server", daemon=True)
+
+    def client():
+        sock = TcpSocket(world.net, world.machines[0].name)
+        yield from sock.connect(listener.addr)
+        start_real = world.sim.now
+        start_user, start_kernel = client_proc.user_time, client_proc.kernel_time
+        for _ in range(iterations):
+            yield from client_proc.syscall("write")
+            yield from sock.send(ECHO_PAYLOAD)
+            yield from sock.receive()
+            yield from client_proc.syscall("read")
+            yield from client_proc.compute(0.5)
+        result = (world.sim.now - start_real,
+                  client_proc.user_time - start_user,
+                  client_proc.kernel_time - start_kernel)
+        sock.close()
+        return result
+
+    real, user, kernel = world.run(client(), name="tcp-client")
+    return EchoResult("TCP", iterations, real / iterations,
+                      user / iterations, kernel / iterations)
+
+
+def run_circus_echo(degree: int, iterations: int = 50, seed: int = 0,
+                    use_multicast: bool = False,
+                    payload: bytes = ECHO_PAYLOAD) -> EchoResult:
+    """Figure 4.7: the rpctest echo interface served by a troupe of the
+    given degree, called through the full Circus stack."""
+    from repro.pairedmsg.endpoint import PairedMessageConfig
+    # A retransmission interval comfortably above the longest per-call
+    # time, so steady-state implicit acknowledgment works as §4.2.2
+    # intends (an interval shorter than the call loop makes every return
+    # retransmit and ack explicitly, which the real system avoided).
+    paired = PairedMessageConfig(retransmit_interval=500.0,
+                                 probe_interval=1500.0,
+                                 crash_timeout=8000.0)
+    world = World(machines=degree + 1, seed=seed,
+                  runtime_config=RuntimeConfig(use_multicast=use_multicast,
+                                               paired=paired))
+
+    def echo_module():
+        def echo(ctx, args):
+            yield from ctx.compute(1.0)   # result := argument
+            return args
+        return ExportedModule("rpctest", {0: echo})
+
+    troupe, _runtimes = world.make_troupe("rpctest", echo_module,
+                                          degree=degree)
+    client = world.make_client()
+    proc = client.process
+
+    def body():
+        # Warm-up call (binding, first-exchange effects), then measure.
+        yield from client.call_troupe(troupe, 0, 0, payload)
+        start_real = world.sim.now
+        start_user, start_kernel = proc.user_time, proc.kernel_time
+        start_profile = dict(proc.syscall_times)
+        for _ in range(iterations):
+            yield from client.call_troupe(troupe, 0, 0, payload)
+        profile = {
+            name: (ms - start_profile.get(name, 0.0)) / iterations
+            for name, ms in proc.syscall_times.items()
+            if ms - start_profile.get(name, 0.0) > 0.0}
+        return (world.sim.now - start_real,
+                proc.user_time - start_user,
+                proc.kernel_time - start_kernel,
+                profile)
+
+    real, user, kernel, profile = world.run(body(), name="circus-client")
+    result = EchoResult("Circus(%d)" % degree, iterations,
+                        real / iterations, user / iterations,
+                        kernel / iterations, profile=profile,
+                        user_total=user / iterations)
+    return result
+
+
+def run_circus_series(degrees=(1, 2, 3, 4, 5), iterations: int = 50,
+                      seed: int = 0,
+                      use_multicast: bool = False) -> List[EchoResult]:
+    return [run_circus_echo(degree, iterations, seed,
+                            use_multicast=use_multicast)
+            for degree in degrees]
+
+
+def linear_fit(xs: List[float], ys: List[float]):
+    """Least-squares slope, intercept, and R^2 (for Figure 4.8's
+    linear-growth claim)."""
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx if sxx else 0.0
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2
+                 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys) or 1.0
+    return slope, intercept, 1.0 - ss_res / ss_tot

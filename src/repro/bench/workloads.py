@@ -1,0 +1,176 @@
+"""Workload generators for capacity experiments.
+
+The paper's measurements are closed-loop (one client, back-to-back calls).
+Downstream users also want open-loop and multi-client workloads, so this
+module provides both:
+
+- :class:`ClosedLoopClient` — N clients, each issuing the next call as
+  soon as the previous returns (the Figure 4.5-4.7 pattern, generalized);
+- :class:`OpenLoopGenerator` — Poisson arrivals at a configurable offered
+  load, each call in its own thread (measures queueing behaviour);
+- :func:`run_load_sweep` — throughput and latency of a troupe across a
+  range of offered loads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.core.runtime import ExportedModule, RuntimeConfig, TroupeRuntime
+from repro.core.troupe import TroupeDescriptor
+from repro.harness import World
+from repro.pairedmsg.endpoint import PairedMessageConfig
+from repro.rpc.threads import ThreadId
+from repro.sim.kernel import Simulator, Sleep
+from repro.sim.rng import RandomStream
+
+
+@dataclasses.dataclass
+class WorkloadResult:
+    """Aggregate outcome of a workload run."""
+
+    offered_rate: float          # calls/second offered (0 = closed loop)
+    completed: int
+    duration_ms: float
+    latencies: List[float]
+
+    @property
+    def throughput(self) -> float:
+        """Completed calls per second of virtual time."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return 1000.0 * self.completed / self.duration_ms
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def percentile_latency(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+
+class ClosedLoopClient:
+    """N independent clients issuing back-to-back calls."""
+
+    def __init__(self, world: World, troupe: TroupeDescriptor,
+                 clients: int = 1, calls_per_client: int = 20,
+                 procedure: int = 0, payload: bytes = b"w"):
+        self.world = world
+        self.troupe = troupe
+        self.clients = clients
+        self.calls_per_client = calls_per_client
+        self.procedure = procedure
+        self.payload = payload
+
+    def run(self) -> WorkloadResult:
+        world = self.world
+        latencies: List[float] = []
+        done: List[int] = []
+
+        def client_body(runtime):
+            def body():
+                for _ in range(self.calls_per_client):
+                    start = world.sim.now
+                    yield from runtime.call_troupe(
+                        self.troupe, 0, self.procedure, self.payload)
+                    latencies.append(world.sim.now - start)
+                done.append(1)
+            return body
+
+        start = world.sim.now
+        for _ in range(self.clients):
+            world.spawn(client_body(world.make_client())())
+        world.sim.run(stop_when=lambda: len(done) == self.clients)
+        return WorkloadResult(0.0, len(latencies),
+                              world.sim.now - start, latencies)
+
+
+class OpenLoopGenerator:
+    """Poisson arrivals at ``rate`` calls/second, one thread per call."""
+
+    def __init__(self, world: World, troupe: TroupeDescriptor,
+                 rate: float, total_calls: int = 50,
+                 procedure: int = 0, payload: bytes = b"w", seed: int = 0):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.world = world
+        self.troupe = troupe
+        self.rate = rate
+        self.total_calls = total_calls
+        self.procedure = procedure
+        self.payload = payload
+        self.rng = RandomStream(seed, "open-loop")
+
+    def run(self) -> WorkloadResult:
+        world = self.world
+        latencies: List[float] = []
+        finished: List[int] = []
+        client = world.make_client()
+        serial = [0]
+
+        def one_call():
+            # Each arrival runs on its own logical thread so calls overlap.
+            serial[0] += 1
+            thread_id = ThreadId("open-loop", serial[0])
+
+            def body():
+                start = world.sim.now
+                yield from client.call_troupe(
+                    self.troupe, 0, self.procedure, self.payload,
+                    thread_id=thread_id)
+                latencies.append(world.sim.now - start)
+                finished.append(1)
+            return body
+
+        def arrivals():
+            for _ in range(self.total_calls):
+                world.spawn(one_call()())
+                yield Sleep(self.rng.expovariate(self.rate / 1000.0))
+
+        start = world.sim.now
+        world.spawn(arrivals())
+        world.sim.run(
+            stop_when=lambda: len(finished) == self.total_calls)
+        return WorkloadResult(self.rate, len(latencies),
+                              world.sim.now - start, latencies)
+
+
+def echo_troupe(world: World, degree: int,
+                service_ms: float = 2.0) -> TroupeDescriptor:
+    """A troupe whose procedure costs ``service_ms`` of user CPU."""
+    def factory():
+        def serve(ctx, args):
+            yield from ctx.compute(service_ms)
+            return b"ok"
+        return ExportedModule("load-echo", {0: serve})
+
+    troupe, _ = world.make_troupe("load-echo", factory, degree=degree)
+    return troupe
+
+
+def run_load_sweep(rates: List[float], degree: int = 3,
+                   total_calls: int = 40, seed: int = 0):
+    """Open-loop throughput/latency of a troupe across offered loads.
+
+    Returns a list of WorkloadResults, one per offered rate.
+    """
+    results = []
+    for rate in rates:
+        paired = PairedMessageConfig(retransmit_interval=800.0,
+                                     probe_interval=2000.0,
+                                     crash_timeout=20000.0)
+        world = World(machines=degree + 1, seed=seed,
+                      runtime_config=RuntimeConfig(execution="parallel",
+                                                   paired=paired))
+        troupe = echo_troupe(world, degree)
+        generator = OpenLoopGenerator(world, troupe, rate,
+                                      total_calls=total_calls, seed=seed)
+        results.append(generator.run())
+    return results

@@ -1,0 +1,47 @@
+"""Binding and reconfiguration (Chapter 6).
+
+A binding agent enables programs to import and export troupes by name.
+This package implements the *Ringmaster*, the Circus binding agent: a
+specialized name server that
+
+- manipulates troupes (sets of module addresses),
+- is a dedicated binding agent, and
+- is itself a troupe whose procedures are invoked via replicated
+  procedure calls (§6.3).
+
+Troupe IDs double as incarnation numbers (§6.2): ``add_troupe_member``
+atomically changes both the membership and the troupe ID, running the
+generated ``set_troupe_id`` procedure at every existing member, so stale
+client caches are always detected.
+
+The package also provides the client-side cache with rebinding (§6.1),
+the garbage-collecting janitor, and the §6.4.1 recipe for bringing a new
+member into an existing troupe via ``get_state``.
+"""
+
+from repro.binding.agent import (
+    BindingError,
+    RINGMASTER_MODULE_NAME,
+    RINGMASTER_PORT,
+    RingmasterMember,
+    start_ringmaster,
+)
+from repro.binding.client import BindingClient
+from repro.binding.discovery import DiscoveryFailed, discover_ringmaster
+from repro.binding.gc import Janitor
+from repro.binding.reconfig import GET_STATE_PROC, ReplaceableModule, join_troupe
+
+__all__ = [
+    "BindingClient",
+    "BindingError",
+    "DiscoveryFailed",
+    "GET_STATE_PROC",
+    "Janitor",
+    "RINGMASTER_MODULE_NAME",
+    "RINGMASTER_PORT",
+    "ReplaceableModule",
+    "RingmasterMember",
+    "discover_ringmaster",
+    "join_troupe",
+    "start_ringmaster",
+]

@@ -1,0 +1,172 @@
+"""The client side of binding: import/export, caching, and rebinding (§6.1).
+
+A client contacts the binding agent only when it imports an interface and
+caches the result for subsequent calls.  The §6.2 cache invalidation rule
+makes stale caches safe: every call carries the destination troupe ID, and
+members reject mismatches, so the client sees StaleBindingError and calls
+``rebind`` — passing the old binding as a hint.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional
+
+from repro.binding import wire
+from repro.binding.agent import (
+    ADD_TROUPE_MEMBER_PROC,
+    LIST_TROUPES_PROC,
+    LOOKUP_BY_ID_PROC,
+    LOOKUP_BY_NAME_PROC,
+    NOT_FOUND_ERROR,
+    REBIND_PROC,
+    REGISTER_TROUPE_PROC,
+    REMOVE_TROUPE_MEMBER_PROC,
+    RINGMASTER_TROUPE_ID,
+    BindingError,
+)
+from repro.core.collators import Collator
+from repro.core.runtime import StaleBindingError, TroupeRuntime
+from repro.core.troupe import TroupeDescriptor, TroupeId
+from repro.net.addresses import ModuleAddress, ProcessAddress
+from repro.rpc.messages import RemoteError
+
+
+class BindingClient:
+    """Import/export operations against the Ringmaster, with caching."""
+
+    def __init__(self, runtime: TroupeRuntime,
+                 ringmaster: TroupeDescriptor):
+        self.runtime = runtime
+        self.ringmaster = ringmaster
+        self.cache: Dict[str, TroupeDescriptor] = {}
+        self._members_by_id: Dict[TroupeId, List[ProcessAddress]] = {}
+        self.rebinds = 0
+
+    # -- imports -----------------------------------------------------------
+
+    def import_troupe(self, name: str):
+        """Generator: the descriptor for ``name``, from cache if possible."""
+        if name in self.cache:
+            return self.cache[name]
+        return (yield from self._lookup(name))
+
+    def rebind(self, name: str):
+        """Generator: refresh a stale binding (§6.1), passing the old
+        binding to the agent as a hint."""
+        self.rebinds += 1
+        old = self.cache.pop(name, None)
+        old_id = old.troupe_id if old else 0
+        raw = yield from self._ringmaster_call(
+            REBIND_PROC, wire.encode_str(name) + wire.encode_u64(old_id))
+        return self._cache_descriptor(name, raw)
+
+    def _lookup(self, name: str):
+        raw = yield from self._ringmaster_call(
+            LOOKUP_BY_NAME_PROC, wire.encode_str(name))
+        return self._cache_descriptor(name, raw)
+
+    def lookup_by_id(self, troupe_id: TroupeId):
+        """Generator: member process addresses for a troupe ID (used by
+        servers handling many-to-one calls, §4.3.2)."""
+        raw = yield from self._ringmaster_call(
+            LOOKUP_BY_ID_PROC, wire.encode_u64(troupe_id))
+        members, _ = wire.decode_members(raw, 0)
+        processes = [m.process for m in members]
+        self._members_by_id[troupe_id] = processes
+        return processes
+
+    def list_troupes(self):
+        """Generator: all registered troupe names."""
+        raw = yield from self._ringmaster_call(LIST_TROUPES_PROC, b"")
+        (count,) = struct.unpack_from("!H", raw, 0)
+        names = []
+        offset = 2
+        for _ in range(count):
+            name, offset = wire.decode_str(raw, offset)
+            names.append(name)
+        return names
+
+    # -- exports ------------------------------------------------------------
+
+    def export_module(self, name: str, member: ModuleAddress):
+        """Generator: add one member to the named troupe (creating it on
+        first export), per §6.2's member-at-a-time registration.
+        Returns the new troupe ID."""
+        raw = yield from self._ringmaster_call(
+            ADD_TROUPE_MEMBER_PROC,
+            wire.encode_str(name) + wire.encode_module_address(member))
+        troupe_id, _ = wire.decode_u64(raw, 0)
+        self.cache.pop(name, None)  # our own view is now stale
+        return troupe_id
+
+    def register_troupe(self, name: str, members: List[ModuleAddress]):
+        """Generator: third-party registration of a whole troupe (the
+        configuration manager uses this, §7.5.3)."""
+        raw = yield from self._ringmaster_call(
+            REGISTER_TROUPE_PROC,
+            wire.encode_str(name) + wire.encode_members(members))
+        troupe_id, _ = wire.decode_u64(raw, 0)
+        return troupe_id
+
+    def remove_member(self, name: str, member: ModuleAddress):
+        """Generator: delete a (crashed) member; returns the new troupe ID."""
+        raw = yield from self._ringmaster_call(
+            REMOVE_TROUPE_MEMBER_PROC,
+            wire.encode_str(name) + wire.encode_module_address(member))
+        troupe_id, _ = wire.decode_u64(raw, 0)
+        self.cache.pop(name, None)
+        return troupe_id
+
+    # -- calling through the cache with automatic rebinding ---------------
+
+    def call(self, name: str, procedure: int, args: bytes,
+             collator: Optional[Collator] = None, max_rebinds: int = 3):
+        """Generator: a replicated call to the named troupe, transparently
+        rebinding when the cached binding turns out to be stale."""
+        for attempt in range(max_rebinds + 1):
+            descriptor = yield from self.import_troupe(name)
+            try:
+                return (yield from self.runtime.call_troupe(
+                    descriptor, None, procedure, args, collator=collator))
+            except StaleBindingError:
+                if attempt == max_rebinds:
+                    raise
+                yield from self.rebind(name)
+
+    # -- resolver for server runtimes ------------------------------------
+
+    def make_resolver(self):
+        """A resolver suitable for TroupeRuntime: synchronous cache lookup
+        (a miss returns None and the runtime falls back gracefully)."""
+        def resolver(troupe_id: TroupeId) -> Optional[List[ProcessAddress]]:
+            if troupe_id == RINGMASTER_TROUPE_ID:
+                return list(self.ringmaster.processes)
+            if troupe_id in self._members_by_id:
+                return self._members_by_id[troupe_id]
+            for descriptor in self.cache.values():
+                if descriptor.troupe_id == troupe_id:
+                    return list(descriptor.processes)
+            return None
+        return resolver
+
+    # -- internals ----------------------------------------------------------
+
+    def _ringmaster_call(self, procedure: int, args: bytes):
+        try:
+            return (yield from self.runtime.call_troupe(
+                self.ringmaster, None, procedure, args))
+        except RemoteError as exc:
+            if exc.kind == NOT_FOUND_ERROR:
+                raise BindingError("not found: %s" % exc.detail) from exc
+            if exc.kind == "AlreadyExists":
+                raise BindingError("already exists: %s" % exc.detail) from exc
+            raise
+
+    def _cache_descriptor(self, name: str, raw: bytes) -> TroupeDescriptor:
+        troupe_id, offset = wire.decode_u64(raw, 0)
+        members, _ = wire.decode_members(raw, offset)
+        descriptor = TroupeDescriptor(name, troupe_id, tuple(members))
+        self.cache[name] = descriptor
+        self._members_by_id[troupe_id] = [m.process for m in members]
+        return descriptor

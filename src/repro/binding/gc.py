@@ -1,0 +1,71 @@
+"""Garbage collection of stale bindings (§6.1).
+
+"Another solution is to use a garbage collector: a process which
+periodically enumerates all the registered modules, probes them with a
+special null procedure call (an 'are you there?' request), and explicitly
+deletes the bindings for modules that do not respond."
+
+The janitor is deliberately a *client* of the Ringmaster rather than part
+of it: deletions reach the registry as replicated calls, so every
+Ringmaster member's registry stays consistent even though probing itself
+is nondeterministic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.binding.client import BindingClient
+from repro.core.runtime import TroupeRuntime
+from repro.net.addresses import ModuleAddress
+from repro.sim.kernel import Sleep
+
+
+class Janitor:
+    """Periodically prunes troupe members that no longer answer probes."""
+
+    def __init__(self, runtime: TroupeRuntime, binding: BindingClient,
+                 interval: float = 5000.0, probe_timeout: float = 400.0):
+        self.runtime = runtime
+        self.binding = binding
+        self.interval = interval
+        self.probe_timeout = probe_timeout
+        self.removed: List[Tuple[str, ModuleAddress]] = []
+        self._proc = None
+
+    def start(self) -> None:
+        if self._proc is None:
+            self._proc = self.runtime.process.spawn(
+                self._loop(), name="janitor", daemon=True)
+
+    def stop(self) -> None:
+        if self._proc is not None:
+            self._proc.kill()
+            self._proc = None
+
+    def sweep(self):
+        """Generator: one full enumerate-probe-delete pass.  Returns the
+        list of members removed in this pass."""
+        removed_now = []
+        names = yield from self.binding.list_troupes()
+        for name in names:
+            try:
+                descriptor = yield from self.binding.rebind(name)
+            except Exception:
+                continue  # deleted concurrently
+            for member in descriptor.members:
+                alive = yield from self.runtime.endpoint.ping(
+                    member.process, timeout=self.probe_timeout)
+                if not alive:
+                    try:
+                        yield from self.binding.remove_member(name, member)
+                    except Exception:
+                        continue  # already removed by someone else
+                    self.removed.append((name, member))
+                    removed_now.append((name, member))
+        return removed_now
+
+    def _loop(self):
+        while True:
+            yield Sleep(self.interval)
+            yield from self.sweep()

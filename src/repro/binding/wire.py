@@ -1,0 +1,76 @@
+"""Wire encoding for binding-agent arguments and results.
+
+A small hand-rolled codec: length-prefixed UTF-8 strings, 64-bit unsigned
+integers, and module/process addresses.  (The real Circus generated these
+from the Ringmaster's Courier interface with its stub compiler; the stub
+compiler in :mod:`repro.stubs` post-dates this module and the binding
+layer keeps its own minimal codec to stay dependency-free.)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.net.addresses import ModuleAddress, ProcessAddress
+
+_U16 = struct.Struct("!H")
+_U64 = struct.Struct("!Q")
+
+
+class WireError(Exception):
+    """Malformed binding message."""
+
+
+def encode_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise WireError("string too long")
+    return _U16.pack(len(raw)) + raw
+
+
+def decode_str(data: bytes, offset: int) -> Tuple[str, int]:
+    (length,) = _U16.unpack_from(data, offset)
+    offset += 2
+    return data[offset:offset + length].decode("utf-8"), offset + length
+
+
+def encode_u64(value: int) -> bytes:
+    return _U64.pack(value)
+
+
+def decode_u64(data: bytes, offset: int) -> Tuple[int, int]:
+    (value,) = _U64.unpack_from(data, offset)
+    return value, offset + 8
+
+
+def encode_module_address(addr: ModuleAddress) -> bytes:
+    return (encode_str(addr.process.host)
+            + _U16.pack(addr.process.port)
+            + _U16.pack(addr.module))
+
+
+def decode_module_address(data: bytes, offset: int) -> Tuple[ModuleAddress, int]:
+    host, offset = decode_str(data, offset)
+    (port,) = _U16.unpack_from(data, offset)
+    offset += 2
+    (module,) = _U16.unpack_from(data, offset)
+    offset += 2
+    return ModuleAddress(ProcessAddress(host, port), module), offset
+
+
+def encode_members(members: List[ModuleAddress]) -> bytes:
+    out = [_U16.pack(len(members))]
+    for member in members:
+        out.append(encode_module_address(member))
+    return b"".join(out)
+
+
+def decode_members(data: bytes, offset: int) -> Tuple[List[ModuleAddress], int]:
+    (count,) = _U16.unpack_from(data, offset)
+    offset += 2
+    members = []
+    for _ in range(count):
+        member, offset = decode_module_address(data, offset)
+        members.append(member)
+    return members, offset

@@ -1,0 +1,172 @@
+"""Command-line interface: run the paper's experiments directly.
+
+    python -m repro table41            # UDP/TCP/Circus ms-per-call
+    python -m repro table42            # syscall cost model
+    python -m repro table43            # execution profile
+    python -m repro fig48              # linearity series + fit
+    python -m repro multicast          # the H_n * r analysis
+    python -m repro deadlock           # Eq 5.1 Monte-Carlo
+    python -m repro availability       # Eq 6.1/6.2
+    python -m repro all                # everything above
+
+Each command prints a paper-vs-measured table (the same ones the
+benchmark suite registers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    availability,
+    deadlock_probability,
+    expected_max_exponential,
+    required_repair_time,
+)
+from repro.bench.echo import (
+    PAPER_TABLE_4_1,
+    PAPER_TABLE_4_2,
+    PAPER_TABLE_4_3,
+    linear_fit,
+    run_circus_series,
+    run_tcp_echo,
+    run_udp_echo,
+)
+from repro.bench.report import Table
+
+
+def cmd_table41(args) -> None:
+    iterations = args.iterations
+    table = Table("Table 4.1: Performance of UDP, TCP, and Circus (ms/rpc)",
+                  ["workload", "real(paper)", "real(sim)", "total(paper)",
+                   "total(sim)", "user(sim)", "kernel(sim)"])
+    udp = run_udp_echo(iterations)
+    tcp = run_tcp_echo(iterations)
+    table.add_row("UDP", PAPER_TABLE_4_1["UDP"]["real"], udp.real,
+                  PAPER_TABLE_4_1["UDP"]["total"], udp.total, udp.user,
+                  udp.kernel)
+    table.add_row("TCP", PAPER_TABLE_4_1["TCP"]["real"], tcp.real,
+                  PAPER_TABLE_4_1["TCP"]["total"], tcp.total, tcp.user,
+                  tcp.kernel)
+    for result in run_circus_series(iterations=iterations):
+        degree = int(result.label[len("Circus("):-1])
+        paper = PAPER_TABLE_4_1[degree]
+        table.add_row(result.label, paper["real"], result.real,
+                      paper["total"], result.total, result.user,
+                      result.kernel)
+    print(table.render())
+
+
+def cmd_table42(args) -> None:
+    from repro.harness import World
+    table = Table("Table 4.2: syscall CPU costs (ms)",
+                  ["syscall", "paper", "simulated"])
+    world = World(machines=1)
+    proc = world.machines[0].spawn_process("m")
+
+    def measure(name):
+        def body():
+            start = world.sim.now
+            yield from proc.syscall(name)
+            return world.sim.now - start
+        return world.run(body())
+
+    for name, paper_cost in PAPER_TABLE_4_2.items():
+        table.add_row(name, paper_cost, measure(name))
+    print(table.render())
+
+
+def cmd_table43(args) -> None:
+    table = Table("Table 4.3: execution profile (% of per-call CPU)",
+                  ["degree", "sendmsg(paper)", "sendmsg(sim)",
+                   "select(sim)", "recvmsg(sim)", "setitimer(sim)",
+                   "gettimeofday(sim)"])
+    for result in run_circus_series(iterations=args.iterations):
+        degree = int(result.label[len("Circus("):-1])
+        pcts = result.profile_percentages()
+        table.add_row(degree, PAPER_TABLE_4_3[degree]["sendmsg"],
+                      pcts.get("sendmsg", 0.0), pcts.get("select", 0.0),
+                      pcts.get("recvmsg", 0.0), pcts.get("setitimer", 0.0),
+                      pcts.get("gettimeofday", 0.0))
+    print(table.render())
+
+
+def cmd_fig48(args) -> None:
+    results = run_circus_series(iterations=args.iterations)
+    xs = [1, 2, 3, 4, 5]
+    table = Table("Figure 4.8: per-call time vs degree (ms/rpc)",
+                  ["component", "n=1", "n=2", "n=3", "n=4", "n=5",
+                   "slope", "R^2"])
+    for name, ys in [("real", [r.real for r in results]),
+                     ("total cpu", [r.total for r in results]),
+                     ("user cpu", [r.user for r in results]),
+                     ("kernel cpu", [r.kernel for r in results])]:
+        slope, _b, r2 = linear_fit(xs, ys)
+        table.add_row(name, *ys, slope, r2)
+    print(table.render())
+
+
+def cmd_multicast(args) -> None:
+    table = Table("Sec 4.4.2: E[T] = H_n * r (r = 50 ms)",
+                  ["n", "H_n*r"])
+    for n in (1, 2, 4, 8, 16, 32):
+        table.add_row(n, expected_max_exponential(n, 50.0))
+    print(table.render())
+    print("\n(run `pytest benchmarks/bench_multicast_logn.py` for the "
+          "simulated comparison)")
+
+
+def cmd_deadlock(args) -> None:
+    table = Table("Eq 5.1: P[deadlock] = 1 - (1/k!)^(n-1)",
+                  ["k \\ n"] + ["n=%d" % n for n in (1, 2, 3, 4)])
+    for k in (1, 2, 3, 4, 5):
+        table.add_row("k=%d" % k, *[deadlock_probability(k, n)
+                                    for n in (1, 2, 3, 4)])
+    print(table.render())
+
+
+def cmd_availability(args) -> None:
+    table = Table("Eq 6.1: availability A = 1 - (lam/(lam+mu))^n",
+                  ["n", "A (1/lam=50, 1/mu=25)",
+                   "required 1/mu for A=0.999 (lifetime 60)"])
+    for n in (1, 2, 3, 5, 7):
+        table.add_row(n, availability(n, 1 / 50.0, 1 / 25.0),
+                      required_repair_time(n, 60.0, 0.999))
+    print(table.render())
+    print("\nPaper's worked example: n=3, 1-hour lifetime, 99.9%% => "
+          "replace within %.2f minutes (6 min 40 s)"
+          % required_repair_time(3, 60.0, 0.999))
+
+
+COMMANDS = {
+    "table41": cmd_table41,
+    "table42": cmd_table42,
+    "table43": cmd_table43,
+    "fig48": cmd_fig48,
+    "multicast": cmd_multicast,
+    "deadlock": cmd_deadlock,
+    "availability": cmd_availability,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the experiments of 'Replicated Distributed "
+                    "Programs' (Cooper, 1985).")
+    parser.add_argument("experiment", choices=sorted(COMMANDS) + ["all"],
+                        help="which experiment to run")
+    parser.add_argument("--iterations", type=int, default=30,
+                        help="measurement loop length (default 30)")
+    args = parser.parse_args(argv)
+    if args.experiment == "all":
+        for name in sorted(COMMANDS):
+            COMMANDS[name](args)
+    else:
+        COMMANDS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

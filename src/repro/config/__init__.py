@@ -1,0 +1,27 @@
+"""Programming-in-the-large: troupe configuration (§7.5).
+
+A *configuration* is a mapping from troupes to sets of machines.  The
+configuration language (Figure 7.12) lets a programmer specify the set of
+acceptable configurations — the degree of replication and the required
+machine attributes — without modifying the module being replicated; the
+configuration manager instantiates and reconfigures troupes to satisfy
+those specifications.
+"""
+
+from repro.config.language import (
+    ConfigParseError,
+    TroupeSpecification,
+    parse_specification,
+)
+from repro.config.manager import (
+    ConfigurationError,
+    ConfigurationManager,
+)
+
+__all__ = [
+    "ConfigParseError",
+    "ConfigurationError",
+    "ConfigurationManager",
+    "TroupeSpecification",
+    "parse_specification",
+]

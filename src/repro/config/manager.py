@@ -1,0 +1,95 @@
+"""The troupe configuration manager (§7.5.3).
+
+Both instantiating and reconfiguring a troupe are instances of the *troupe
+extension problem*: given a specification phi(x1..xn), a universe U of
+machines, and a current set M, find M' ⊆ U satisfying phi as close to M
+as possible (minimum symmetric difference |M' ⊕ M|).
+
+The search is an exhaustive backtracking enumeration, as in the paper's
+Lisp implementation; "the exponential-time complexity ... is acceptable
+given the small number of variables in most troupe specifications."
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Optional, Sequence, Set
+
+from repro.config.language import TroupeSpecification
+from repro.host.machine import Machine
+
+
+class ConfigurationError(Exception):
+    """No acceptable configuration exists."""
+
+
+class ConfigurationManager:
+    """Searches a machine-attribute database for troupe configurations
+    and (optionally) drives instantiation through a starter callback."""
+
+    def __init__(self, universe: Sequence[Machine]):
+        self.universe = list(universe)
+
+    def usable_machines(self) -> List[Machine]:
+        return [m for m in self.universe if m.up]
+
+    # -- the troupe extension problem -------------------------------------
+
+    def extend_troupe(self, spec: TroupeSpecification,
+                      old: Sequence[Machine] = ()) -> List[Machine]:
+        """Solve the troupe extension problem: the assignment of machines
+        to the specification's variables that satisfies the formula and
+        minimizes the symmetric difference with ``old``.
+
+        Crashed machines are excluded from the universe.  Raises
+        :class:`ConfigurationError` when no assignment satisfies phi.
+        """
+        candidates = self.usable_machines()
+        old_set: Set[int] = {id(m) for m in old}
+        best: Optional[List[Machine]] = None
+        best_cost = None
+        for assignment in itertools.permutations(candidates, spec.degree):
+            if not spec.satisfied_by(assignment):
+                continue
+            new_set = {id(m) for m in assignment}
+            cost = len(new_set ^ old_set)
+            if best_cost is None or cost < best_cost:
+                best = list(assignment)
+                best_cost = cost
+                if cost == self._lower_bound(spec.degree, len(old_set)):
+                    break
+        if best is None:
+            raise ConfigurationError(
+                "no configuration of %d machines satisfies: %r" % (
+                    spec.degree, spec))
+        return best
+
+    @staticmethod
+    def _lower_bound(degree: int, old_size: int) -> int:
+        """|M' ^ M| is at least the difference in cardinality."""
+        return abs(degree - old_size)
+
+    def instantiate(self, spec: TroupeSpecification) -> List[Machine]:
+        """The instantiation problem is the M = empty-set case (§7.5.3)."""
+        return self.extend_troupe(spec, old=())
+
+    # -- deployment glue -----------------------------------------------------
+
+    def deploy(self, spec: TroupeSpecification, name: str,
+               start_member: Callable[[Machine], "object"],
+               current: Sequence[Machine] = ()):
+        """Generator: choose machines and start a member on each new one.
+
+        ``start_member(machine)`` starts a member process and may be a
+        generator (it usually registers with the binding agent); members
+        on machines already in ``current`` are left running.  Returns the
+        chosen machine list.
+        """
+        chosen = self.extend_troupe(spec, old=current)
+        current_ids = {id(m) for m in current}
+        for machine in chosen:
+            if id(machine) not in current_ids:
+                result = start_member(machine)
+                if hasattr(result, "send"):
+                    yield from result
+        return chosen

@@ -1,0 +1,63 @@
+"""Troupes and replicated procedure call — the paper's primary contribution.
+
+A *troupe* is a set of replicas of a module executing on machines with
+independent failure modes (§3.5.1).  Members never communicate among
+themselves and are unaware of one another's existence; a thread moves
+between troupes by *replicated procedure call*, whose semantics are
+exactly-once execution at all replicas (§4.1).
+
+- :mod:`repro.core.troupe` — troupe descriptors and IDs
+- :mod:`repro.core.collators` — unanimous / first-come / majority and
+  user-defined collation of message sets (§4.3.6)
+- :mod:`repro.core.runtime` — the Circus run-time system: the one-to-many
+  and many-to-one call algorithms (§4.3.1–§4.3.3), wait policies
+  (§4.3.4), crash handling, and the server loop
+"""
+
+from repro.core.troupe import TroupeDescriptor, TroupeId, new_troupe_id
+from repro.core.collators import (
+    CollationError,
+    Collator,
+    FirstComeCollator,
+    MajorityCollator,
+    QuorumCollator,
+    UnanimousCollator,
+    WeightedVotingCollator,
+    first_come,
+    majority,
+    unanimous,
+)
+from repro.core.runtime import (
+    CallResult,
+    ExplicitProcedure,
+    ExportedModule,
+    ReplicatedCallError,
+    StaleBindingError,
+    TroupeFailure,
+    TroupeRuntime,
+    RuntimeConfig,
+)
+
+__all__ = [
+    "CallResult",
+    "CollationError",
+    "ExplicitProcedure",
+    "Collator",
+    "ExportedModule",
+    "FirstComeCollator",
+    "MajorityCollator",
+    "QuorumCollator",
+    "ReplicatedCallError",
+    "RuntimeConfig",
+    "StaleBindingError",
+    "TroupeDescriptor",
+    "TroupeFailure",
+    "TroupeId",
+    "TroupeRuntime",
+    "UnanimousCollator",
+    "WeightedVotingCollator",
+    "first_come",
+    "majority",
+    "new_troupe_id",
+    "unanimous",
+]

@@ -1,0 +1,64 @@
+"""Troupe descriptors.
+
+At the protocol level a troupe is "a sequence of module addresses" (§4.3)
+together with a permanently unique troupe ID (§6.3).  The troupe ID doubles
+as an incarnation number: whenever the membership changes, the ID changes
+with it atomically, and servers reject call messages bearing a stale
+destination troupe ID (§6.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, NamedTuple, Tuple
+
+from repro.net.addresses import ModuleAddress, ProcessAddress
+
+#: Troupe IDs are permanently unique 64-bit numbers; 0 means "unreplicated
+#: peer" (a plain client with no troupe identity).
+TroupeId = int
+
+NO_TROUPE: TroupeId = 0
+
+_troupe_id_counter = itertools.count(1)
+
+
+def new_troupe_id() -> TroupeId:
+    """A fresh, never-reused troupe ID.
+
+    In the real system the binding agent allocates these; a process-wide
+    counter gives the same permanent-uniqueness guarantee in simulation.
+    """
+    return next(_troupe_id_counter)
+
+
+class TroupeDescriptor(NamedTuple):
+    """The client-visible representation of a troupe: name, ID, members."""
+
+    name: str
+    troupe_id: TroupeId
+    members: Tuple[ModuleAddress, ...]
+
+    @property
+    def degree(self) -> int:
+        """The degree of replication."""
+        return len(self.members)
+
+    @property
+    def processes(self) -> Tuple[ProcessAddress, ...]:
+        return tuple(member.process for member in self.members)
+
+    def with_members(self, members: Iterable[ModuleAddress],
+                     troupe_id: TroupeId) -> "TroupeDescriptor":
+        """A new descriptor after a membership change: the ID must change
+        atomically with the membership (§6.2)."""
+        members = tuple(members)
+        if troupe_id == self.troupe_id and set(members) != set(self.members):
+            raise ValueError(
+                "membership changed but troupe ID did not (%r)" % troupe_id)
+        return TroupeDescriptor(self.name, troupe_id, members)
+
+    def __str__(self) -> str:
+        return "troupe %s#%d {%s}" % (
+            self.name, self.troupe_id,
+            ", ".join(str(m) for m in self.members))

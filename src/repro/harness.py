@@ -1,0 +1,178 @@
+"""Convenience harness for assembling simulated replicated programs.
+
+Building a replicated distributed program by hand takes a simulator, a
+network, machines, processes, runtimes, troupe descriptors, and a resolver.
+This module packages those steps so examples, tests, and benchmarks can
+say what they mean:
+
+    world = World(machines=6, seed=42)
+    echo = world.make_module("echo", {0: echo_handler})
+    troupe, runtimes = world.make_troupe("echo-svc", echo, degree=3)
+    client = world.make_client("client-host")
+    reply = world.run(client.call_troupe(troupe, 0, 0, b"hi"))
+
+The World keeps a static troupe registry (the resolver a real deployment
+would get from the Ringmaster binding agent in :mod:`repro.binding`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.runtime import ExportedModule, RuntimeConfig, TroupeRuntime
+from repro.core.troupe import TroupeDescriptor, TroupeId, new_troupe_id
+from repro.host.machine import Machine
+from repro.host.syscalls import SyscallCostModel
+from repro.net.addresses import ProcessAddress
+from repro.net.network import Network, NetworkConfig
+from repro.rpc.threads import ThreadId
+from repro.sim.kernel import Simulator
+
+
+class World:
+    """A simulator, a network, and a set of machines, wired together."""
+
+    def __init__(self, machines: int = 6, seed: int = 0,
+                 net_config: Optional[NetworkConfig] = None,
+                 runtime_config: Optional[RuntimeConfig] = None,
+                 cost_model: Optional[SyscallCostModel] = None,
+                 machine_names: Optional[List[str]] = None):
+        self.sim = Simulator()
+        self.net = Network(self.sim, seed=seed, config=net_config)
+        self.runtime_config = runtime_config or RuntimeConfig()
+        if machine_names is None:
+            machine_names = ["host%d" % i for i in range(machines)]
+        self.machines: List[Machine] = [
+            Machine(self.sim, self.net, name, cost_model=cost_model)
+            for name in machine_names]
+        self._machine_by_name = {m.name: m for m in self.machines}
+        #: troupe_id -> list of member process addresses (the resolver's map)
+        self.registry: Dict[TroupeId, List[ProcessAddress]] = {}
+        self._next_host = 0
+
+    # -- machines -----------------------------------------------------------
+
+    def machine(self, name: str) -> Machine:
+        return self._machine_by_name[name]
+
+    def _pick_machines(self, count: int,
+                       names: Optional[List[str]] = None) -> List[Machine]:
+        if names is not None:
+            return [self._machine_by_name[name] for name in names]
+        if count > len(self.machines):
+            raise ValueError("world has only %d machines, %d requested"
+                             % (len(self.machines), count))
+        picked = []
+        for _ in range(count):
+            picked.append(self.machines[self._next_host % len(self.machines)])
+            self._next_host += 1
+        return picked
+
+    # -- resolver -------------------------------------------------------
+
+    def resolver(self, troupe_id: TroupeId) -> Optional[List[ProcessAddress]]:
+        """The client-troupe-membership lookup servers use for many-to-one
+        calls (§4.3.2)."""
+        return self.registry.get(troupe_id)
+
+    def register(self, descriptor: TroupeDescriptor) -> None:
+        self.registry[descriptor.troupe_id] = list(descriptor.processes)
+
+    # -- modules and troupes ------------------------------------------------
+
+    @staticmethod
+    def make_module(name: str,
+                    procedures: Dict[int, Callable]) -> ExportedModule:
+        return ExportedModule(name, procedures)
+
+    def make_troupe(self, name: str,
+                    module_factory,
+                    degree: int = 3,
+                    on_machines: Optional[List[str]] = None,
+                    port: Optional[int] = None,
+                    runtime_config: Optional[RuntimeConfig] = None,
+                    ) -> Tuple[TroupeDescriptor, List[TroupeRuntime]]:
+        """Instantiate a troupe of ``degree`` members.
+
+        ``module_factory`` is either an :class:`ExportedModule` (shared
+        state is then shared between members — fine for stateless modules)
+        or a zero-argument callable returning a fresh ExportedModule per
+        member (required for stateful modules: members must not literally
+        share memory, they are replicas on different machines).
+        """
+        machines = self._pick_machines(degree, on_machines)
+        troupe_id = new_troupe_id()
+        runtimes = []
+        members = []
+        for machine in machines:
+            process = machine.spawn_process(name)
+            runtime = TroupeRuntime(
+                process, port=port,
+                config=runtime_config or self.runtime_config,
+                resolver=self.resolver, troupe_id=troupe_id)
+            if callable(module_factory) and not isinstance(
+                    module_factory, ExportedModule):
+                module = module_factory()
+            else:
+                module = module_factory
+            member_addr = runtime.export(module)
+            runtime.start_server()
+            runtimes.append(runtime)
+            members.append(member_addr)
+        descriptor = TroupeDescriptor(name, troupe_id, tuple(members))
+        self.register(descriptor)
+        return descriptor, runtimes
+
+    def make_client(self, machine_name: Optional[str] = None,
+                    troupe_id: TroupeId = 0,
+                    thread_id: Optional[ThreadId] = None,
+                    runtime_config: Optional[RuntimeConfig] = None,
+                    ) -> TroupeRuntime:
+        """An unreplicated client runtime on the named (or next) machine."""
+        if machine_name is None:
+            machine = self._pick_machines(1)[0]
+        else:
+            machine = self._machine_by_name[machine_name]
+        process = machine.spawn_process("client")
+        return TroupeRuntime(process,
+                             config=runtime_config or self.runtime_config,
+                             resolver=self.resolver, troupe_id=troupe_id,
+                             thread_id=thread_id)
+
+    def make_client_troupe(self, name: str, degree: int,
+                           on_machines: Optional[List[str]] = None,
+                           thread_id: Optional[ThreadId] = None,
+                           runtime_config: Optional[RuntimeConfig] = None,
+                           ) -> Tuple[TroupeDescriptor, List[TroupeRuntime]]:
+        """A client troupe: replicated callers sharing one logical thread
+        ID (§4.3.2) and a registered troupe ID so servers can gather their
+        many-to-one calls."""
+        machines = self._pick_machines(degree, on_machines)
+        troupe_id = new_troupe_id()
+        if thread_id is None:
+            thread_id = ThreadId("logical-%s" % name, troupe_id)
+        runtimes = []
+        members = []
+        for machine in machines:
+            process = machine.spawn_process(name)
+            runtime = TroupeRuntime(
+                process, config=runtime_config or self.runtime_config,
+                resolver=self.resolver, troupe_id=troupe_id,
+                thread_id=thread_id)
+            runtimes.append(runtime)
+            members.append(runtime.addr)
+        self.registry[troupe_id] = members
+        from repro.net.addresses import ModuleAddress
+        descriptor = TroupeDescriptor(
+            name, troupe_id, tuple(ModuleAddress(a, 0) for a in members))
+        return descriptor, runtimes
+
+    # -- running --------------------------------------------------------
+
+    def run(self, gen, name: Optional[str] = None,
+            until: Optional[float] = None):
+        """Run a client generator to completion and return its result."""
+        return self.sim.run_process(gen, name=name, until=until)
+
+    def spawn(self, gen, name: Optional[str] = None):
+        return self.sim.spawn(gen, name=name)

@@ -1,0 +1,29 @@
+"""Simulated machines and operating-system processes.
+
+The paper's measurements ran on VAX-11/750s under Berkeley 4.2BSD; the cost
+of a replicated call was dominated by six system calls (Table 4.2).  This
+package substitutes a simulated host for that hardware:
+
+- :mod:`repro.host.syscalls` — the calibrated system-call cost model
+- :mod:`repro.host.machine` — fail-stop machines with attribute lists
+  (§7.5.2) and crash/restart
+- :mod:`repro.host.process` — OS processes with user/kernel CPU accounting
+  (the ``getrusage`` analogue used in §4.4.1) and syscall wrappers around
+  the network sockets
+- :mod:`repro.host.failures` — exponential lifetime/repair driving the
+  birth-death availability model of §6.4.2
+"""
+
+from repro.host.machine import Machine, MachineCrashed
+from repro.host.process import OsProcess
+from repro.host.syscalls import SyscallCostModel, TABLE_4_2_COSTS
+from repro.host.failures import FailureModel
+
+__all__ = [
+    "FailureModel",
+    "Machine",
+    "MachineCrashed",
+    "OsProcess",
+    "SyscallCostModel",
+    "TABLE_4_2_COSTS",
+]

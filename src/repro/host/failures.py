@@ -1,0 +1,98 @@
+"""Exponential crash/repair driving for the §6.4.2 availability analysis.
+
+Each machine's lifetime (time to failure) is exponential with mean 1/λ and
+its repair time exponential with mean 1/μ; machines fail and are repaired
+independently.  This is exactly the birth-death model of Figure 6.3, so
+the measured equilibrium availability can be compared against
+
+    A = 1 − (λ / (λ + μ))^n          (Equation 6.1)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.host.machine import Machine
+from repro.sim.kernel import Simulator, Sleep
+from repro.sim.rng import RandomStream
+
+
+class FailureModel:
+    """Drives crash/repair cycles on a set of machines.
+
+    Also accumulates the statistic the analysis needs: the total time
+    during which *all* machines were down (the troupe was unavailable).
+    """
+
+    def __init__(self, sim: Simulator, machines: List[Machine],
+                 failure_rate: float, repair_rate: float,
+                 seed: int = 0,
+                 on_repair: Optional[Callable[[Machine], None]] = None):
+        if failure_rate <= 0 or repair_rate <= 0:
+            raise ValueError("failure and repair rates must be positive")
+        self.sim = sim
+        self.machines = machines
+        self.failure_rate = failure_rate
+        self.repair_rate = repair_rate
+        self.on_repair = on_repair
+        self._rng = RandomStream(seed, "failures")
+        self.down_count = 0
+        self.total_failures = 0
+        self.total_repairs = 0
+        self._all_down_since: Optional[float] = None
+        self.total_unavailable_time = 0.0
+        self._started_at: Optional[float] = None
+        self._processes = []
+
+    def start(self) -> None:
+        """Begin driving failures; call before sim.run()."""
+        self._started_at = self.sim.now
+        for machine in self.machines:
+            rng = self._rng.fork(machine.name)
+            proc = self.sim.spawn(self._drive(machine, rng),
+                                  name="failures:%s" % machine.name,
+                                  daemon=True)
+            self._processes.append(proc)
+
+    def stop(self) -> None:
+        self._close_unavailable_interval()
+        for proc in self._processes:
+            proc.kill()
+        self._processes = []
+
+    def _drive(self, machine: Machine, rng: RandomStream):
+        while True:
+            yield Sleep(rng.expovariate(self.failure_rate))
+            if machine.up:
+                machine.crash()
+                self.total_failures += 1
+                self.down_count += 1
+                if self.down_count == len(self.machines):
+                    self._all_down_since = self.sim.now
+            yield Sleep(rng.expovariate(self.repair_rate))
+            if not machine.up:
+                if self.down_count == len(self.machines):
+                    self._close_unavailable_interval()
+                machine.restart()
+                self.total_repairs += 1
+                self.down_count -= 1
+                if self.on_repair is not None:
+                    self.on_repair(machine)
+
+    def _close_unavailable_interval(self) -> None:
+        if self._all_down_since is not None:
+            self.total_unavailable_time += self.sim.now - self._all_down_since
+            self._all_down_since = None
+
+    def measured_availability(self) -> float:
+        """Fraction of elapsed time during which at least one machine
+        was up, since :meth:`start`."""
+        if self._started_at is None:
+            raise RuntimeError("failure model never started")
+        elapsed = self.sim.now - self._started_at
+        if elapsed <= 0:
+            return 1.0
+        unavailable = self.total_unavailable_time
+        if self._all_down_since is not None:
+            unavailable += self.sim.now - self._all_down_since
+        return 1.0 - unavailable / elapsed

@@ -1,0 +1,209 @@
+"""Operating-system processes with CPU accounting.
+
+An :class:`OsProcess` is the unit the paper's measurements observe: the
+client process whose per-call real time and user/kernel CPU time appear in
+Table 4.1.  It provides:
+
+- *threads*: simulated control flow (the kernel's generator processes)
+  registered with the process so that a machine crash kills them;
+- *syscall wrappers* (``sendmsg``, ``recvmsg``, ``select``, ...) that
+  charge the calibrated kernel-CPU cost, advance the simulated clock, and
+  record per-syscall totals for the Table 4.3 execution profile;
+- ``compute(ms)`` for user-mode CPU;
+- ``rusage()`` — the ``getrusage`` analogue returning (user, kernel) ms.
+
+Because a syscall occupies the CPU, repeated ``sendmsg`` calls to simulate
+a multicast serialize — which is precisely why the paper's Figure 4.8 grows
+linearly with troupe size.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.host.machine import Machine, MachineCrashed
+from repro.net.addresses import ProcessAddress
+from repro.net.udp import UdpSocket
+from repro.sim.kernel import AnyOf, Process, Simulator, Sleep
+from repro.sim.timers import TimerService
+
+
+class OsProcess:
+    """A process on a simulated machine."""
+
+    def __init__(self, machine: Machine, pid: int, name: str):
+        self.machine = machine
+        self.sim: Simulator = machine.sim
+        self.pid = pid
+        self.name = name
+        self.alive = True
+        self.user_time = 0.0
+        self.kernel_time = 0.0
+        #: per-syscall accumulated kernel CPU (ms) — the execution profile.
+        self.syscall_times: Dict[str, float] = {}
+        self.syscall_counts: Dict[str, int] = {}
+        self._threads: List[Process] = []
+        self._sockets: List[UdpSocket] = []
+        # The single 4.2BSD interval timer, multiplexed (§4.2.4).  Each
+        # re-arm charges a setitimer without advancing the clock (the
+        # protocol code is not suspended by the hook).
+        self.timers = TimerService(self.sim, on_arm=self._charge_setitimer)
+
+    def __repr__(self) -> str:
+        return "<OsProcess %s/%s pid=%d>" % (self.machine.name, self.name, self.pid)
+
+    @property
+    def host(self) -> str:
+        return self.machine.name
+
+    # -- threads ---------------------------------------------------------
+
+    def spawn(self, gen: Generator, name: Optional[str] = None,
+              daemon: bool = False) -> Process:
+        """Start a thread of control inside this process."""
+        self._require_alive()
+        full_name = "%s/%s/%s" % (self.machine.name, self.name,
+                                  name or "thread%d" % len(self._threads))
+        thread = self.sim.spawn(gen, name=full_name, daemon=daemon)
+        self._threads.append(thread)
+        return thread
+
+    def exit(self) -> None:
+        """Voluntary termination."""
+        self._terminate(crashed=False)
+        self.machine._process_exited(self)
+
+    def _terminate(self, crashed: bool) -> None:
+        if not self.alive:
+            return
+        self.alive = False
+        self.timers.cancel_all()
+        for thread in self._threads:
+            if thread.alive:
+                thread.kill(MachineCrashed("%s crashed" % self.machine.name)
+                            if crashed else None)
+        self._threads = []
+        for sock in self._sockets:
+            sock.close()
+        self._sockets = []
+
+    # -- CPU accounting ----------------------------------------------------
+
+    def syscall(self, name: str):
+        """Generator: perform a system call — charge its kernel CPU cost
+        and advance the simulated clock by the same amount.
+
+        ``yield from proc.syscall('sendmsg')``
+        """
+        self._require_alive()
+        cost = self.machine.cost_model.cost(name)
+        self._account(name, cost)
+        yield Sleep(cost)
+
+    def compute(self, ms: float):
+        """Generator: user-mode computation for ``ms`` milliseconds."""
+        self._require_alive()
+        if ms < 0:
+            raise ValueError("negative compute time: %r" % ms)
+        self.user_time += ms
+        yield Sleep(ms)
+
+    def _account(self, name: str, cost: float) -> None:
+        self.kernel_time += cost
+        self.syscall_times[name] = self.syscall_times.get(name, 0.0) + cost
+        self.syscall_counts[name] = self.syscall_counts.get(name, 0) + 1
+
+    def _charge_setitimer(self) -> None:
+        # Timer re-arms happen inside callbacks where we cannot suspend;
+        # the cost is accounted but the clock is not advanced.
+        if self.alive:
+            self._account("setitimer", self.machine.cost_model.cost("setitimer"))
+
+    def rusage(self) -> tuple:
+        """(user ms, kernel ms), as getrusage reports (charged: 0.7 ms)."""
+        self._account("getrusage", self.machine.cost_model.cost("getrusage"))
+        return (self.user_time, self.kernel_time)
+
+    def cpu_time(self) -> float:
+        """Total CPU consumed so far, without charging anything."""
+        return self.user_time + self.kernel_time
+
+    # -- sockets and syscall wrappers ---------------------------------------
+
+    def udp_socket(self, port: Optional[int] = None) -> UdpSocket:
+        self._require_alive()
+        sock = UdpSocket(self.machine.network, self.machine.name, port)
+        self._sockets.append(sock)
+        return sock
+
+    def sendmsg(self, sock: UdpSocket, payload: bytes,
+                dst: ProcessAddress):
+        """Generator: charge a sendmsg, then transmit the datagram."""
+        yield from self.syscall("sendmsg")
+        sock.sendto(payload, dst)
+
+    def sendmsg_multicast(self, sock: UdpSocket, payload: bytes,
+                          destinations):
+        """Generator: one hardware multicast costs one sendmsg (§4.3.3)."""
+        yield from self.syscall("sendmsg")
+        sock.multicast(payload, destinations)
+
+    def recvmsg(self, sock: UdpSocket, timeout: Optional[float] = None):
+        """Generator: the next datagram (or None on timeout).
+
+        The recvmsg kernel cost is charged when data is actually copied
+        out, matching how CPU time is attributed by getrusage.
+        """
+        self._require_alive()
+        if timeout is None:
+            datagram = yield sock.recv()
+        else:
+            index, value = yield AnyOf(sock.recv(), Sleep(timeout))
+            if index == 1:
+                return None
+            datagram = value
+        yield from self.syscall("recvmsg")
+        return datagram
+
+    def select(self, socks: List[UdpSocket],
+               timeout: Optional[float] = None):
+        """Generator: wait until one of the sockets is readable.
+
+        Returns the list of readable sockets ([] on timeout).  Charges one
+        select syscall, as the Circus event loop does.
+        """
+        self._require_alive()
+        yield from self.syscall("select")
+        ready = [s for s in socks if s.pending() > 0]
+        if ready:
+            return ready
+        waits = [s.recv() for s in socks]
+        if timeout is not None:
+            index, value = yield AnyOf(AnyOf(*waits), Sleep(timeout))
+            if index == 1:
+                return []
+            inner_index, datagram = value
+        else:
+            inner_index, datagram = yield AnyOf(*waits)
+        # select does not consume data; push the datagram back at the head.
+        sock = socks[inner_index]
+        sock._incoming.push_front(datagram)
+        return [sock]
+
+    def gettimeofday(self):
+        """Generator: the simulated wall-clock time (charged: 0.7 ms)."""
+        yield from self.syscall("gettimeofday")
+        return self.sim.now
+
+    def sigblock(self):
+        """Generator: enter a critical region (mask software interrupts)."""
+        yield from self.syscall("sigblock")
+
+    def sigsetmask(self):
+        """Generator: leave a critical region."""
+        yield from self.syscall("sigsetmask")
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise MachineCrashed(
+                "process %s on %s is dead" % (self.name, self.machine.name))

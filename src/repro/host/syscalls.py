@@ -1,0 +1,74 @@
+"""The system-call cost model, calibrated to Table 4.2 of the paper.
+
+The paper's execution profile (§4.4.1) found that six Berkeley 4.2BSD
+system calls account for more than half the CPU time of a Circus replicated
+procedure call.  Table 4.2 gives their per-call CPU cost on a VAX-11/750:
+
+    sendmsg        8.1 ms   send datagram
+    recvmsg        2.8 ms   receive datagram
+    select         1.8 ms   inquire if datagram has arrived
+    setitimer      1.2 ms   start interval timer for clock interrupt
+    gettimeofday   0.7 ms   get time of day
+    sigblock       0.4 ms   mask software interrupts (critical regions)
+
+Charging these costs (as kernel CPU, advancing the simulated clock) is the
+substitution that lets the simulation reproduce the *shape* of Tables 4.1
+and 4.3 and Figure 4.8.  The read/write costs for the TCP baseline are
+calibrated so one read+write exchange costs the 7.8 ms of kernel time that
+Table 4.1 reports for the TCP echo test — the paper explains that the
+"streamlined" read/write interface avoids the scatter/gather copying that
+makes sendmsg so expensive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+#: Per-call CPU cost in milliseconds, straight from Table 4.2, plus the
+#: calibrated costs for the syscalls the paper uses but does not tabulate.
+TABLE_4_2_COSTS: Dict[str, float] = {
+    # Measured in the paper (Table 4.2).
+    "sendmsg": 8.1,
+    "recvmsg": 2.8,
+    "select": 1.8,
+    "setitimer": 1.2,
+    "gettimeofday": 0.7,
+    "sigblock": 0.4,
+    # Companions calibrated from Table 4.1 and the surrounding discussion.
+    "sigsetmask": 0.4,    # the matching "end critical region" call
+    "read": 3.8,          # TCP stream read  (read+write = 7.8 ms kernel/call)
+    "write": 4.0,         # TCP stream write
+    "getrusage": 0.7,     # same order as gettimeofday
+    "socket": 1.0,
+    "bind": 1.0,
+    "connect": 2.0,
+    "accept": 2.0,
+}
+
+
+class SyscallCostModel:
+    """Maps syscall names to kernel-CPU milliseconds.
+
+    Unknown syscalls are an error: the experiments depend on every charged
+    operation being a deliberately calibrated one.
+    """
+
+    def __init__(self, costs: Mapping[str, float] = TABLE_4_2_COSTS,
+                 scale: float = 1.0):
+        if scale <= 0:
+            raise ValueError("scale must be positive: %r" % scale)
+        self.costs = {name: cost * scale for name, cost in costs.items()}
+        self.scale = scale
+
+    def cost(self, name: str) -> float:
+        try:
+            return self.costs[name]
+        except KeyError:
+            raise KeyError("no calibrated cost for syscall %r" % name) from None
+
+    def with_scale(self, scale: float) -> "SyscallCostModel":
+        """A copy with all costs scaled (e.g. to model a faster machine)."""
+        return SyscallCostModel(self.costs, scale)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.costs

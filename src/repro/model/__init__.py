@@ -1,0 +1,61 @@
+"""The formal model of modules and threads (Chapter 3).
+
+The paper models a thread's behaviour as an *event sequence* of procedure
+calls and returns, defines *balanced intervals* (Definition 3.1), *thread
+execution histories* (Definition 3.2), and *call stacks* (Definition
+3.3), proves a unique decomposition (Theorem 3.4), and shows that a
+globally deterministic program's history and states are determined by the
+initial call and initial state (Theorem 3.7) — "a formal statement and
+proof of the equivalence of the two crash recovery mechanisms: restoring
+a consistent state from a checkpoint, or replaying events from a log."
+
+This package makes the model executable: histories can be validated,
+decomposed, restricted to a module, and replayed against state-machine
+module definitions, and the theorems become checkable properties.
+"""
+
+from repro.model.events import (
+    CALL,
+    RETURN,
+    Event,
+    EventSequence,
+    InvalidHistory,
+    Procedure,
+)
+from repro.model.histories import (
+    balanced_decomposition,
+    call_stack,
+    depth,
+    execution_of,
+    is_balanced,
+    theorem_3_4_decomposition,
+    validate_history,
+)
+from repro.model.determinism import (
+    DeterministicModule,
+    ModuleState,
+    replay,
+    run_program,
+    validate_state_sequence,
+)
+
+__all__ = [
+    "CALL",
+    "DeterministicModule",
+    "Event",
+    "EventSequence",
+    "InvalidHistory",
+    "ModuleState",
+    "Procedure",
+    "RETURN",
+    "balanced_decomposition",
+    "call_stack",
+    "depth",
+    "execution_of",
+    "is_balanced",
+    "replay",
+    "run_program",
+    "theorem_3_4_decomposition",
+    "validate_history",
+    "validate_state_sequence",
+]

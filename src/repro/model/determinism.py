@@ -1,0 +1,199 @@
+"""Deterministic modules, state sequences, and Theorem 3.7 (§3.3.2).
+
+A module is *deterministic* (Definition 3.6) when a call's arguments,
+the module state, and the results of the nested calls it has made so far
+uniquely determine its next action.  :class:`DeterministicModule` captures
+exactly that: each procedure is a Python generator that receives the
+argument value and the module state, yields nested call requests
+``(module, procedure, value)``, receives their results, and returns its
+result.  Any program composed of such modules is globally deterministic.
+
+:func:`run_program` executes a program and produces its thread execution
+history plus the per-module state sequence.  :func:`replay` reconstructs
+the final state from the history alone (the log-replay crash recovery of
+§2.1.2) — and Theorem 3.7 says the two must agree, which the test suite
+checks property-style.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.model.events import (
+    CALL,
+    EventSequence,
+    InvalidHistory,
+    Procedure,
+    call as make_call,
+    ret as make_ret,
+)
+
+
+class ModuleState:
+    """The single state variable of a module (§3.1): a named slot holding
+    any value; procedures read and replace it."""
+
+    def __init__(self, value: Any = None):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "<ModuleState %r>" % (self.value,)
+
+
+class DeterministicModule:
+    """A module whose procedures are deterministic state transformers.
+
+    ``procedures`` maps a name to a generator function
+    ``proc(state, arg)`` which may ``result = yield (module, proc, value)``
+    to make nested calls, mutates ``state.value`` as it pleases, and
+    returns its result.  Determinism is the author's obligation, exactly
+    as in the paper; the checker below will catch violations by replay
+    divergence.
+    """
+
+    def __init__(self, name: str,
+                 procedures: Dict[str, Callable],
+                 initial_state: Any = None):
+        self.name = name
+        self.procedures = dict(procedures)
+        self.initial_state = initial_state
+
+    def fresh_state(self) -> ModuleState:
+        return ModuleState(copy.deepcopy(self.initial_state))
+
+
+class _Interpreter:
+    """Runs a program of DeterministicModules, recording the history."""
+
+    def __init__(self, modules: Dict[str, DeterministicModule]):
+        self.modules = modules
+        self.states = {name: module.fresh_state()
+                       for name, module in modules.items()}
+        self.events: List = []
+        self.state_snapshots: List[Dict[str, Any]] = []
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {name: copy.deepcopy(state.value)
+                for name, state in self.states.items()}
+
+    def invoke(self, module_name: str, proc_name: str, arg: Any) -> Any:
+        module = self.modules[module_name]
+        if proc_name not in module.procedures:
+            raise KeyError("no procedure %s.%s" % (module_name, proc_name))
+        self.events.append(make_call(module_name, proc_name, arg))
+        self.state_snapshots.append(self.snapshot())
+        gen = module.procedures[proc_name](self.states[module_name], arg)
+        result = None
+        if hasattr(gen, "send"):
+            try:
+                request = gen.send(None)
+                while True:
+                    nested_module, nested_proc, nested_arg = request
+                    nested_result = self.invoke(nested_module, nested_proc,
+                                                nested_arg)
+                    request = gen.send(nested_result)
+            except StopIteration as stop:
+                result = getattr(stop, "value", None)
+        else:
+            result = gen
+        self.events.append(make_ret(module_name, proc_name, result))
+        self.state_snapshots.append(self.snapshot())
+        return result
+
+
+def run_program(modules: Dict[str, DeterministicModule],
+                entry_module: str, entry_procedure: str, arg: Any = None,
+                ) -> Tuple[Any, EventSequence, List[Dict[str, Any]]]:
+    """Execute a program from its initial call.
+
+    Returns (result, history, state_sequence) where state_sequence[i] is
+    the program state *at* event i (after the events up to and including
+    it) — the ``state`` function of Definition 3.5.
+    """
+    interp = _Interpreter(modules)
+    result = interp.invoke(entry_module, entry_procedure, arg)
+    return result, EventSequence(interp.events), interp.state_snapshots
+
+
+def validate_state_sequence(history: EventSequence,
+                            states: List[Dict[str, Any]]) -> None:
+    """Check Definition 3.5: only M-events affect the state of M.
+
+    ``states[i]`` is the program state at event i.  Raises InvalidHistory
+    on a violation.  (Calls and returns may both change their module's
+    state; everything else must leave it untouched.)
+    """
+    if len(states) != len(history):
+        raise InvalidHistory(
+            "state sequence length %d does not match history length %d"
+            % (len(states), len(history)))
+    events = list(history)
+    module_names = set()
+    for snapshot in states:
+        module_names.update(snapshot)
+    for index in range(1, len(events)):
+        event = events[index]
+        before, after = states[index - 1], states[index]
+        for module in module_names:
+            if module != event.module and before.get(module) != \
+                    after.get(module):
+                raise InvalidHistory(
+                    "state of %s changed at non-%s event %s"
+                    % (module, module, event))
+
+
+def replay(modules: Dict[str, DeterministicModule],
+           history: EventSequence) -> Dict[str, Any]:
+    """Log-replay crash recovery (§2.1.2): reconstruct the final program
+    state by re-executing the history's calls against fresh module states.
+
+    Nested-call results are fed from the history itself, so replay works
+    even if the modules made calls to nondeterministic peers — what
+    matters is that each *module* is deterministic.  Raises
+    InvalidHistory if re-execution diverges from the recorded history.
+    """
+    states = {name: module.fresh_state()
+              for name, module in modules.items()}
+    events = list(history)
+    position = [0]
+
+    def step(expected_call):
+        index = position[0]
+        if index >= len(events):
+            raise InvalidHistory("history ended mid-execution")
+        event = events[index]
+        if not event.is_call or (expected_call is not None
+                                 and (event.proc, event.val) != expected_call):
+            raise InvalidHistory("replay diverged at %s" % (event,))
+        position[0] += 1
+        module = modules[event.module]
+        gen = module.procedures[event.proc.name](states[event.module],
+                                                 event.val)
+        result = None
+        if hasattr(gen, "send"):
+            try:
+                request = gen.send(None)
+                while True:
+                    nested_module, nested_proc, nested_arg = request
+                    nested = step((Procedure(nested_module, nested_proc),
+                                   nested_arg))
+                    request = gen.send(nested)
+            except StopIteration as stop:
+                result = getattr(stop, "value", None)
+        else:
+            result = gen
+        ret_event = events[position[0]] if position[0] < len(events) else None
+        if (ret_event is None or not ret_event.is_return
+                or ret_event.proc != event.proc):
+            raise InvalidHistory("missing return for %s" % (event,))
+        if ret_event.val != result:
+            raise InvalidHistory(
+                "replay produced %r where history recorded %r" % (
+                    result, ret_event.val))
+        position[0] += 1
+        return result
+
+    while position[0] < len(events):
+        step(None)
+    return {name: state.value for name, state in states.items()}

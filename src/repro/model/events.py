@@ -1,0 +1,123 @@
+"""Events and event sequences (§3.3.1).
+
+An event is a call to or return from a procedure, a quadruple
+(op, proc, val, id); an event sequence is an ordered set of distinct
+events.  Subsequences need not be contiguous; restriction to a module M
+keeps only M-events.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, List, NamedTuple, Optional
+
+CALL = "call"
+RETURN = "return"
+
+
+class InvalidHistory(Exception):
+    """An event sequence violates the thread-execution-history axioms."""
+
+
+class Procedure(NamedTuple):
+    """A procedure and the unique module exporting it: module(P)."""
+
+    module: str
+    name: str
+
+    def __str__(self) -> str:
+        return "%s.%s" % (self.module, self.name)
+
+
+class Event(NamedTuple):
+    """(op, proc, val, id): op(e), proc(e), val(e), id(e) of §3.3.1."""
+
+    op: str
+    proc: Procedure
+    val: Any
+    eid: int
+
+    @property
+    def module(self) -> str:
+        """module(e) = module(proc(e))."""
+        return self.proc.module
+
+    @property
+    def is_call(self) -> bool:
+        return self.op == CALL
+
+    @property
+    def is_return(self) -> bool:
+        return self.op == RETURN
+
+    def __str__(self) -> str:
+        arrow = "->" if self.is_call else "<-"
+        return "%s%s(%r)#%d" % (arrow, self.proc, self.val, self.eid)
+
+
+_event_ids = itertools.count(1)
+
+
+def call(module: str, name: str, val: Any = None,
+         eid: Optional[int] = None) -> Event:
+    return Event(CALL, Procedure(module, name), val,
+                 next(_event_ids) if eid is None else eid)
+
+
+def ret(module: str, name: str, val: Any = None,
+        eid: Optional[int] = None) -> Event:
+    return Event(RETURN, Procedure(module, name), val,
+                 next(_event_ids) if eid is None else eid)
+
+
+class EventSequence:
+    """An ordered set of distinct events, with the §3.3.1 operations."""
+
+    def __init__(self, events: Iterable[Event] = ()):
+        self.events: List[Event] = list(events)
+        seen = set()
+        for event in self.events:
+            if event.eid in seen:
+                raise InvalidHistory("duplicate event id %d" % event.eid)
+            seen.add(event.eid)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __getitem__(self, index):
+        return self.events[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, EventSequence):
+            return self.events == other.events
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return "<EventSequence [%s]>" % ", ".join(str(e) for e in self.events)
+
+    def index_of(self, event: Event) -> int:
+        for index, candidate in enumerate(self.events):
+            if candidate.eid == event.eid:
+                return index
+        raise ValueError("event not in sequence: %s" % (event,))
+
+    def up_to(self, event: Event) -> "EventSequence":
+        """H_{<=e}: the portion of the sequence up to and including e."""
+        return EventSequence(self.events[:self.index_of(event) + 1])
+
+    def interval(self, left: Event, right: Event) -> "EventSequence":
+        """The event interval <e1, ..., e2> (contiguous)."""
+        i, j = self.index_of(left), self.index_of(right)
+        if i > j:
+            raise ValueError("interval endpoints out of order")
+        return EventSequence(self.events[i:j + 1])
+
+    def restrict_to_module(self, module: str) -> "EventSequence":
+        """H^M: the subsequence of M-events."""
+        return EventSequence(e for e in self.events if e.module == module)
+
+    def concat(self, other: "EventSequence") -> "EventSequence":
+        return EventSequence(self.events + list(other.events))

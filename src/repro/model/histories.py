@@ -1,0 +1,156 @@
+"""Balanced intervals, histories, and call stacks (§3.3.1).
+
+- Definition 3.1: an interval <c, ..., r> is *balanced* if c is a call,
+  r is a return from the same procedure, and the interior decomposes into
+  balanced intervals B1...Bn (uniquely determined).
+- Definition 3.2: a *thread execution history* is an event sequence in
+  which every return matches a unique call, and which, if finite, is
+  balanced.
+- Definition 3.3: the *call stack* after a call c is the sequence of
+  calls <= c that have not returned before c; its length is depth(c).
+- Theorem 3.4: H_{<=e} decomposes uniquely as <c0,...,c> B1...Bn <e>.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.model.events import Event, EventSequence, InvalidHistory
+
+
+def is_balanced(sequence: EventSequence) -> bool:
+    """Definition 3.1, checked with a matching stack."""
+    if len(sequence) == 0:
+        return True
+    stack: List[Event] = []
+    for event in sequence:
+        if event.is_call:
+            stack.append(event)
+        else:
+            if not stack or stack[-1].proc != event.proc:
+                return False
+            stack.pop()
+    return not stack
+
+
+def balanced_decomposition(sequence: EventSequence,
+                           ) -> List[EventSequence]:
+    """The unique B1...Bn decomposition of a balanced sequence's interior
+    (or of a concatenation of balanced intervals)."""
+    blocks: List[EventSequence] = []
+    depth_counter = 0
+    start = None
+    for index, event in enumerate(sequence):
+        if event.is_call:
+            if depth_counter == 0:
+                start = index
+            depth_counter += 1
+        else:
+            depth_counter -= 1
+            if depth_counter < 0:
+                raise InvalidHistory("return without a call")
+            if depth_counter == 0:
+                blocks.append(EventSequence(sequence.events[start:index + 1]))
+                start = None
+    if depth_counter != 0:
+        raise InvalidHistory("sequence is not a concatenation of balanced "
+                             "intervals")
+    for block in blocks:
+        if not is_balanced(block):
+            raise InvalidHistory("mismatched procedures inside a block")
+    return blocks
+
+
+def validate_history(sequence: EventSequence,
+                     require_finite: bool = True) -> None:
+    """Check Definition 3.2; raises InvalidHistory on violations.
+
+    With ``require_finite`` False the sequence may be a prefix of an
+    infinite history: unreturned calls are permitted, but every return
+    must still match.
+    """
+    if len(sequence) == 0:
+        return
+    if not sequence[0].is_call:
+        raise InvalidHistory("history must begin with a call")
+    stack: List[Event] = []
+    for event in sequence:
+        if event.is_call:
+            stack.append(event)
+        else:
+            if not stack:
+                raise InvalidHistory("return %s matches no call" % (event,))
+            if stack[-1].proc != event.proc:
+                raise InvalidHistory(
+                    "return %s does not match call %s" % (event, stack[-1]))
+            stack.pop()
+    if require_finite and stack:
+        raise InvalidHistory("finite history is unbalanced: %d open calls"
+                             % len(stack))
+
+
+def execution_of(history: EventSequence, call_event: Event) -> EventSequence:
+    """Exec(c): the balanced interval from c to its return, or the rest of
+    the history if c never returns."""
+    start = history.index_of(call_event)
+    if not call_event.is_call:
+        raise ValueError("Exec is defined on calls")
+    depth_counter = 0
+    for index in range(start, len(history)):
+        event = history[index]
+        if event.is_call:
+            depth_counter += 1
+        else:
+            depth_counter -= 1
+            if depth_counter == 0:
+                return EventSequence(history.events[start:index + 1])
+    return EventSequence(history.events[start:])
+
+
+def call_stack(history: EventSequence, at: Event) -> List[Event]:
+    """Callstack(c): calls c' <= c that do not return before c
+    (Definition 3.3) — equivalently, H_{<=c} with balanced intervals
+    removed."""
+    prefix = history.up_to(at)
+    stack: List[Event] = []
+    for event in prefix:
+        if event.is_call:
+            stack.append(event)
+        else:
+            stack.pop()
+    return stack
+
+
+def depth(history: EventSequence, call_event: Event) -> int:
+    """depth(c) = |Callstack(c)|."""
+    return len(call_stack(history, call_event))
+
+
+def theorem_3_4_decomposition(history: EventSequence, at: Event,
+                              ) -> Tuple[EventSequence, List[EventSequence]]:
+    """The unique form <c0, ..., c> B1...Bn <e> of H_{<=e} (Theorem 3.4).
+
+    ``c`` is the call that returns at ``e`` when ``e`` is a return, and
+    the predecessor of ``e`` in Callstack(e) when ``e`` is a call — in
+    both cases, the deepest call still open just before ``e``.  Returns
+    the contiguous event interval <c0, ..., c> and the balanced intervals
+    B1...Bn between c and e.  For the initial event the interval and
+    blocks are empty.
+    """
+    prefix = history.up_to(at)
+    before = EventSequence(prefix.events[:-1])
+    stack_positions: List[int] = []
+    for index, event in enumerate(before):
+        if event.is_call:
+            stack_positions.append(index)
+        else:
+            stack_positions.pop()
+    if stack_positions:
+        c_index = stack_positions[-1]
+        interval = EventSequence(before.events[:c_index + 1])
+        tail = EventSequence(before.events[c_index + 1:])
+    else:
+        interval = EventSequence()
+        tail = before
+    blocks = balanced_decomposition(tail)
+    return interval, blocks

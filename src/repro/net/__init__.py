@@ -1,0 +1,40 @@
+"""Simulated internetwork substrate.
+
+The paper's experiments ran over a single 10 Mb/s Ethernet carrying UDP
+datagrams (§4.4.1); the protocols assume datagrams "may be lost, delayed,
+duplicated, or garbled" (§2.2) with garbling converted to loss by checksums.
+This package provides that substrate:
+
+- :mod:`repro.net.addresses` — host / process / module addresses (§4.2.1, §4.3)
+- :mod:`repro.net.network` — the wire: loss, duplication, delay, jitter,
+  partitions, and hardware multicast (§2.2, §4.3.5)
+- :mod:`repro.net.udp` — unreliable datagram sockets (the UDP analogue)
+- :mod:`repro.net.tcp` — a reliable byte-stream protocol with a three-way
+  handshake (the TCP analogue used as a baseline in Table 4.1)
+"""
+
+from repro.net.addresses import (
+    BROADCAST_HOST,
+    HostAddress,
+    ModuleAddress,
+    ProcessAddress,
+)
+from repro.net.network import Host, Network, NetworkConfig
+from repro.net.udp import PortInUse, UdpSocket
+from repro.net.tcp import ConnectionClosed, ConnectionRefused, TcpListener, TcpSocket
+
+__all__ = [
+    "BROADCAST_HOST",
+    "ConnectionClosed",
+    "ConnectionRefused",
+    "Host",
+    "HostAddress",
+    "ModuleAddress",
+    "Network",
+    "NetworkConfig",
+    "PortInUse",
+    "ProcessAddress",
+    "TcpListener",
+    "TcpSocket",
+    "UdpSocket",
+]

@@ -1,0 +1,57 @@
+"""Address formats (§4.2.1 and §4.3 of the paper).
+
+- A *host address* identifies a machine (the paper uses a 32-bit internet
+  address; here a string name suffices).
+- A *process address* is a host address plus a 16-bit port number —
+  "the same address format used by the underlying UDP layer".
+- A *module address* refines a process address with a 16-bit module number
+  identifying the module among those exported by the process (§4.3).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+HostAddress = str
+
+#: Destination host meaning "every host on the local network" (broadcast).
+BROADCAST_HOST: HostAddress = "*"
+
+MAX_PORT = 0xFFFF
+MAX_MODULE = 0xFFFF
+
+
+class ProcessAddress(NamedTuple):
+    """host + port: the endpoint of datagram communication."""
+
+    host: HostAddress
+    port: int
+
+    def __str__(self) -> str:
+        return "%s:%d" % (self.host, self.port)
+
+
+class ModuleAddress(NamedTuple):
+    """process address + module number: one exported module instance."""
+
+    process: ProcessAddress
+    module: int
+
+    def __str__(self) -> str:
+        return "%s/m%d" % (self.process, self.module)
+
+    @property
+    def host(self) -> HostAddress:
+        return self.process.host
+
+
+def validate_port(port: int) -> int:
+    if not 0 <= port <= MAX_PORT:
+        raise ValueError("port out of range: %r" % port)
+    return port
+
+
+def validate_module_number(module: int) -> int:
+    if not 0 <= module <= MAX_MODULE:
+        raise ValueError("module number out of range: %r" % module)
+    return module

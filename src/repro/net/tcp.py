@@ -1,0 +1,336 @@
+"""A reliable stream protocol: the TCP analogue used as a Table 4.1 baseline.
+
+The paper compares Circus against Berkeley 4.2BSD TCP (§4.4.1, Figure 4.6):
+the client connects once, then exchanges messages over the established
+stream.  This module implements a compact but real reliable transport on
+top of the unreliable datagram layer:
+
+- three-way handshake (SYN / SYN-ACK / ACK) before any data moves, the very
+  property §4.2 criticizes ("does not even begin to transfer data until the
+  connection has been established by a three-way handshake");
+- message segmentation to the MTU, go-back-N retransmission with cumulative
+  acknowledgments, duplicate suppression, and in-order delivery;
+- connection teardown with FIN.
+
+Each accepted connection is moved to its own ephemeral port on the server,
+so the wire protocol demultiplexes per connection.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional, Tuple
+
+from repro.net.addresses import HostAddress, ProcessAddress
+from repro.net.network import Datagram, Network
+from repro.net.udp import UdpSocket
+from repro.sim.events import Event, Queue
+from repro.sim.kernel import Simulator
+
+# Packet types.
+SYN = 0
+SYN_ACK = 1
+ACK = 2
+DATA = 3
+FIN = 4
+
+_HEADER = struct.Struct("!BIIHH")  # type, seq, ack, msg_id, more(0/1)+pad
+
+RETRANSMIT_INTERVAL = 50.0   # ms
+MAX_RETRIES = 20
+DEFAULT_MSS = 1436           # bytes of data per segment (MTU 1500 - headers)
+
+
+class ConnectionRefused(Exception):
+    """No listener at the destination, or the handshake timed out."""
+
+
+class ConnectionClosed(Exception):
+    """The peer closed the connection (or it was reset)."""
+
+
+def _pack(ptype: int, seq: int, ack: int, msg_id: int = 0,
+          more: int = 0, data: bytes = b"") -> bytes:
+    return _HEADER.pack(ptype, seq, ack, msg_id, more) + data
+
+
+def _unpack(payload: bytes) -> Tuple[int, int, int, int, int, bytes]:
+    ptype, seq, ack, msg_id, more = _HEADER.unpack(payload[:_HEADER.size])
+    return ptype, seq, ack, msg_id, more, payload[_HEADER.size:]
+
+
+class TcpSocket:
+    """One endpoint of an established (or connecting) stream."""
+
+    def __init__(self, network: Network, host: HostAddress,
+                 mss: int = DEFAULT_MSS):
+        self.network = network
+        self.sim: Simulator = network.sim
+        self.mss = mss
+        self._sock = UdpSocket(network, host)
+        self.peer: Optional[ProcessAddress] = None
+        self.established = False
+        self.closed = False
+        # Sender state (go-back-N over segments).
+        self._next_seq = 0            # next sequence number to assign
+        self._unacked: Dict[int, bytes] = {}   # seq -> raw packet
+        self._base_seq = 0            # lowest unacknowledged seq
+        self._retransmit_handle = None
+        self._retries = 0
+        self._send_done: Optional[Event] = None
+        # Receiver state.
+        self._expected_seq = 0
+        self._segments: list = []     # in-order segments of the message being assembled
+        self._messages: Queue = Queue(self.sim, "tcp-in")
+        # The pump starts only once the connection is established, so the
+        # handshake code can consume replies from the raw socket itself.
+        self._pump = None
+
+    def _start_pump(self) -> None:
+        self._pump = self.sim.spawn(self._receive_loop(), name="tcp-pump",
+                                    daemon=True)
+
+    @property
+    def addr(self) -> ProcessAddress:
+        return self._sock.addr
+
+    def __repr__(self) -> str:
+        state = "established" if self.established else "closed" if self.closed else "opening"
+        return "<TcpSocket %s -> %s (%s)>" % (self.addr, self.peer, state)
+
+    # -- connection establishment -------------------------------------
+
+    def connect(self, dst: ProcessAddress):
+        """Generator: perform the three-way handshake with a listener.
+
+        ``yield from sock.connect(addr)``.
+        """
+        if self.established or self.closed:
+            raise RuntimeError("connect on used socket")
+        handshake_seq = self._next_seq
+        fins_seen = set()  # sources whose FIN raced ahead of their SYN-ACK
+        for attempt in range(MAX_RETRIES):
+            self._sock.sendto(_pack(SYN, handshake_seq, 0), dst)
+            reply = yield from self._sock.recv_timeout(RETRANSMIT_INTERVAL)
+            if reply is None:
+                continue
+            ptype, seq, ack, _msg, _more, _data = _unpack(reply.payload)
+            if ptype == SYN_ACK and ack == handshake_seq:
+                # The server moved us to a per-connection port.
+                self.peer = reply.src
+                self.established = True
+                self._next_seq = handshake_seq + 1
+                self._base_seq = self._next_seq
+                self._expected_seq = seq + 1
+                self._sock.sendto(_pack(ACK, self._next_seq, seq), self.peer)
+                self._start_pump()
+                if self.peer in fins_seen:
+                    # The peer accepted and closed immediately; the FIN was
+                    # reordered before the SYN-ACK.  Report EOF, not refusal.
+                    self._reset()
+                return self
+            if ptype == FIN:
+                if reply.src == dst:
+                    raise ConnectionRefused("connection refused by %s" % (dst,))
+                fins_seen.add(reply.src)
+        raise ConnectionRefused("handshake with %s timed out" % (dst,))
+
+    # -- sending --------------------------------------------------------
+
+    def send(self, message: bytes):
+        """Generator: reliably send one message; returns when acknowledged."""
+        self._require_established()
+        if self._unacked:
+            # The Berkeley kernel RPC sockets enforced write-read alternation
+            # (§4.2.4); we enforce one outstanding send per direction.
+            raise RuntimeError("send while a previous send is unacknowledged")
+        segments = [message[i:i + self.mss]
+                    for i in range(0, len(message), self.mss)] or [b""]
+        msg_id = self._next_seq & 0xFFFF
+        seqs = []
+        for index, segment in enumerate(segments):
+            more = 1 if index < len(segments) - 1 else 0
+            seq = self._next_seq
+            self._next_seq += 1
+            raw = _pack(DATA, seq, self._expected_seq, msg_id, more, segment)
+            self._unacked[seq] = raw
+            seqs.append(seq)
+            self._sock.sendto(raw, self.peer)
+        self._arm_retransmit()
+        done = Event(self.sim, "tcp-send-done")
+        self._send_done = done
+        yield done
+        # A close that raced with the final ack only matters if some of our
+        # segments were in fact never acknowledged.
+        if any(seq in self._unacked for seq in seqs):
+            raise ConnectionClosed("connection closed during send")
+
+    def _arm_retransmit(self) -> None:
+        if self._retransmit_handle is not None:
+            self._retransmit_handle.cancel()
+        self._retransmit_handle = self.sim.schedule(
+            RETRANSMIT_INTERVAL, self._retransmit)
+
+    def _retransmit(self) -> None:
+        self._retransmit_handle = None
+        if not self._unacked or self.closed:
+            return
+        self._retries += 1
+        if self._retries > MAX_RETRIES:
+            self._reset()
+            return
+        # Go-back-N: resend everything outstanding, lowest seq first.
+        for seq in sorted(self._unacked):
+            self._sock.sendto(self._unacked[seq], self.peer)
+        self._arm_retransmit()
+
+    def _handle_ack(self, ack: int) -> None:
+        acked = [seq for seq in self._unacked if seq <= ack]
+        for seq in acked:
+            del self._unacked[seq]
+        if acked:
+            self._retries = 0
+        if not self._unacked:
+            if self._retransmit_handle is not None:
+                self._retransmit_handle.cancel()
+                self._retransmit_handle = None
+            if self._send_done is not None and not self._send_done.fired:
+                self._send_done.fire()
+                self._send_done = None
+
+    # -- receiving ------------------------------------------------------
+
+    def recv(self):
+        """Waitable: resumes with the next complete message (bytes).
+
+        Raises :class:`ConnectionClosed` via the queued marker when the
+        peer closes — callers use :func:`receive` for that translation.
+        """
+        return self._messages.get()
+
+    def receive(self):
+        """Generator: the next message, raising ConnectionClosed on EOF."""
+        message = yield self._messages.get()
+        if message is _EOF:
+            raise ConnectionClosed("peer closed the connection")
+        return message
+
+    def _receive_loop(self):
+        while not self.closed:
+            datagram = yield self._sock.recv()
+            if not isinstance(datagram, Datagram):
+                return  # socket closed underneath us
+            self._handle_packet(datagram)
+
+    def _handle_packet(self, datagram: Datagram) -> None:
+        ptype, seq, ack, _msg_id, more, data = _unpack(datagram.payload)
+        if ptype == ACK:
+            self._handle_ack(ack)
+            return
+        if ptype == FIN:
+            # The FIN carries the peer's cumulative ack; honour it first so
+            # a send whose data did arrive is not reported as failed.
+            self._handle_ack(ack)
+            self._sock.sendto(_pack(ACK, self._next_seq, seq), datagram.src)
+            self._reset()
+            return
+        if ptype == DATA:
+            self._handle_ack(ack)  # piggybacked acknowledgment
+            if seq == self._expected_seq:
+                self._expected_seq += 1
+                self._segments.append(data)
+                if not more:
+                    self._messages.put(b"".join(self._segments))
+                    self._segments = []
+            # Cumulative ack for the last in-order segment (duplicates and
+            # out-of-order segments are dropped, as go-back-N does).
+            self._sock.sendto(
+                _pack(ACK, self._next_seq, self._expected_seq - 1),
+                datagram.src)
+
+    # -- teardown --------------------------------------------------------
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        if self.established and self.peer is not None:
+            self._sock.sendto(
+                _pack(FIN, self._next_seq, self._expected_seq - 1), self.peer)
+        self._reset()
+
+    def _reset(self) -> None:
+        self.closed = True
+        self.established = False
+        if self._retransmit_handle is not None:
+            self._retransmit_handle.cancel()
+            self._retransmit_handle = None
+        if self._send_done is not None and not self._send_done.fired:
+            self._send_done.fire()
+            self._send_done = None
+        if not self._messages.closed:
+            self._messages.put(_EOF)
+        if self._pump is not None:
+            self._pump.kill()
+        self._sock.close()
+
+    def _require_established(self) -> None:
+        if self.closed:
+            raise ConnectionClosed("socket is closed")
+        if not self.established:
+            raise RuntimeError("socket is not connected")
+
+
+class _EofMarker:
+    def __repr__(self) -> str:
+        return "<tcp eof>"
+
+
+_EOF = _EofMarker()
+
+
+class TcpListener:
+    """A passive socket accepting stream connections on a well-known port."""
+
+    def __init__(self, network: Network, host: HostAddress, port: int):
+        self.network = network
+        self.sim = network.sim
+        self.host = host
+        self._sock = UdpSocket(network, host, port)
+        self._accepted: Queue = Queue(self.sim, "tcp-accept")
+        self.closed = False
+        self._pump = self.sim.spawn(self._listen_loop(), name="tcp-listen",
+                                    daemon=True)
+
+    @property
+    def addr(self) -> ProcessAddress:
+        return self._sock.addr
+
+    def accept(self):
+        """Waitable: resumes with an established :class:`TcpSocket`."""
+        return self._accepted.get()
+
+    def _listen_loop(self):
+        while not self.closed:
+            datagram = yield self._sock.recv()
+            ptype, seq, _ack, _msg, _more, _data = _unpack(datagram.payload)
+            if ptype != SYN:
+                continue
+            conn = TcpSocket(self.network, self.host)
+            conn.peer = datagram.src
+            conn.established = True
+            conn._expected_seq = seq + 1
+            server_seq = conn._next_seq
+            conn._next_seq = server_seq + 1
+            conn._base_seq = conn._next_seq
+            # SYN-ACK from the per-connection port; retransmitted SYNs for
+            # the same client create duplicate connections only if the
+            # SYN-ACK is lost, in which case the dead twin is GC'd by FIN.
+            conn._sock.sendto(_pack(SYN_ACK, server_seq, seq), datagram.src)
+            conn._start_pump()
+            self._accepted.put(conn)
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._pump.kill()
+            self._sock.close()

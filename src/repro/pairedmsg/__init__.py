@@ -1,0 +1,49 @@
+"""The Circus paired message protocol (§4.2 of the paper).
+
+A paired message protocol is "a distillation of the communication
+requirements of conventional remote procedure call protocols": reliably
+delivered, variable-length, paired messages (call and return), with call
+numbers that uniquely identify each pair among all those exchanged by a
+given pair of processes.
+
+The layer is connectionless — a client merely sends a call message — and
+handles segmentation, retransmission, explicit and implicit
+acknowledgments, duplicate-call suppression, and crash detection by
+probing.  Message contents are uninterpreted bytes, so several RPC systems
+with different representations can share it (§4.2), as the replicated
+procedure call layer in :mod:`repro.core` does.
+"""
+
+from repro.pairedmsg.segments import (
+    MSG_CALL,
+    MSG_PROBE,
+    MSG_PROBE_REPLY,
+    MSG_RETURN,
+    MessageTooLarge,
+    Segment,
+    SegmentFormatError,
+    split_message,
+)
+from repro.pairedmsg.endpoint import (
+    CompletedMessage,
+    PairedEndpoint,
+    PairedMessageConfig,
+    PeerCrashed,
+    SendTimeout,
+)
+
+__all__ = [
+    "CompletedMessage",
+    "MSG_CALL",
+    "MSG_PROBE",
+    "MSG_PROBE_REPLY",
+    "MSG_RETURN",
+    "MessageTooLarge",
+    "PairedEndpoint",
+    "PairedMessageConfig",
+    "PeerCrashed",
+    "Segment",
+    "SegmentFormatError",
+    "SendTimeout",
+    "split_message",
+]

@@ -1,0 +1,606 @@
+"""The paired message endpoint: send/receive protocol state machines (§4.2).
+
+One :class:`PairedEndpoint` lives inside an OS process and multiplexes
+paired-message exchanges with any number of peers over a single datagram
+socket.  The protocol follows §4.2.2–§4.2.4 of the paper:
+
+*Sending*: a message is divided into numbered segments, all transmitted
+initially with no control bits; the sender then periodically retransmits
+the first unacknowledged segment with *please ack* set, while removing
+acknowledged segments from its queue.
+
+*Receiving*: the receiver tracks the highest consecutively received
+segment number (the acknowledgment number); on *please ack* it sends an
+explicit acknowledgment; an out-of-order arrival triggers an immediate
+acknowledgment so the sender retransmits the first lost segment.
+
+*Implicit acknowledgments*: a return segment acknowledges the call with
+the same call number; a call segment acknowledges any earlier return.
+
+*Postponed acks*: when a segment completes a call message, the explicit
+acknowledgment is postponed once in the hope that the return message will
+serve as the implicit acknowledgment (§4.2.4).
+
+*Crash detection*: while waiting for a return, the client probes the
+server with a special control segment; silence beyond a timeout raises
+:class:`PeerCrashed` (§4.2.3).
+
+Every packet transmission and reception goes through the owning process's
+syscall wrappers, so the Table 4.3 execution profile falls out of running
+this code.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.host.process import OsProcess
+from repro.net.addresses import ProcessAddress
+from repro.pairedmsg import segments as seg
+from repro.pairedmsg.segments import (
+    MSG_CALL,
+    MSG_PROBE,
+    MSG_PROBE_REPLY,
+    MSG_RETURN,
+    Segment,
+    SegmentFormatError,
+)
+from repro.sim.events import Condition, Event, Queue
+from repro.sim.kernel import AnyOf, Sleep
+
+
+@dataclasses.dataclass
+class PairedMessageConfig:
+    """Protocol tunables (milliseconds)."""
+
+    max_segment_data: int = 1024
+    retransmit_interval: float = 40.0
+    max_retries: int = 10
+    #: False (default): the Circus scheme — send all segments, retransmit
+    #: the first unacknowledged one periodically (§4.2.2).  True: the
+    #: Xerox PARC scheme — "an explicit acknowledgment of every segment
+    #: but the last", one segment in flight at a time (§4.2.5); half the
+    #: buffering, twice the packets.
+    stop_and_wait: bool = False
+    #: §4.2.4: "the retransmission strategy can be changed to retransmit
+    #: all the remaining unacknowledged segments rather than just the
+    #: first, depending on the reliability characteristics of the
+    #: network."  True trades extra packets for fewer retransmission
+    #: rounds on very lossy links.
+    retransmit_all: bool = False
+    probe_interval: float = 150.0   # silence before probing a peer
+    crash_timeout: float = 800.0    # silence before declaring a crash
+    delivered_memory: int = 128     # completed call numbers kept per peer
+    #: user-mode CPU charged per message sent / received (protocol
+    #: processing outside the kernel: header construction, queue
+    #: management).  Calibrated so Circus(n=1) lands near Table 4.1.
+    user_cost_send: float = 2.0
+    user_cost_receive: float = 3.5
+
+
+@dataclasses.dataclass
+class CompletedMessage:
+    """A fully reassembled incoming message, handed to the layer above."""
+
+    peer: ProcessAddress
+    msg_type: int
+    call_number: int
+    data: bytes
+
+
+class PeerCrashed(Exception):
+    """The peer stopped answering probes (crash or partition, §4.3.5)."""
+
+    def __init__(self, peer: ProcessAddress):
+        super().__init__("peer %s presumed crashed" % (peer,))
+        self.peer = peer
+
+
+class SendTimeout(Exception):
+    """A message was retransmitted max_retries times with no acknowledgment."""
+
+    def __init__(self, peer: ProcessAddress, call_number: int):
+        super().__init__("send to %s (call %d) timed out" % (peer, call_number))
+        self.peer = peer
+        self.call_number = call_number
+
+
+class _OutgoingTransfer:
+    """Sender-side state for one message (§4.2.2's queue of unacked segments)."""
+
+    def __init__(self, endpoint: "PairedEndpoint", peer: ProcessAddress,
+                 msg_type: int, call_number: int, segs: List[Segment]):
+        self.endpoint = endpoint
+        self.peer = peer
+        self.msg_type = msg_type
+        self.call_number = call_number
+        self.segments = segs
+        self.unacked: Dict[int, Segment] = {s.segment_number: s for s in segs}
+        self.done = Event(endpoint.sim, "xfer-done")
+        self.retries = 0
+        #: signalled whenever the acknowledged prefix advances (used by
+        #: the stop-and-wait sender).
+        self.progress = Condition(endpoint.sim, "xfer-progress")
+
+    @property
+    def key(self) -> Tuple[ProcessAddress, int, int]:
+        return (self.peer, self.msg_type, self.call_number)
+
+    def first_unacked(self) -> Optional[Segment]:
+        if not self.unacked:
+            return None
+        return self.unacked[min(self.unacked)]
+
+    def ack_through(self, ack_number: int) -> None:
+        """Explicit cumulative acknowledgment: segments <= n received."""
+        acked = [n for n in self.unacked if n <= ack_number]
+        for n in acked:
+            del self.unacked[n]
+        if acked:
+            self.retries = 0
+            self.progress.signal(ack_number)
+        if not self.unacked:
+            self.complete()
+
+    def complete(self) -> None:
+        self.unacked = {}
+        if not self.done.fired:
+            self.done.fire("acked")
+
+    def fail(self) -> None:
+        if not self.done.fired:
+            self.done.fire("timeout")
+
+
+class _IncomingAssembly:
+    """Receiver-side state for one message: segment queue + ack number."""
+
+    def __init__(self, peer: ProcessAddress, msg_type: int,
+                 call_number: int, total: int):
+        self.peer = peer
+        self.msg_type = msg_type
+        self.call_number = call_number
+        self.total = total
+        self.received: Dict[int, bytes] = {}
+        self.ack_number = 0   # highest consecutive segment number received
+
+    def add(self, segment: Segment) -> bool:
+        """Insert a data segment; returns True if it was new."""
+        if segment.segment_number in self.received:
+            return False
+        self.received[segment.segment_number] = segment.data
+        while (self.ack_number + 1) in self.received:
+            self.ack_number += 1
+        return True
+
+    @property
+    def complete(self) -> bool:
+        return self.ack_number == self.total
+
+    def assemble(self) -> bytes:
+        return b"".join(self.received[n] for n in range(1, self.total + 1))
+
+
+class PairedEndpoint:
+    """A connectionless paired-message protocol instance in one process."""
+
+    def __init__(self, process: OsProcess, port: Optional[int] = None,
+                 config: Optional[PairedMessageConfig] = None):
+        self.process = process
+        self.sim = process.sim
+        self.config = config or PairedMessageConfig()
+        self.sock = process.udp_socket(port)
+        #: completed incoming call messages, for the RPC layer.
+        self.incoming_calls: Queue = Queue(self.sim, "incoming-calls")
+        self._sends: Dict[Tuple[ProcessAddress, int, int], _OutgoingTransfer] = {}
+        self._assemblies: Dict[Tuple[ProcessAddress, int, int], _IncomingAssembly] = {}
+        self._delivered_calls: Dict[ProcessAddress, "collections.OrderedDict"] = {}
+        self._delivered_returns: Dict[ProcessAddress, "collections.OrderedDict"] = {}
+        self._completed_returns: Dict[Tuple[ProcessAddress, int], bytes] = {}
+        self._return_waiters: Dict[Tuple[ProcessAddress, int], Event] = {}
+        self._discarded_returns: set = set()
+        self._last_heard: Dict[ProcessAddress, float] = {}
+        self._pending_control: List[Tuple[Segment, ProcessAddress]] = []
+        self.closed = False
+        self._receiver = process.spawn(self._receive_loop(), name="pm-recv",
+                                       daemon=True)
+
+    @property
+    def addr(self) -> ProcessAddress:
+        return self.sock.addr
+
+    def __repr__(self) -> str:
+        return "<PairedEndpoint %s>" % (self.addr,)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send_message(self, peer: ProcessAddress, msg_type: int,
+                     call_number: int, data: bytes):
+        """Generator: begin transmitting a message; returns the transfer.
+
+        The transfer's ``done`` event fires with ``"acked"`` when every
+        segment has been (explicitly or implicitly) acknowledged, or
+        ``"timeout"`` after max_retries unanswered retransmissions.
+        """
+        self._require_open()
+        key = (peer, msg_type, call_number)
+        if key in self._sends:
+            raise RuntimeError("duplicate send: %r" % (key,))
+        segs = seg.split_message(msg_type, call_number, data,
+                                 self.config.max_segment_data)
+        transfer = _OutgoingTransfer(self, peer, msg_type, call_number, segs)
+        self._sends[key] = transfer
+        # Protocol processing in user mode, then a timestamp and the
+        # retransmission timer (the setitimer traffic of Table 4.3).
+        yield from self.process.compute(self.config.user_cost_send)
+        yield from self.process.syscall("setitimer")
+        if self.config.stop_and_wait and len(segs) > 1:
+            yield from self._send_stop_and_wait(transfer)
+        else:
+            for segment in segs:
+                yield from self.process.sendmsg(self.sock, segment.encode(),
+                                                peer)
+        yield from self.process.syscall("gettimeofday")
+        self.process.spawn(self._retransmit_loop(transfer),
+                           name="pm-rexmit-%d" % call_number, daemon=True)
+        return transfer
+
+    def _send_stop_and_wait(self, transfer: _OutgoingTransfer):
+        """The PARC scheme (§4.2.5): every segment but the last requests
+        an explicit acknowledgment and waits for it before the next is
+        sent — one segment's worth of buffering, twice the segments."""
+        config = self.config
+        for segment in transfer.segments[:-1]:
+            marked = dataclasses.replace(segment, please_ack=True)
+            retries = 0
+            while segment.segment_number in transfer.unacked:
+                yield from self.process.sendmsg(self.sock, marked.encode(),
+                                                transfer.peer)
+                index, _ = yield AnyOf(transfer.progress, transfer.done,
+                                       Sleep(config.retransmit_interval))
+                if index == 1:
+                    return
+                if index == 2:
+                    retries += 1
+                    if retries > config.max_retries:
+                        transfer.fail()
+                        return
+        last = transfer.segments[-1]
+        yield from self.process.sendmsg(self.sock, last.encode(),
+                                        transfer.peer)
+
+    def send_message_multicast(self, peers, msg_type: int, call_number: int,
+                               data: bytes):
+        """Generator: transmit one message to several peers with hardware
+        multicast — one sendmsg per segment instead of one per peer per
+        segment (§4.3.3).  Retransmission remains point-to-point.
+
+        Returns the list of per-peer transfers.
+        """
+        self._require_open()
+        peers = list(peers)
+        segs = seg.split_message(msg_type, call_number, data,
+                                 self.config.max_segment_data)
+        transfers = []
+        for peer in peers:
+            key = (peer, msg_type, call_number)
+            if key in self._sends:
+                raise RuntimeError("duplicate send: %r" % (key,))
+            transfer = _OutgoingTransfer(self, peer, msg_type, call_number,
+                                         list(segs))
+            self._sends[key] = transfer
+            transfers.append(transfer)
+        yield from self.process.compute(self.config.user_cost_send)
+        yield from self.process.syscall("setitimer")
+        for segment in segs:
+            yield from self.process.sendmsg_multicast(
+                self.sock, segment.encode(), peers)
+        yield from self.process.syscall("gettimeofday")
+        for transfer in transfers:
+            self.process.spawn(self._retransmit_loop(transfer),
+                               name="pm-rexmit-%d" % call_number, daemon=True)
+        return transfers
+
+    def forget_return(self, peer: ProcessAddress, call_number: int) -> None:
+        """Discard a return message nobody will wait for (a first-come
+        collator decided early, §4.3.4): drop it if already complete and
+        mark it so a late completion is dropped on arrival."""
+        key = (peer, call_number)
+        if self._completed_returns.pop(key, None) is not None:
+            return
+        waiter = self._return_waiters.pop(key, None)
+        self._discarded_returns.add(key)
+
+    def send_call(self, peer: ProcessAddress, call_number: int, data: bytes):
+        return (yield from self.send_message(peer, MSG_CALL, call_number, data))
+
+    def send_return(self, peer: ProcessAddress, call_number: int, data: bytes):
+        return (yield from self.send_message(peer, MSG_RETURN, call_number, data))
+
+    def _retransmit_loop(self, transfer: _OutgoingTransfer):
+        config = self.config
+        while not transfer.done.fired:
+            index, _ = yield AnyOf(transfer.done, Sleep(config.retransmit_interval))
+            if index == 0:
+                break
+            first = transfer.first_unacked()
+            if first is None:
+                transfer.complete()
+                break
+            transfer.retries += 1
+            if transfer.retries > config.max_retries:
+                transfer.fail()
+                break
+            if config.retransmit_all:
+                outstanding = [transfer.unacked[n]
+                               for n in sorted(transfer.unacked)]
+            else:
+                outstanding = [first]
+            yield from self.process.sigblock()
+            for segment in outstanding:
+                retry = dataclasses.replace(segment, please_ack=True)
+                yield from self.process.sendmsg(self.sock, retry.encode(),
+                                                transfer.peer)
+            yield from self.process.sigsetmask()
+        # Cancelling the retransmission timer is one more setitimer.
+        yield from self.process.syscall("setitimer")
+        self._sends.pop(transfer.key, None)
+
+    # ------------------------------------------------------------------
+    # Waiting for a return message (client side)
+    # ------------------------------------------------------------------
+
+    def wait_return(self, peer: ProcessAddress, call_number: int):
+        """Generator: the return message for a call, with crash detection.
+
+        Probes the peer during long silences (§4.2.3); raises
+        :class:`PeerCrashed` when the silence exceeds the crash timeout.
+        """
+        self._require_open()
+        config = self.config
+        key = (peer, call_number)
+        started = self.sim.now
+        self._last_heard.setdefault(peer, started)
+        while True:
+            if key in self._completed_returns:
+                data = self._completed_returns.pop(key)
+                self._return_waiters.pop(key, None)
+                yield from self.process.compute(config.user_cost_receive)
+                yield from self.process.syscall("gettimeofday")
+                return data
+            waiter = self._return_waiters.get(key)
+            if waiter is None or waiter.fired:
+                waiter = Event(self.sim, "return-%s-%d" % (peer, call_number))
+                self._return_waiters[key] = waiter
+            index, _ = yield AnyOf(waiter, Sleep(config.probe_interval))
+            if index == 0:
+                continue  # loop re-checks _completed_returns
+            silence = self.sim.now - self._last_heard.get(peer, started)
+            if silence >= config.crash_timeout:
+                self._return_waiters.pop(key, None)
+                raise PeerCrashed(peer)
+            if silence >= config.probe_interval:
+                probe = seg.make_probe(call_number)
+                yield from self.process.sendmsg(self.sock, probe.encode(), peer)
+
+    def call(self, peer: ProcessAddress, call_number: int, data: bytes):
+        """Generator: a complete one-to-one exchange (send call, await return).
+
+        This is the conventional-RPC degenerate case the Table 4.1 tests
+        exercise with a troupe of one.
+        """
+        yield from self.send_call(peer, call_number, data)
+        return (yield from self.wait_return(peer, call_number))
+
+    # ------------------------------------------------------------------
+    # Receiving (server side surface)
+    # ------------------------------------------------------------------
+
+    def ping(self, peer: ProcessAddress, timeout: float = 500.0):
+        """Generator: an "are you there?" probe (§6.1's null call used by
+        the binding agent's garbage collector).  Returns True if the peer
+        answered within the timeout."""
+        self._require_open()
+        sent_at = self.sim.now
+        probe = seg.make_probe(0)
+        yield from self.process.sendmsg(self.sock, probe.encode(), peer)
+        deadline = sent_at + timeout
+        while self.sim.now < deadline:
+            remaining = deadline - self.sim.now
+            step = min(remaining, 20.0)
+            yield Sleep(step)
+            heard = self._last_heard.get(peer)
+            if heard is not None and heard >= sent_at:
+                return True
+        return False
+
+    def next_call(self):
+        """Generator: the next completed incoming call message."""
+        self._require_open()
+        message = yield self.incoming_calls.get()
+        yield from self.process.compute(self.config.user_cost_receive)
+        return message
+
+    # ------------------------------------------------------------------
+    # The receive loop
+    # ------------------------------------------------------------------
+
+    def _receive_loop(self):
+        while not self.closed and self.process.alive:
+            yield from self.process.select([self.sock])
+            datagram = yield from self.process.recvmsg(self.sock)
+            yield from self.process.sigblock()
+            try:
+                segment = seg.decode(datagram.payload)
+            except SegmentFormatError:
+                segment = None  # garbled: checksum already made it "lost"
+            if segment is not None:
+                self._handle_segment(datagram.src, segment)
+            yield from self.process.sigsetmask()
+            # Flush control traffic (acks, probe replies) generated above.
+            while self._pending_control:
+                control, dst = self._pending_control.pop(0)
+                yield from self.process.sendmsg(self.sock, control.encode(), dst)
+
+    def _handle_segment(self, src: ProcessAddress, segment: Segment) -> None:
+        self._last_heard[src] = self.sim.now
+        if segment.msg_type == MSG_PROBE:
+            self._queue_control(seg.make_probe_reply(segment.call_number), src)
+            return
+        if segment.msg_type == MSG_PROBE_REPLY:
+            return  # its only effect is updating _last_heard
+        if segment.ack:
+            self._handle_explicit_ack(src, segment)
+            return
+        self._handle_data_segment(src, segment)
+
+    def _handle_explicit_ack(self, src: ProcessAddress, segment: Segment) -> None:
+        transfer = self._sends.get((src, segment.msg_type, segment.call_number))
+        if transfer is not None:
+            transfer.ack_through(segment.segment_number)
+
+    def _handle_data_segment(self, src: ProcessAddress, segment: Segment) -> None:
+        # Implicit acknowledgments (§4.2.2).
+        if segment.msg_type == MSG_RETURN:
+            call_xfer = self._sends.get((src, MSG_CALL, segment.call_number))
+            if call_xfer is not None:
+                call_xfer.complete()
+        elif segment.msg_type == MSG_CALL:
+            for key, transfer in list(self._sends.items()):
+                if (key[0] == src and key[1] == MSG_RETURN
+                        and key[2] < segment.call_number):
+                    transfer.complete()
+
+        # Duplicate suppression for messages already delivered upward.
+        if self._already_delivered(src, segment):
+            self._queue_control(
+                seg.make_ack(segment.msg_type, segment.call_number,
+                             segment.total_segments, segment.total_segments),
+                src)
+            return
+
+        key = (src, segment.msg_type, segment.call_number)
+        assembly = self._assemblies.get(key)
+        if assembly is None:
+            assembly = _IncomingAssembly(src, segment.msg_type,
+                                         segment.call_number,
+                                         segment.total_segments)
+            self._assemblies[key] = assembly
+        out_of_order = segment.segment_number > assembly.ack_number + 1
+        assembly.add(segment)
+
+        if assembly.complete:
+            del self._assemblies[key]
+            self._deliver(assembly, requested_ack=segment.please_ack)
+            return
+
+        if out_of_order:
+            # §4.2.4: a gap was revealed; ack immediately so the sender
+            # retransmits the first lost segment rather than an earlier one.
+            self._queue_control(
+                seg.make_ack(segment.msg_type, segment.call_number,
+                             segment.total_segments, assembly.ack_number),
+                src)
+        elif segment.please_ack:
+            self._queue_control(
+                seg.make_ack(segment.msg_type, segment.call_number,
+                             segment.total_segments, assembly.ack_number),
+                src)
+
+    def _deliver(self, assembly: _IncomingAssembly, requested_ack: bool) -> None:
+        src = assembly.peer
+        key = (src, assembly.msg_type, assembly.call_number)
+        if assembly.msg_type == MSG_CALL:
+            self._remember_delivery(self._delivered_calls, src,
+                                    assembly.call_number)
+            # §4.2.4: the ack of a just-completed call is postponed even if
+            # please_ack was set, hoping the return message arrives soon
+            # enough to serve as the implicit acknowledgment.  Subsequent
+            # retransmissions hit the duplicate path and are acked promptly.
+            self.incoming_calls.put(CompletedMessage(
+                src, MSG_CALL, assembly.call_number, assembly.assemble()))
+        else:
+            self._remember_delivery(self._delivered_returns, src,
+                                    assembly.call_number)
+            if requested_ack:
+                # A return completed by a retransmission: ack promptly so
+                # the server stops retransmitting.
+                self._queue_control(
+                    seg.make_ack(MSG_RETURN, assembly.call_number,
+                                 assembly.total, assembly.total), src)
+            key = (src, assembly.call_number)
+            if key in self._discarded_returns:
+                self._discarded_returns.discard(key)
+                return
+            self._completed_returns[key] = assembly.assemble()
+            waiter = self._return_waiters.get((src, assembly.call_number))
+            if waiter is not None and not waiter.fired:
+                waiter.fire()
+
+    def _already_delivered(self, src: ProcessAddress, segment: Segment) -> bool:
+        if segment.msg_type == MSG_CALL:
+            table = self._delivered_calls
+        else:
+            table = self._delivered_returns
+        return segment.call_number in table.get(src, ())
+
+    def _remember_delivery(self, table, src: ProcessAddress,
+                           call_number: int) -> None:
+        """Remember a delivered call number long enough to suppress replays
+        of delayed duplicates (§4.2.4), bounded in size."""
+        per_peer = table.setdefault(src, collections.OrderedDict())
+        per_peer[call_number] = self.sim.now
+        while len(per_peer) > self.config.delivered_memory:
+            per_peer.popitem(last=False)
+
+    def _queue_control(self, segment: Segment, dst: ProcessAddress) -> None:
+        self._pending_control.append((segment, dst))
+
+    # ------------------------------------------------------------------
+
+    def last_heard_from(self, peer: ProcessAddress) -> Optional[float]:
+        return self._last_heard.get(peer)
+
+    def stats(self) -> dict:
+        """Protocol state occupancy — the §4.2.4 bookkeeping a
+        connectionless endpoint must bound."""
+        return {
+            "outgoing_transfers": len(self._sends),
+            "incoming_assemblies": len(self._assemblies),
+            "buffered_returns": len(self._completed_returns),
+            "peers_heard": len(self._last_heard),
+            "delivered_call_memory": sum(
+                len(v) for v in self._delivered_calls.values()),
+        }
+
+    def sweep_idle(self, max_age: float) -> int:
+        """Discard state for peers silent longer than ``max_age`` ms
+        (§4.2.4: exchange state "may be discarded once sufficient time
+        has passed to guarantee that no delayed segments ... can
+        arrive").  Returns the number of peers swept."""
+        now = self.sim.now
+        stale = [peer for peer, heard in self._last_heard.items()
+                 if now - heard > max_age]
+        for peer in stale:
+            del self._last_heard[peer]
+            self._delivered_calls.pop(peer, None)
+            self._delivered_returns.pop(peer, None)
+            for key in [k for k in self._completed_returns if k[0] == peer]:
+                del self._completed_returns[key]
+            for key in [k for k in self._assemblies if k[0] == peer]:
+                del self._assemblies[key]
+        return len(stale)
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._receiver.kill()
+            self.sock.close()
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise RuntimeError("endpoint %s is closed" % (self.addr,))

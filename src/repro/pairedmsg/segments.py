@@ -1,0 +1,146 @@
+"""Segment format (Figure 4.2 of the paper).
+
+A segment is a UDP datagram with an 8-byte header:
+
+    byte 0   message type: 0 = call, 1 = return (2/3 = probe/probe reply,
+             the "special control segment" of §4.2.3)
+    byte 1   control bits: bit 0 = please ack, bit 1 = ack
+    byte 2   total segments in the message (1..255)
+    byte 3   segment number (data: 1..total; ack: cumulative ack number 0..total)
+    bytes 4-7  call number, 32-bit unsigned, most significant byte first
+
+A *data segment* carries a portion of the message after the header; a
+*control segment* is header-only and carries or requests acknowledgment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import List
+
+MSG_CALL = 0
+MSG_RETURN = 1
+MSG_PROBE = 2
+MSG_PROBE_REPLY = 3
+
+_MESSAGE_TYPES = (MSG_CALL, MSG_RETURN, MSG_PROBE, MSG_PROBE_REPLY)
+
+PLEASE_ACK = 0x01
+ACK = 0x02
+
+_HEADER = struct.Struct("!BBBBI")
+HEADER_SIZE = _HEADER.size
+
+MAX_SEGMENTS = 255
+MAX_CALL_NUMBER = 0xFFFFFFFF
+
+
+class SegmentFormatError(Exception):
+    """A datagram could not be parsed as a protocol segment."""
+
+
+class MessageTooLarge(Exception):
+    """The message needs more than 255 segments (§4.2.1's byte-wide field)."""
+
+
+@dataclasses.dataclass
+class Segment:
+    """One protocol segment, decoded."""
+
+    msg_type: int
+    please_ack: bool
+    ack: bool
+    total_segments: int
+    segment_number: int
+    call_number: int
+    data: bytes = b""
+
+    def encode(self) -> bytes:
+        control = (PLEASE_ACK if self.please_ack else 0) | (ACK if self.ack else 0)
+        header = _HEADER.pack(self.msg_type, control, self.total_segments,
+                              self.segment_number, self.call_number)
+        return header + self.data
+
+    @property
+    def is_control(self) -> bool:
+        return not self.data and (self.ack or self.msg_type in
+                                  (MSG_PROBE, MSG_PROBE_REPLY))
+
+    def __repr__(self) -> str:
+        kind = {MSG_CALL: "call", MSG_RETURN: "return",
+                MSG_PROBE: "probe", MSG_PROBE_REPLY: "probe-reply"}[self.msg_type]
+        flags = ""
+        if self.please_ack:
+            flags += "+please_ack"
+        if self.ack:
+            flags += "+ack"
+        return "<Segment %s#%d %d/%d%s (%d bytes)>" % (
+            kind, self.call_number, self.segment_number,
+            self.total_segments, flags, len(self.data))
+
+
+def decode(payload: bytes) -> Segment:
+    """Parse a datagram into a :class:`Segment`."""
+    if len(payload) < HEADER_SIZE:
+        raise SegmentFormatError("short datagram: %d bytes" % len(payload))
+    msg_type, control, total, number, call_number = _HEADER.unpack(
+        payload[:HEADER_SIZE])
+    if msg_type not in _MESSAGE_TYPES:
+        raise SegmentFormatError("bad message type: %d" % msg_type)
+    if control & ~(PLEASE_ACK | ACK):
+        raise SegmentFormatError("unknown control bits: %#x" % control)
+    return Segment(
+        msg_type=msg_type,
+        please_ack=bool(control & PLEASE_ACK),
+        ack=bool(control & ACK),
+        total_segments=total,
+        segment_number=number,
+        call_number=call_number,
+        data=payload[HEADER_SIZE:],
+    )
+
+
+def split_message(msg_type: int, call_number: int, data: bytes,
+                  max_data: int) -> List[Segment]:
+    """Divide a message into numbered segments (§4.2.2).
+
+    Segment numbers start at 1; every segment of the message carries the
+    same type, total count, and call number.
+    """
+    if max_data < 1:
+        raise ValueError("max_data must be at least 1")
+    if not 0 <= call_number <= MAX_CALL_NUMBER:
+        raise ValueError("call number out of range: %r" % call_number)
+    chunks = [data[i:i + max_data] for i in range(0, len(data), max_data)] or [b""]
+    if len(chunks) > MAX_SEGMENTS:
+        raise MessageTooLarge(
+            "%d bytes needs %d segments (max %d)" % (
+                len(data), len(chunks), MAX_SEGMENTS))
+    return [
+        Segment(msg_type=msg_type, please_ack=False, ack=False,
+                total_segments=len(chunks), segment_number=index + 1,
+                call_number=call_number, data=chunk)
+        for index, chunk in enumerate(chunks)
+    ]
+
+
+def make_ack(msg_type: int, call_number: int, total_segments: int,
+             ack_number: int) -> Segment:
+    """An explicit acknowledgment: all segments <= ack_number received."""
+    return Segment(msg_type=msg_type, please_ack=False, ack=True,
+                   total_segments=total_segments, segment_number=ack_number,
+                   call_number=call_number)
+
+
+def make_probe(call_number: int) -> Segment:
+    """The §4.2.3 crash-detection probe ("are you there?")."""
+    return Segment(msg_type=MSG_PROBE, please_ack=True, ack=False,
+                   total_segments=1, segment_number=1,
+                   call_number=call_number)
+
+
+def make_probe_reply(call_number: int) -> Segment:
+    return Segment(msg_type=MSG_PROBE_REPLY, please_ack=False, ack=True,
+                   total_segments=1, segment_number=1,
+                   call_number=call_number)

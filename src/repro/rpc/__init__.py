@@ -1,0 +1,38 @@
+"""The RPC runtime layer: call/return message contents and thread identity.
+
+The paired message layer treats message contents as uninterpreted bytes
+(§4.2); this package defines what Circus puts inside them (§4.3):
+
+- a call message header carrying the caller's *thread ID* (for the §3.4.1
+  propagation algorithm), the *client troupe ID* and *destination troupe
+  ID* (incarnation numbers, §6.2), and the module and procedure numbers;
+- a return message header distinguishing normal from error results;
+- the export table a server process uses to dispatch incoming calls.
+"""
+
+from repro.rpc.messages import (
+    CallHeader,
+    RemoteError,
+    ReturnHeader,
+    decode_call,
+    decode_return,
+    encode_call,
+    encode_error,
+    encode_return,
+    raise_if_error,
+)
+from repro.rpc.threads import ThreadId, ThreadContext
+
+__all__ = [
+    "CallHeader",
+    "RemoteError",
+    "ReturnHeader",
+    "ThreadContext",
+    "ThreadId",
+    "decode_call",
+    "decode_return",
+    "encode_call",
+    "encode_error",
+    "encode_return",
+    "raise_if_error",
+]

@@ -1,0 +1,94 @@
+"""Call and return message contents (§4.3).
+
+A call message consists of a header containing the thread ID of the
+caller, the client and destination troupe IDs (used as incarnation
+numbers, §6.2), the module number and procedure number, followed by the
+externalized parameters.  A return message consists of a 16-bit header
+distinguishing normal from error results, followed by the externalized
+results (or the externalized error).  The parameter bytes themselves are
+produced by the stub layer; this module does not interpret them.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import NamedTuple, Tuple
+
+from repro.rpc.threads import ThreadId
+
+_CALL_FIXED = struct.Struct("!QQHH")   # client troupe id, dest troupe id, module, proc
+_RETURN_FIXED = struct.Struct("!H")    # status
+
+RETURN_OK = 0
+RETURN_ERROR = 1
+
+
+class RemoteError(Exception):
+    """An exception raised by the remote procedure, propagated to the caller."""
+
+    def __init__(self, kind: str, detail: str = ""):
+        super().__init__("%s: %s" % (kind, detail) if detail else kind)
+        self.kind = kind
+        self.detail = detail
+
+
+class CallHeader(NamedTuple):
+    thread_id: ThreadId
+    client_troupe_id: int
+    dest_troupe_id: int
+    module: int
+    procedure: int
+
+
+class ReturnHeader(NamedTuple):
+    status: int
+
+    @property
+    def is_error(self) -> bool:
+        return self.status == RETURN_ERROR
+
+
+def encode_call(header: CallHeader, args: bytes) -> bytes:
+    return (header.thread_id.encode()
+            + _CALL_FIXED.pack(header.client_troupe_id,
+                               header.dest_troupe_id,
+                               header.module, header.procedure)
+            + args)
+
+
+def decode_call(data: bytes) -> Tuple[CallHeader, bytes]:
+    thread_id, offset = ThreadId.decode(data)
+    client_tid, dest_tid, module, procedure = _CALL_FIXED.unpack_from(
+        data, offset)
+    offset += _CALL_FIXED.size
+    header = CallHeader(thread_id, client_tid, dest_tid, module, procedure)
+    return header, data[offset:]
+
+
+def encode_return(results: bytes) -> bytes:
+    return _RETURN_FIXED.pack(RETURN_OK) + results
+
+
+def encode_error(kind: str, detail: str = "") -> bytes:
+    kind_raw = kind.encode("utf-8")
+    detail_raw = detail.encode("utf-8")
+    return (_RETURN_FIXED.pack(RETURN_ERROR)
+            + struct.pack("!H", len(kind_raw)) + kind_raw
+            + detail_raw)
+
+
+def decode_return(data: bytes) -> Tuple[ReturnHeader, bytes]:
+    """Returns (header, results).  Raises nothing; the caller decides
+    whether to raise RemoteError via :func:`raise_if_error`."""
+    (status,) = _RETURN_FIXED.unpack_from(data, 0)
+    return ReturnHeader(status), data[_RETURN_FIXED.size:]
+
+
+def raise_if_error(header: ReturnHeader, body: bytes) -> bytes:
+    """The normal results, or RemoteError for an error return."""
+    if not header.is_error:
+        return body
+    (length,) = struct.unpack_from("!H", body, 0)
+    kind = body[2:2 + length].decode("utf-8")
+    detail = body[2 + length:].decode("utf-8")
+    raise RemoteError(kind, detail)

@@ -1,0 +1,41 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package provides the execution substrate for the reproduction: a
+simulator with a virtual clock, lightweight processes written as Python
+generators, and the synchronization primitives (events, conditions, queues)
+that the protocol implementations are built from.
+
+The kernel is deterministic: given the same seed and the same program, every
+run produces the identical event ordering.  Ties in the event queue are
+broken by insertion order.
+"""
+
+from repro.sim.kernel import (
+    AnyOf,
+    Interrupted,
+    Process,
+    ProcessKilled,
+    SimulationError,
+    Simulator,
+    Sleep,
+)
+from repro.sim.events import Condition, Event, Queue, QueueClosed
+from repro.sim.rng import RandomStream
+from repro.sim.timers import Timer, TimerService
+
+__all__ = [
+    "AnyOf",
+    "Condition",
+    "Event",
+    "Interrupted",
+    "Process",
+    "ProcessKilled",
+    "Queue",
+    "QueueClosed",
+    "RandomStream",
+    "SimulationError",
+    "Simulator",
+    "Sleep",
+    "Timer",
+    "TimerService",
+]

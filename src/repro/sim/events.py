@@ -1,0 +1,194 @@
+"""Synchronization primitives for simulated processes.
+
+All of these are *waitables*: a process suspends on one with ``yield``.
+
+- :class:`Event` — one-shot, value-carrying.  Waiting on an already-fired
+  event resumes immediately with the stored value.
+- :class:`Condition` — reusable broadcast signal (the paper's protocol code
+  awaits ``troupe.status_change``; this is that construct).
+- :class:`Queue` — unbounded FIFO with blocking ``get``.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Callable, Deque, List
+
+from repro.sim.kernel import Simulator
+
+
+class Event:
+    """A one-shot event carrying an optional value.
+
+    ``fire(value)`` wakes every current waiter with ``value`` and causes all
+    future waits to resume immediately.  Firing twice is an error: one-shot
+    means one shot.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "event"):
+        self.sim = sim
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+
+    def __repr__(self) -> str:
+        state = "fired" if self.fired else "pending"
+        return "<Event %s (%s)>" % (self.name, state)
+
+    def fire(self, value: Any = None) -> None:
+        if self.fired:
+            raise RuntimeError("event %s fired twice" % self.name)
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            self.sim._schedule_now(resume, value)
+
+    def _subscribe(self, resume: Callable[[Any], None]) -> Callable[[], None]:
+        if self.fired:
+            handle = self.sim._schedule_now(resume, self.value)
+            return handle.cancel
+        self._waiters.append(resume)
+
+        def cancel() -> None:
+            if resume in self._waiters:
+                self._waiters.remove(resume)
+
+        return cancel
+
+
+class Condition:
+    """A reusable broadcast signal.
+
+    Each ``signal(value)`` wakes all processes waiting *at that moment*.
+    Unlike :class:`Event`, a signal with no waiters is lost — exactly the
+    semantics of condition variables, so code must re-check its predicate
+    in a loop.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "condition"):
+        self.sim = sim
+        self.name = name
+        self._waiters: List[Callable[[Any], None]] = []
+
+    def __repr__(self) -> str:
+        return "<Condition %s (%d waiting)>" % (self.name, len(self._waiters))
+
+    def signal(self, value: Any = None) -> None:
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            self.sim._schedule_now(resume, value)
+
+    def _subscribe(self, resume: Callable[[Any], None]) -> Callable[[], None]:
+        self._waiters.append(resume)
+
+        def cancel() -> None:
+            if resume in self._waiters:
+                self._waiters.remove(resume)
+
+        return cancel
+
+
+class QueueClosed(Exception):
+    """Raised by ``Queue.get`` after ``close()`` once the queue drains."""
+
+
+class _QueueGet:
+    """Waitable returned by ``Queue.get()``."""
+
+    __slots__ = ("queue",)
+
+    def __init__(self, queue: "Queue"):
+        self.queue = queue
+
+    def _subscribe(self, resume: Callable[[Any], None]) -> Callable[[], None]:
+        return self.queue._subscribe_get(resume)
+
+
+class Queue:
+    """An unbounded FIFO queue between simulated processes.
+
+    ``put`` never blocks.  ``get()`` returns a waitable; the waiting process
+    resumes with the next item.  Items are delivered to getters in FIFO
+    order of both items and getters.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "queue"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = collections.deque()
+        self._getters: Deque[Callable[[Any], None]] = collections.deque()
+        self.closed = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return "<Queue %s (%d items, %d getters)>" % (
+            self.name, len(self._items), len(self._getters))
+
+    def put(self, item: Any) -> None:
+        if self.closed:
+            raise QueueClosed("put on closed queue %s" % self.name)
+        if self._getters:
+            resume = self._getters.popleft()
+            self.sim._schedule_now(resume, item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> _QueueGet:
+        return _QueueGet(self)
+
+    def push_front(self, item: Any) -> None:
+        """Put an item back at the head of the queue (used by select-style
+        peeking that must not consume data)."""
+        if self._getters:
+            resume = self._getters.popleft()
+            self.sim._schedule_now(resume, item)
+        else:
+            self._items.appendleft(item)
+
+    def get_nowait(self) -> Any:
+        """Return the next item or raise LookupError if empty."""
+        if not self._items:
+            raise LookupError("queue %s is empty" % self.name)
+        return self._items.popleft()
+
+    def close(self) -> None:
+        """Close the queue: pending getters receive QueueClosed markers."""
+        self.closed = True
+        while self._getters:
+            resume = self._getters.popleft()
+            self.sim._schedule_now(resume, _CLOSED)
+
+    def _subscribe_get(self, resume: Callable[[Any], None]) -> Callable[[], None]:
+        if self._items:
+            item = self._items.popleft()
+            handle = self.sim._schedule_now(resume, item)
+            return handle.cancel
+        if self.closed:
+            handle = self.sim._schedule_now(resume, _CLOSED)
+            return handle.cancel
+        self._getters.append(resume)
+
+        def cancel() -> None:
+            if resume in self._getters:
+                self._getters.remove(resume)
+
+        return cancel
+
+
+class _ClosedMarker:
+    """Sentinel delivered to getters of a closed, drained queue."""
+
+    def __repr__(self) -> str:
+        return "<queue closed>"
+
+
+_CLOSED = _ClosedMarker()
+
+
+def is_closed_marker(value: Any) -> bool:
+    """True if a value received from ``Queue.get`` means the queue closed."""
+    return value is _CLOSED

@@ -1,0 +1,388 @@
+"""The discrete-event simulator and its process model.
+
+Processes are Python generators that yield *waitables*:
+
+- ``Sleep(dt)`` suspends the process for ``dt`` units of virtual time.
+- an :class:`~repro.sim.events.Event` suspends until the event fires and
+  resumes with the event's value.
+- ``AnyOf(w0, w1, ...)`` suspends until the first of several waitables
+  fires and resumes with ``(index, value)``.
+- another :class:`Process` suspends until that process terminates and
+  resumes with its return value (a *join*).
+
+Composition uses plain ``yield from``: a protocol helper written as a
+generator can be called from any process.
+
+Time is a float in milliseconds by convention (the paper reports
+milliseconds per call), although nothing in the kernel depends on the unit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+
+class SimulationError(Exception):
+    """An error raised by the simulation kernel itself."""
+
+
+class ProcessKilled(Exception):
+    """Raised inside a process when it is killed (e.g. its host crashed)."""
+
+
+class Interrupted(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Sleep:
+    """Waitable: suspend the yielding process for ``delay`` time units."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ValueError("negative sleep delay: %r" % delay)
+        self.delay = delay
+
+    def __repr__(self) -> str:
+        return "Sleep(%r)" % self.delay
+
+
+class AnyOf:
+    """Waitable: suspend until the first of several waitables fires.
+
+    The process resumes with a ``(index, value)`` pair identifying which
+    waitable fired first and the value it carried.  The remaining waitables
+    are left undisturbed (event subscriptions are cancelled).
+    """
+
+    def __init__(self, *waitables: Any):
+        if not waitables:
+            raise ValueError("AnyOf requires at least one waitable")
+        self.waitables = waitables
+
+    def __repr__(self) -> str:
+        return "AnyOf(%s)" % ", ".join(repr(w) for w in self.waitables)
+
+
+class _ScheduledCall:
+    """A cancellable entry in the simulator's event queue."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "_ScheduledCall") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Process:
+    """A lightweight simulated process driving a generator.
+
+    A process terminates when its generator returns (the return value is
+    stored in :attr:`result`), raises (the exception is stored in
+    :attr:`exception`), or when it is killed.
+    """
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str):
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.alive = True
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self.killed = False
+        # Each joiner entry is (process, resume_callback): the callback
+        # receives the result, so joins compose with AnyOf; exceptions are
+        # thrown into the joining process directly.
+        self._joiners: List[Tuple["Process", Callable[[Any], None]]] = []
+        # The cancel hooks for whatever this process is currently waiting on.
+        self._wait_cancels: List[Callable[[], None]] = []
+        self.daemon = False
+        # Set by run_process: failures are re-raised there, not by run().
+        self.observed = False
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return "<Process %s (%s)>" % (self.name, state)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def kill(self, exc: Optional[BaseException] = None) -> None:
+        """Terminate this process.
+
+        If the process is currently suspended it never resumes.  ``exc``
+        (default :class:`ProcessKilled`) is delivered to the generator so
+        ``finally`` blocks run, then recorded as the termination cause.
+        """
+        if not self.alive:
+            return
+        self._cancel_waits()
+        self.killed = True
+        if exc is None:
+            exc = ProcessKilled("%s killed" % self.name)
+        try:
+            self.gen.throw(exc)
+        except (StopIteration, ProcessKilled, Interrupted):
+            pass
+        except BaseException:
+            # A finally block misbehaved; the process is dead regardless.
+            pass
+        else:
+            # The generator swallowed the kill and yielded again; close it.
+            self.gen.close()
+        self._finish(result=None, exception=exc, killed=True)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Deliver an :class:`Interrupted` exception to a waiting process."""
+        if not self.alive:
+            return
+        self._cancel_waits()
+        self.sim._schedule_now(self._step_throw, Interrupted(cause))
+
+    def join(self) -> "Process":
+        """A process is itself a waitable; joining is just yielding it."""
+        return self
+
+    # -- internals ---------------------------------------------------------
+
+    def _cancel_waits(self) -> None:
+        for cancel in self._wait_cancels:
+            cancel()
+        self._wait_cancels = []
+
+    def _finish(self, result: Any, exception: Optional[BaseException],
+                killed: bool = False) -> None:
+        self.alive = False
+        self.result = result
+        self.exception = exception
+        self.killed = killed
+        joiners, self._joiners = self._joiners, []
+        for joiner, resume in joiners:
+            if exception is not None and not killed:
+                joiner._cancel_waits()
+                self.sim._schedule_now(joiner._step_throw, exception)
+            else:
+                self.sim._schedule_now(resume, result)
+        if exception is not None and not killed and not joiners:
+            if not self.daemon and not self.observed:
+                self.sim._record_failure(self, exception)
+
+    def _step_send(self, value: Any) -> None:
+        if not self.alive:
+            return
+        self._wait_cancels = []
+        try:
+            waitable = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(result=getattr(stop, "value", None), exception=None)
+            return
+        except BaseException as exc:
+            self._finish(result=None, exception=exc)
+            return
+        self._wait_on(waitable)
+
+    def _step_throw(self, exc: BaseException) -> None:
+        if not self.alive:
+            return
+        self._wait_cancels = []
+        try:
+            waitable = self.gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(result=getattr(stop, "value", None), exception=None)
+            return
+        except BaseException as raised:
+            self._finish(result=None, exception=raised)
+            return
+        self._wait_on(waitable)
+
+    def _wait_on(self, waitable: Any) -> None:
+        cancel = self._subscribe(waitable, self._step_send)
+        self._wait_cancels.append(cancel)
+
+    def _subscribe(self, waitable: Any,
+                   resume: Callable[[Any], None]) -> Callable[[], None]:
+        """Arrange for ``resume(value)`` when ``waitable`` fires."""
+        if isinstance(waitable, Sleep):
+            handle = self.sim.schedule(waitable.delay, resume, None)
+            return handle.cancel
+        if isinstance(waitable, AnyOf):
+            return self._subscribe_any(waitable, resume)
+        if isinstance(waitable, Process):
+            return self._subscribe_process(waitable, resume)
+        # Events and conditions provide the subscription protocol.
+        subscribe = getattr(waitable, "_subscribe", None)
+        if subscribe is None:
+            raise SimulationError(
+                "process %s yielded a non-waitable: %r" % (self.name, waitable))
+        return subscribe(resume)
+
+    def _subscribe_any(self, anyof: AnyOf,
+                       resume: Callable[[Any], None]) -> Callable[[], None]:
+        cancels: List[Callable[[], None]] = []
+        done = [False]
+
+        def fire(index: int, value: Any) -> None:
+            if done[0]:
+                return
+            done[0] = True
+            for i, cancel in enumerate(cancels):
+                if i != index:
+                    cancel()
+            resume((index, value))
+
+        for i, sub in enumerate(anyof.waitables):
+            def make(index: int) -> Callable[[Any], None]:
+                return lambda value: fire(index, value)
+            cancels.append(self._subscribe(sub, make(i)))
+            if done[0]:
+                break
+
+        def cancel_all() -> None:
+            done[0] = True
+            for cancel in cancels:
+                cancel()
+
+        return cancel_all
+
+    def _subscribe_process(self, proc: "Process",
+                           resume: Callable[[Any], None]) -> Callable[[], None]:
+        if not proc.alive:
+            if proc.exception is not None and not proc.killed:
+                handle = self.sim.schedule(
+                    0.0, self._step_throw, proc.exception)
+            else:
+                handle = self.sim.schedule(0.0, resume, proc.result)
+            return handle.cancel
+        entry = (self, resume)
+        proc._joiners.append(entry)
+
+        def cancel() -> None:
+            if entry in proc._joiners:
+                proc._joiners.remove(entry)
+
+        return cancel
+
+
+class Simulator:
+    """The event loop: a virtual clock and a priority queue of callbacks."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: List[_ScheduledCall] = []
+        self._seq = itertools.count()
+        self._processes: List[Process] = []
+        self._failures: List[Tuple[Process, BaseException]] = []
+        self._proc_names = itertools.count()
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> _ScheduledCall:
+        """Run ``fn(*args)`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise ValueError("cannot schedule in the past (delay=%r)" % delay)
+        call = _ScheduledCall(self.now + delay, next(self._seq), fn, args)
+        heapq.heappush(self._queue, call)
+        return call
+
+    def _schedule_now(self, fn: Callable, *args: Any) -> _ScheduledCall:
+        return self.schedule(0.0, fn, *args)
+
+    def spawn(self, gen: Generator, name: Optional[str] = None,
+              daemon: bool = False) -> Process:
+        """Create a process from a generator and start it at the current time.
+
+        Daemon processes may outlive the simulation without their failures
+        being reported (used for background services like retransmitters).
+        """
+        if name is None:
+            name = "proc-%d" % next(self._proc_names)
+        proc = Process(self, gen, name)
+        proc.daemon = daemon
+        self._processes.append(proc)
+        self._schedule_now(proc._step_send, None)
+        return proc
+
+    def _record_failure(self, proc: Process, exc: BaseException) -> None:
+        self._failures.append((proc, exc))
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None,
+            stop_when: Optional[Callable[[], bool]] = None) -> float:
+        """Process events until the queue drains, ``until`` is reached,
+        ``max_events`` callbacks have run, or ``stop_when()`` becomes true
+        (checked after each callback).  Returns the final clock value.
+
+        If any non-daemon process terminated with an unhandled exception and
+        nobody joined it, the first such exception is re-raised here: errors
+        never pass silently.
+        """
+        count = 0
+        while self._queue:
+            call = self._queue[0]
+            if until is not None and call.time > until:
+                self.now = until
+                break
+            heapq.heappop(self._queue)
+            if call.cancelled:
+                continue
+            self.now = call.time
+            call.fn(*call.args)
+            count += 1
+            if self._failures:
+                proc, exc = self._failures[0]
+                self._failures = []
+                raise SimulationError(
+                    "process %s died: %r" % (proc.name, exc)) from exc
+            if max_events is not None and count >= max_events:
+                break
+            if stop_when is not None and stop_when():
+                break
+        else:
+            if until is not None and until > self.now:
+                self.now = until
+        return self.now
+
+    def run_process(self, gen: Generator, name: Optional[str] = None,
+                    until: Optional[float] = None) -> Any:
+        """Spawn a process, run the simulation until it completes (or
+        ``until``), and return its result.
+
+        The simulation stops as soon as the process terminates, so
+        background daemons (retransmitters, deadlock detectors, failure
+        drivers) do not keep the run alive forever.  An exception raised
+        by the process is re-raised here as itself (not wrapped in
+        SimulationError)."""
+        proc = self.spawn(gen, name=name)
+        proc.observed = True
+        self.run(until=until, stop_when=lambda: not proc.alive)
+        if proc.alive:
+            raise SimulationError(
+                "process %s did not finish by t=%r" % (proc.name, self.now))
+        if proc.exception is not None:
+            raise proc.exception
+        return proc.result
+
+    # -- introspection -----------------------------------------------------
+
+    def pending_events(self) -> int:
+        return sum(1 for call in self._queue if not call.cancelled)
+
+    def live_processes(self) -> List[Process]:
+        return [p for p in self._processes if p.alive]

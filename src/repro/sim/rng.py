@@ -1,0 +1,58 @@
+"""Seeded random-number streams.
+
+Every stochastic component (network loss, exponential service times,
+failure/repair processes, backoff jitter) draws from its own named stream so
+that adding randomness to one component never perturbs another.  This is the
+standard common-random-numbers discipline for simulation experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+
+class RandomStream:
+    """A named, independently seeded random stream."""
+
+    def __init__(self, seed: int, name: str = ""):
+        # Derive the child seed from (seed, name) deterministically.
+        self.name = name
+        self._rng = random.Random("%d\x00%s" % (seed, name))
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        return self._rng.uniform(low, high)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def expovariate(self, rate: float) -> float:
+        """An exponential variate with the given rate (mean ``1/rate``)."""
+        return self._rng.expovariate(rate)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._rng.randint(low, high)
+
+    def choice(self, seq: Sequence):
+        return self._rng.choice(seq)
+
+    def shuffle(self, seq: list) -> None:
+        self._rng.shuffle(seq)
+
+    def sample(self, seq: Sequence, k: int) -> list:
+        return self._rng.sample(seq, k)
+
+    def chance(self, probability: float) -> bool:
+        """True with the given probability."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self._rng.random() < probability
+
+    def fork(self, name: str) -> "RandomStream":
+        """Derive a sub-stream, independent of this one."""
+        child = RandomStream.__new__(RandomStream)
+        child.name = "%s/%s" % (self.name, name)
+        child._rng = random.Random("%r\x00%s" % (self._rng.random(), name))
+        return child

@@ -1,0 +1,78 @@
+"""Stub compilers and programming-language integration (Chapter 7).
+
+The purpose of a stub compiler is to translate a module interface into
+stub procedures for the client and server halves of a remote interface
+(§7.1): externalizing and internalizing data, passing parameters, results,
+and exceptions, and talking to the binding agent.
+
+This package provides a Courier-flavoured interface definition language
+(the paper's Figure 7.2 parses unchanged apart from keyword case), a
+marshaling layer implementing the Courier external representation rules,
+and a stub compiler producing:
+
+- conventional transparent stubs (implicit binding, §7.1),
+- stubs with *explicit binding* handles (§7.3, Figure 7.5),
+- stubs with *explicit replication*: per-member result streams on the
+  client and argument generators on the server (§7.4, Figures 7.6-7.11),
+- Python source text for the generated stubs (the artifact a stub
+  compiler traditionally emits), and
+- a "symbolic" Lisp-style stub where values travel in their printed
+  representation (§7.1.3).
+"""
+
+from repro.stubs.types import (
+    ArrayType,
+    BooleanType,
+    CardinalType,
+    ChoiceType,
+    EnumerationType,
+    IntegerType,
+    LongCardinalType,
+    LongIntegerType,
+    MarshalError,
+    RecordType,
+    SequenceType,
+    StringType,
+    UnspecifiedType,
+)
+from repro.stubs.idl import InterfaceSpec, ParseError, ProcedureSpec, parse_interface
+from repro.stubs.compiler import (
+    ClientStub,
+    CourierError,
+    ExplicitBindingStub,
+    ServerStub,
+    compile_interface,
+    generate_source,
+)
+from repro.stubs.explicit import ReplicatedClientStub, explicit_server_module
+from repro.stubs.symbolic import SymbolicClientStub, symbolic_server_module
+
+__all__ = [
+    "ArrayType",
+    "BooleanType",
+    "CardinalType",
+    "ChoiceType",
+    "ClientStub",
+    "CourierError",
+    "EnumerationType",
+    "ExplicitBindingStub",
+    "InterfaceSpec",
+    "IntegerType",
+    "LongCardinalType",
+    "LongIntegerType",
+    "MarshalError",
+    "ParseError",
+    "ProcedureSpec",
+    "RecordType",
+    "ReplicatedClientStub",
+    "SequenceType",
+    "ServerStub",
+    "StringType",
+    "SymbolicClientStub",
+    "UnspecifiedType",
+    "compile_interface",
+    "explicit_server_module",
+    "generate_source",
+    "parse_interface",
+    "symbolic_server_module",
+]

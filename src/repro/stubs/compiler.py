@@ -1,0 +1,306 @@
+"""The stub compiler: interfaces to client and server stubs (§7.1).
+
+Given an :class:`~repro.stubs.idl.InterfaceSpec`, the compiler produces:
+
+- :class:`ClientStub` — transparent (implicitly bound) client stubs: each
+  interface procedure becomes a method; arguments are externalized, the
+  replicated call is made through the run-time system, and results are
+  internalized.  Declared errors come back as typed
+  :class:`CourierError` exceptions.
+- :class:`ServerStub` — the server skeleton: an
+  :class:`~repro.core.runtime.ExportedModule` that internalizes
+  arguments, invokes the implementation object, and externalizes results
+  and errors.
+- :class:`ExplicitBindingStub` — the §7.3 variant: procedures take an
+  explicit binding handle (a troupe descriptor) as their first argument,
+  so a client can talk to several instances of the same interface
+  (Figure 7.5's third-party file transfer).
+- :func:`generate_source` — the textual artifact: a Python module
+  defining the same stubs, for inspection or checked-in generated code.
+
+Calls are generators (``yield from stub.Lookup(name="x")``), because the
+underlying replicated call suspends the calling thread.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.collators import Collator
+from repro.core.runtime import ExportedModule, TroupeRuntime
+from repro.core.troupe import TroupeDescriptor
+from repro.rpc.messages import RemoteError
+from repro.stubs.idl import InterfaceSpec, ProcedureSpec
+from repro.stubs.types import MarshalError
+
+
+class CourierError(Exception):
+    """An error declared in the interface and reported by the server."""
+
+    def __init__(self, name: str, code: int, detail: str = ""):
+        super().__init__("%s(%d)%s" % (name, code,
+                                       ": " + detail if detail else ""))
+        self.name = name
+        self.code = code
+        self.detail = detail
+
+
+def _unmarshal_results(proc: ProcedureSpec, raw: bytes) -> Any:
+    results = proc.result_record.internalize(raw)
+    if not proc.results:
+        return None
+    if len(proc.results) == 1:
+        return results[proc.results[0][0]]
+    return results
+
+
+class _BoundMethod:
+    """One procedure of a client stub."""
+
+    def __init__(self, stub: "ClientStub", proc: ProcedureSpec):
+        self.stub = stub
+        self.proc = proc
+
+    def __call__(self, **kwargs):
+        return self.stub._call(self.proc, kwargs)
+
+
+class ClientStub:
+    """Transparent client stubs with implicit binding (§7.1).
+
+    ``binding`` may be a troupe descriptor, or a zero-argument callable
+    returning one (so a BindingClient cache lookup can supply it).
+    Procedures appear as attributes:
+
+        result = yield from stub.Lookup(name="printer")
+    """
+
+    def __init__(self, spec: InterfaceSpec, runtime: TroupeRuntime,
+                 binding, collator: Optional[Collator] = None,
+                 module: Optional[int] = None):
+        self._spec = spec
+        self._runtime = runtime
+        self._binding = binding
+        self._collator = collator
+        self._module = module
+        for name, proc in spec.procedures.items():
+            setattr(self, name, _BoundMethod(self, proc))
+
+    def _descriptor(self) -> TroupeDescriptor:
+        if callable(self._binding):
+            return self._binding()
+        return self._binding
+
+    def _call(self, proc: ProcedureSpec, kwargs: Dict[str, Any]):
+        args = proc.arg_record.externalize(kwargs)
+        # The collator is reset by the runtime at the start of each call,
+        # and calls from one (single-threaded) stub never overlap, so the
+        # instance can be reused.
+        try:
+            raw = yield from self._runtime.call_troupe(
+                self._descriptor(), self._module, proc.number, args,
+                collator=self._collator)
+        except RemoteError as exc:
+            raise _to_courier_error(self._spec, proc, exc)
+        return _unmarshal_results(proc, raw)
+
+
+def _to_courier_error(spec: InterfaceSpec, proc: ProcedureSpec,
+                      exc: RemoteError) -> Exception:
+    if exc.kind in spec.errors and exc.kind in proc.reports:
+        return CourierError(exc.kind, spec.errors[exc.kind], exc.detail)
+    return exc
+
+
+class ExplicitBindingStub:
+    """The §7.3 variant: every procedure takes the binding handle first.
+
+        binding1 = yield from binding_client.import_troupe("fs-a")
+        page = yield from stub.Read(binding1, file="f")
+    """
+
+    def __init__(self, spec: InterfaceSpec, runtime: TroupeRuntime,
+                 collator: Optional[Collator] = None,
+                 module: Optional[int] = None):
+        self._spec = spec
+        self._runtime = runtime
+        self._collator = collator
+        self._module = module
+        for name, proc in spec.procedures.items():
+            setattr(self, name, self._make_method(proc))
+
+    def _make_method(self, proc: ProcedureSpec):
+        def method(binding: TroupeDescriptor, **kwargs):
+            args = proc.arg_record.externalize(kwargs)
+            try:
+                raw = yield from self._runtime.call_troupe(
+                    binding, self._module, proc.number, args,
+                    collator=self._collator)
+            except RemoteError as exc:
+                raise _to_courier_error(self._spec, proc, exc)
+            return _unmarshal_results(proc, raw)
+        method.__name__ = proc.name
+        return method
+
+
+class ServerStub:
+    """The server skeleton: dispatches calls into an implementation object.
+
+    The implementation provides one method per interface procedure,
+    receiving ``(ctx, **args)`` and returning a dict of results (or the
+    bare value when the procedure declares exactly one result, or None
+    for no results).  Declared errors are raised as
+    ``CourierError(name, code)`` — anything else becomes InternalError.
+    Methods may be generators (to make nested calls or block on locks).
+    """
+
+    def __init__(self, spec: InterfaceSpec, implementation: Any):
+        self.spec = spec
+        self.implementation = implementation
+        procedures = {}
+        for name, proc in spec.procedures.items():
+            handler = getattr(implementation, name, None)
+            if handler is None:
+                raise TypeError("implementation lacks procedure %r" % name)
+            procedures[proc.number] = self._make_handler(proc, handler)
+        self.module = ExportedModule(spec.name, procedures)
+
+    def _make_handler(self, proc: ProcedureSpec, impl):
+        spec = self.spec
+
+        def handler(ctx, raw_args: bytes):
+            try:
+                kwargs = proc.arg_record.internalize(raw_args)
+            except MarshalError as exc:
+                raise RemoteError("MarshalError", str(exc))
+            try:
+                result = impl(ctx, **kwargs)
+                if hasattr(result, "send"):
+                    result = yield from result
+            except CourierError as exc:
+                if exc.name not in proc.reports:
+                    raise RemoteError("InternalError",
+                                      "undeclared error %s" % exc.name)
+                raise RemoteError(exc.name, exc.detail)
+            return _externalize_result(proc, result)
+
+        handler.__name__ = proc.name
+        return handler
+
+
+def _externalize_result(proc: ProcedureSpec, result: Any) -> bytes:
+    if not proc.results:
+        if result is not None:
+            raise RemoteError("InternalError",
+                              "%s returns no results" % proc.name)
+        return proc.result_record.externalize({})
+    if len(proc.results) == 1 and not isinstance(result, dict):
+        result = {proc.results[0][0]: result}
+    try:
+        return proc.result_record.externalize(result)
+    except MarshalError as exc:
+        raise RemoteError("InternalError", "bad results: %s" % exc)
+
+
+def compile_interface(spec: InterfaceSpec, implementation: Any) -> ExportedModule:
+    """Convenience: an ExportedModule serving ``implementation``."""
+    return ServerStub(spec, implementation).module
+
+
+def generate_source(spec: InterfaceSpec) -> str:
+    """Emit Python source text for the stubs of an interface.
+
+    The generated module defines ``make_client_stub(runtime, binding)``
+    and ``make_server_module(implementation)`` in terms of this package —
+    the traditional checked-in artifact of a stub compiler.
+    """
+    lines = [
+        '"""Generated by the repro stub compiler — do not edit.',
+        "",
+        "Interface %s: PROGRAM %d VERSION %d" % (
+            spec.name, spec.program_number, spec.version),
+        '"""',
+        "",
+        "from repro.stubs.compiler import ClientStub, ServerStub",
+        "from repro.stubs.idl import parse_interface",
+        "",
+        "INTERFACE_TEXT = '''\\",
+        _render_interface(spec),
+        "'''",
+        "",
+        "SPEC = parse_interface(INTERFACE_TEXT)",
+        "",
+        "",
+        "def make_client_stub(runtime, binding, collator=None):",
+        '    """Client stubs for %s; procedures: %s."""' % (
+            spec.name, ", ".join(sorted(spec.procedures))),
+        "    return ClientStub(SPEC, runtime, binding, collator=collator)",
+        "",
+        "",
+        "def make_server_module(implementation):",
+        '    """Server skeleton for %s."""' % spec.name,
+        "    return ServerStub(SPEC, implementation).module",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def _render_interface(spec: InterfaceSpec) -> str:
+    """Re-render a spec as IDL text (used to embed it in generated code).
+
+    Type declarations are inlined into procedures during parsing, so the
+    rendering declares procedures with structural types.
+    """
+    out = ["%s: PROGRAM %d VERSION %d =" % (
+        spec.name, spec.program_number, spec.version), "BEGIN"]
+    for name, code in sorted(spec.errors.items(), key=lambda kv: kv[1]):
+        out.append("    %s: ERROR = %d;" % (name, code))
+    for name, proc in sorted(spec.procedures.items(),
+                             key=lambda kv: kv[1].number):
+        parts = ["    %s: PROCEDURE" % name]
+        if proc.args:
+            parts.append(" [%s]" % ", ".join(
+                "%s: %s" % (f, _render_type(t)) for f, t in proc.args))
+        if proc.results:
+            parts.append(" RETURNS [%s]" % ", ".join(
+                "%s: %s" % (f, _render_type(t)) for f, t in proc.results))
+        if proc.reports:
+            parts.append(" REPORTS [%s]" % ", ".join(proc.reports))
+        parts.append(" = %d;" % proc.number)
+        out.append("".join(parts))
+    out.append("END.")
+    return "\n".join(out)
+
+
+def _render_type(node) -> str:
+    from repro.stubs import types as t
+    if isinstance(node, t.BooleanType):
+        return "BOOLEAN"
+    if isinstance(node, t.StringType):
+        return "STRING"
+    if isinstance(node, t.LongCardinalType):
+        return "LONG CARDINAL"
+    if isinstance(node, t.LongIntegerType):
+        return "LONG INTEGER"
+    if isinstance(node, t.IntegerType):
+        return "INTEGER"
+    if isinstance(node, t.UnspecifiedType):
+        return "UNSPECIFIED"
+    if isinstance(node, t.CardinalType):
+        return "CARDINAL"
+    if isinstance(node, t.EnumerationType):
+        return "ENUMERATION {%s}" % ", ".join(
+            "%s(%d)" % kv for kv in sorted(node.members.items(),
+                                           key=lambda kv: kv[1]))
+    if isinstance(node, t.ArrayType):
+        return "ARRAY %d OF %s" % (node.length, _render_type(node.element))
+    if isinstance(node, t.SequenceType):
+        return "SEQUENCE OF %s" % _render_type(node.element)
+    if isinstance(node, t.RecordType):
+        return "RECORD [%s]" % ", ".join(
+            "%s: %s" % (f, _render_type(ft)) for f, ft in node.fields)
+    if isinstance(node, t.ChoiceType):
+        return "CHOICE OF {%s}" % ", ".join(
+            "%s(%d) => %s" % (name, tag, _render_type(arm))
+            for name, tag, arm in node.arms)
+    raise TypeError("cannot render %r" % (node,))

@@ -1,0 +1,188 @@
+"""Stubs with explicit replication (§7.4).
+
+"With this explicit replication option, the stub compiler translates a
+procedure of the form ``procedure (x) returns (y)`` into generator-passing
+procedures": on the client side the procedure returns a *result
+generator* yielding each server troupe member's response (Figure 7.6); on
+the server side the procedure receives an *argument generator* yielding
+each client troupe member's argument (Figure 7.7).
+
+The client can stop iterating as soon as an acceptable response arrives;
+the server can collate divergent arguments itself (the temperature
+controller averages them).  The collators of Figures 7.8-7.10 are
+available over decoded values via :func:`collate`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+from repro.core.collators import Collator
+from repro.core.runtime import (
+    CallContext,
+    CallResult,
+    ExplicitProcedure,
+    ExportedModule,
+    TroupeRuntime,
+)
+from repro.core.troupe import TroupeDescriptor
+from repro.rpc.messages import RemoteError
+from repro.stubs.idl import InterfaceSpec, ProcedureSpec
+from repro.stubs.types import MarshalError
+
+
+class ResultGenerator:
+    """The client-side result generator of Figure 7.6: yields each server
+    troupe member's decoded response in arrival order.
+
+        pages = yield from stub.Read(file="f")
+        while True:
+            page = yield from pages.next()
+            if page is None or acceptable(page.value):
+                break
+        pages.cancel()
+    """
+
+    def __init__(self, proc: ProcedureSpec, stream):
+        self.proc = proc
+        self.stream = stream
+
+    def next(self):
+        """Generator: the next DecodedResult, or None when exhausted."""
+        result = yield from self.stream.next()
+        if result is None:
+            return None
+        return DecodedResult(self.proc, result)
+
+    def cancel(self) -> None:
+        """Early loop exit: discard the remaining responses."""
+        self.stream.cancel()
+
+
+class DecodedResult:
+    """One member's response: value, error, or crash notification."""
+
+    def __init__(self, proc: ProcedureSpec, result: CallResult):
+        self.member = result.member
+        self.status = result.status
+        self.error = result.error
+        if result.status == "ok":
+            results = proc.result_record.internalize(result.data)
+            if not proc.results:
+                self.value = None
+            elif len(proc.results) == 1:
+                self.value = results[proc.results[0][0]]
+            else:
+                self.value = results
+        else:
+            self.value = None
+
+    def __repr__(self) -> str:
+        return "<DecodedResult %s from %s: %r>" % (
+            self.status, self.member, self.value)
+
+
+class ReplicatedClientStub:
+    """Client stubs with the explicit replication option (§7.4)."""
+
+    def __init__(self, spec: InterfaceSpec, runtime: TroupeRuntime,
+                 binding, module: Optional[int] = None):
+        self._spec = spec
+        self._runtime = runtime
+        self._binding = binding
+        self._module = module
+        for name, proc in spec.procedures.items():
+            setattr(self, name, self._make_method(proc))
+
+    def _descriptor(self) -> TroupeDescriptor:
+        if callable(self._binding):
+            return self._binding()
+        return self._binding
+
+    def _make_method(self, proc: ProcedureSpec):
+        def method(**kwargs):
+            args = proc.arg_record.externalize(kwargs)
+            stream = yield from self._runtime.call_troupe_stream(
+                self._descriptor(), self._module, proc.number, args)
+            return ResultGenerator(proc, stream)
+        method.__name__ = proc.name
+        return method
+
+
+class ArgumentGenerator:
+    """The server-side argument generator of Figure 7.7: iterates over
+    (caller, decoded arguments) pairs of a many-to-one call."""
+
+    def __init__(self, proc: ProcedureSpec, args_by_peer: Dict):
+        self.proc = proc
+        self._items = sorted(args_by_peer.items())
+
+    def __iter__(self):
+        for peer, raw in self._items:
+            yield peer, self.proc.arg_record.internalize(raw)
+
+    def values(self) -> Iterable[Any]:
+        """Decoded argument records (drop the callers)."""
+        for _peer, decoded in self:
+            yield decoded
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+def explicit_server_module(spec: InterfaceSpec,
+                           implementation: Any) -> ExportedModule:
+    """A server module with the explicit replication option: each
+    implementation method receives ``(ctx, arguments)`` where arguments
+    is an :class:`ArgumentGenerator` (Figure 7.7's collating server)."""
+    procedures = {}
+    for name, proc in spec.procedures.items():
+        impl = getattr(implementation, name, None)
+        if impl is None:
+            raise TypeError("implementation lacks procedure %r" % name)
+        procedures[proc.number] = ExplicitProcedure(
+            _make_explicit_handler(proc, impl))
+    return ExportedModule(spec.name, procedures)
+
+
+def _make_explicit_handler(proc: ProcedureSpec, impl):
+    def handler(ctx: CallContext, args_by_peer: Dict) -> Any:
+        try:
+            generator = ArgumentGenerator(proc, args_by_peer)
+        except MarshalError as exc:
+            raise RemoteError("MarshalError", str(exc))
+        result = impl(ctx, generator)
+        if hasattr(result, "send"):
+            inner = yield from result
+            result = inner
+        if not proc.results:
+            return proc.result_record.externalize({})
+        if len(proc.results) == 1 and not isinstance(result, dict):
+            result = {proc.results[0][0]: result}
+        return proc.result_record.externalize(result)
+    handler.__name__ = proc.name
+    return handler
+
+
+# -- the Figure 7.8-7.10 collators over decoded values -------------------
+
+def collate(result_generator: ResultGenerator, collator: Collator,
+            expected: int):
+    """Generator: drive a ResultGenerator through a value-level collator.
+
+    This is how the transparent collators are programmed *from* the
+    explicit machinery, which is the paper's point: Figures 7.8-7.10 are
+    ordinary user code once generators exist.
+    """
+    collator.reset(expected)
+    while True:
+        result = yield from result_generator.next()
+        if result is None:
+            break
+        if result.status != "ok":
+            continue
+        done, value = collator.add(result.member, result.value)
+        if done and not collator.needs_all:
+            result_generator.cancel()
+            return value
+    return collator.finish()

@@ -1,0 +1,98 @@
+"""Lisp-style symbolic stubs (§7.1.3).
+
+"Stub procedures are effectively unnecessary in pure Lisp, because the
+language itself defines a standard external form: the usual parenthesized
+representation of list structure.  Externalization and internalization
+are trivial, thanks to the standard Lisp functions print and read."
+
+Python's analogue of print/read is ``repr``/``ast.literal_eval``: any
+value built from literals (numbers, strings, booleans, None, tuples,
+lists, dicts, sets) round-trips exactly.  As in the paper's Lisp system,
+"no attempt was made to handle objects not present in pure Lisp, such as
+circular or shared list structure" — literal_eval rejects them.
+
+Procedures are identified symbolically (by name) in the message, not by
+compiled procedure numbers — the property that let the Lisp system call
+services without any generated stubs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.collators import Collator
+from repro.core.runtime import CallContext, ExportedModule, TroupeRuntime
+from repro.core.troupe import TroupeDescriptor
+from repro.rpc.messages import RemoteError
+
+#: All symbolic calls use procedure number 0; the procedure *name*
+#: travels inside the message, like a Lisp form.
+SYMBOLIC_PROC = 0
+
+
+def vector_print(form: Any) -> bytes:
+    """Convert a form to a vector of bytes (the paper's vector-print)."""
+    return repr(form).encode("utf-8")
+
+
+def vector_read(raw: bytes) -> Any:
+    """Convert a vector of bytes back to the original form (vector-read).
+
+    The essential property: ``vector_read(vector_print(x)) == x`` for any
+    pure-literal form.
+    """
+    return ast.literal_eval(raw.decode("utf-8"))
+
+
+class SymbolicClientStub:
+    """Call remote procedures by name with literal arguments:
+
+        value = yield from stub.call("lookup", "printer", 3)
+    """
+
+    def __init__(self, runtime: TroupeRuntime, binding,
+                 collator: Optional[Collator] = None,
+                 module: Optional[int] = None):
+        self._runtime = runtime
+        self._binding = binding
+        self._collator = collator
+        self._module = module
+
+    def _descriptor(self) -> TroupeDescriptor:
+        if callable(self._binding):
+            return self._binding()
+        return self._binding
+
+    def call(self, procedure_name: str, *args):
+        """Generator: a symbolic replicated call."""
+        payload = vector_print((procedure_name, list(args)))
+        raw = yield from self._runtime.call_troupe(
+            self._descriptor(), self._module, SYMBOLIC_PROC, payload,
+            collator=self._collator)
+        return vector_read(raw)
+
+
+def symbolic_server_module(name: str,
+                           procedures: Dict[str, Callable]) -> ExportedModule:
+    """A server module dispatching symbolic calls by procedure name.
+
+    Each procedure receives ``(ctx, *args)`` and returns any pure-literal
+    form (or a generator producing one).
+    """
+
+    def dispatch(ctx: CallContext, raw: bytes):
+        try:
+            form = vector_read(raw)
+            proc_name, args = form
+        except (ValueError, SyntaxError) as exc:
+            raise RemoteError("MarshalError", str(exc))
+        impl = procedures.get(proc_name)
+        if impl is None:
+            raise RemoteError("BadProcedure", proc_name)
+        result = impl(ctx, *args)
+        if hasattr(result, "send"):
+            result = yield from result
+        return vector_print(result)
+
+    return ExportedModule(name, {SYMBOLIC_PROC: dispatch})

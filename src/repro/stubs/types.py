@@ -1,0 +1,314 @@
+"""The IDL type system and external representation (§7.1.1).
+
+"The Courier protocol specifies how objects of each type are represented
+when transmitted in call and return messages.  Most of the work of the
+stub routines consists of translating parameters and results between
+their external and internal representations."
+
+Following Courier, everything is built from 16-bit words, most significant
+byte first:
+
+- BOOLEAN            one word, 0 or 1
+- CARDINAL           one word, unsigned
+- LONG CARDINAL      two words, unsigned
+- INTEGER            one word, two's complement
+- LONG INTEGER       two words, two's complement
+- UNSPECIFIED        one word, uninterpreted
+- STRING             length word + UTF-8 bytes, padded to a word boundary
+- ENUMERATION        one word, the declared value
+- ARRAY n OF T       n elements, no count
+- SEQUENCE OF T      length word + elements
+- RECORD [f: T,...]  fields in declaration order
+- CHOICE             designator word + the chosen arm
+
+Python mappings: booleans, ints, strings, lists (arrays and sequences),
+dicts (records), enumerations as their member name (a string), and
+choices as a ``(arm_name, value)`` tuple.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, Sequence, Tuple
+
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_I16 = struct.Struct("!h")
+_I32 = struct.Struct("!i")
+
+
+class MarshalError(Exception):
+    """A value does not conform to its declared IDL type."""
+
+
+class TypeNode:
+    """Base class: every IDL type can externalize and internalize."""
+
+    def encode(self, value: Any, out: bytearray) -> None:
+        raise NotImplementedError
+
+    def decode(self, data: bytes, offset: int) -> Tuple[Any, int]:
+        raise NotImplementedError
+
+    def check(self, value: Any) -> None:
+        """Validate without encoding (used in error messages)."""
+        self.encode(value, bytearray())
+
+    def externalize(self, value: Any) -> bytes:
+        out = bytearray()
+        self.encode(value, out)
+        return bytes(out)
+
+    def internalize(self, data: bytes) -> Any:
+        value, offset = self.decode(data, 0)
+        if offset != len(data):
+            raise MarshalError("trailing bytes after %r" % self)
+        return value
+
+
+class BooleanType(TypeNode):
+    def encode(self, value, out):
+        if not isinstance(value, bool):
+            raise MarshalError("BOOLEAN expects bool, got %r" % (value,))
+        out += _U16.pack(1 if value else 0)
+
+    def decode(self, data, offset):
+        (word,) = _U16.unpack_from(data, offset)
+        if word not in (0, 1):
+            raise MarshalError("bad BOOLEAN word: %d" % word)
+        return bool(word), offset + 2
+
+    def __repr__(self):
+        return "BOOLEAN"
+
+
+class _IntType(TypeNode):
+    packer = _U16
+    name = "CARDINAL"
+    lo, hi = 0, 0xFFFF
+
+    def encode(self, value, out):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise MarshalError("%s expects int, got %r" % (self.name, value))
+        if not self.lo <= value <= self.hi:
+            raise MarshalError("%s out of range: %d" % (self.name, value))
+        out += self.packer.pack(value)
+
+    def decode(self, data, offset):
+        (value,) = self.packer.unpack_from(data, offset)
+        return value, offset + self.packer.size
+
+    def __repr__(self):
+        return self.name
+
+
+class CardinalType(_IntType):
+    pass
+
+
+class LongCardinalType(_IntType):
+    packer = _U32
+    name = "LONG CARDINAL"
+    lo, hi = 0, 0xFFFFFFFF
+
+
+class IntegerType(_IntType):
+    packer = _I16
+    name = "INTEGER"
+    lo, hi = -0x8000, 0x7FFF
+
+
+class LongIntegerType(_IntType):
+    packer = _I32
+    name = "LONG INTEGER"
+    lo, hi = -0x80000000, 0x7FFFFFFF
+
+
+class UnspecifiedType(_IntType):
+    name = "UNSPECIFIED"
+
+
+class StringType(TypeNode):
+    def encode(self, value, out):
+        if not isinstance(value, str):
+            raise MarshalError("STRING expects str, got %r" % (value,))
+        raw = value.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise MarshalError("STRING too long: %d bytes" % len(raw))
+        out += _U16.pack(len(raw))
+        out += raw
+        if len(raw) % 2:
+            out += b"\x00"  # pad to a word boundary, as Courier does
+
+    def decode(self, data, offset):
+        (length,) = _U16.unpack_from(data, offset)
+        offset += 2
+        raw = data[offset:offset + length]
+        if len(raw) != length:
+            raise MarshalError("truncated STRING")
+        offset += length + (length % 2)
+        return raw.decode("utf-8"), offset
+
+    def __repr__(self):
+        return "STRING"
+
+
+class EnumerationType(TypeNode):
+    """ENUMERATION {name(value), ...}: encoded as the declared word."""
+
+    def __init__(self, members: Dict[str, int]):
+        if not members:
+            raise ValueError("empty enumeration")
+        self.members = dict(members)
+        self.by_value = {v: k for k, v in members.items()}
+        if len(self.by_value) != len(self.members):
+            raise ValueError("duplicate enumeration values")
+
+    def encode(self, value, out):
+        if value not in self.members:
+            raise MarshalError("not an enumeration member: %r" % (value,))
+        out += _U16.pack(self.members[value])
+
+    def decode(self, data, offset):
+        (word,) = _U16.unpack_from(data, offset)
+        if word not in self.by_value:
+            raise MarshalError("bad enumeration value: %d" % word)
+        return self.by_value[word], offset + 2
+
+    def __repr__(self):
+        return "ENUMERATION {%s}" % ", ".join(
+            "%s(%d)" % kv for kv in sorted(self.members.items(),
+                                           key=lambda kv: kv[1]))
+
+
+class ArrayType(TypeNode):
+    """ARRAY n OF T: fixed length, no count on the wire."""
+
+    def __init__(self, length: int, element: TypeNode):
+        if length < 0:
+            raise ValueError("negative array length")
+        self.length = length
+        self.element = element
+
+    def encode(self, value, out):
+        if not isinstance(value, (list, tuple)) or len(value) != self.length:
+            raise MarshalError("ARRAY %d expects %d elements, got %r" % (
+                self.length, self.length, value))
+        for item in value:
+            self.element.encode(item, out)
+
+    def decode(self, data, offset):
+        items = []
+        for _ in range(self.length):
+            item, offset = self.element.decode(data, offset)
+            items.append(item)
+        return items, offset
+
+    def __repr__(self):
+        return "ARRAY %d OF %r" % (self.length, self.element)
+
+
+class SequenceType(TypeNode):
+    """SEQUENCE OF T: length word + elements."""
+
+    def __init__(self, element: TypeNode):
+        self.element = element
+
+    def encode(self, value, out):
+        if not isinstance(value, (list, tuple)):
+            raise MarshalError("SEQUENCE expects list, got %r" % (value,))
+        if len(value) > 0xFFFF:
+            raise MarshalError("SEQUENCE too long")
+        out += _U16.pack(len(value))
+        for item in value:
+            self.element.encode(item, out)
+
+    def decode(self, data, offset):
+        (count,) = _U16.unpack_from(data, offset)
+        offset += 2
+        items = []
+        for _ in range(count):
+            item, offset = self.element.decode(data, offset)
+            items.append(item)
+        return items, offset
+
+    def __repr__(self):
+        return "SEQUENCE OF %r" % (self.element,)
+
+
+class RecordType(TypeNode):
+    """RECORD [field: T, ...]: fields in declaration order."""
+
+    def __init__(self, fields: Sequence[Tuple[str, TypeNode]]):
+        self.fields = list(fields)
+
+    def encode(self, value, out):
+        if not isinstance(value, dict):
+            raise MarshalError("RECORD expects dict, got %r" % (value,))
+        extra = set(value) - {name for name, _ in self.fields}
+        if extra:
+            raise MarshalError("unknown record fields: %s" % sorted(extra))
+        for name, field_type in self.fields:
+            if name not in value:
+                raise MarshalError("missing record field: %s" % name)
+            field_type.encode(value[name], out)
+
+    def decode(self, data, offset):
+        record = {}
+        for name, field_type in self.fields:
+            record[name], offset = field_type.decode(data, offset)
+        return record, offset
+
+    def __repr__(self):
+        return "RECORD [%s]" % ", ".join(
+            "%s: %r" % (name, t) for name, t in self.fields)
+
+
+class ChoiceType(TypeNode):
+    """CHOICE OF {arm(designator) => T, ...}: a discriminated union,
+    represented in Python as an (arm_name, value) pair."""
+
+    def __init__(self, arms: Sequence[Tuple[str, int, TypeNode]]):
+        self.arms = list(arms)
+        self.by_name = {name: (tag, t) for name, tag, t in arms}
+        self.by_tag = {tag: (name, t) for name, tag, t in arms}
+        if len(self.by_name) != len(self.arms) or \
+                len(self.by_tag) != len(self.arms):
+            raise ValueError("duplicate choice arms")
+
+    def encode(self, value, out):
+        if (not isinstance(value, tuple) or len(value) != 2
+                or value[0] not in self.by_name):
+            raise MarshalError("CHOICE expects (arm, value), got %r"
+                               % (value,))
+        arm, payload = value
+        tag, arm_type = self.by_name[arm]
+        out += _U16.pack(tag)
+        arm_type.encode(payload, out)
+
+    def decode(self, data, offset):
+        (tag,) = _U16.unpack_from(data, offset)
+        offset += 2
+        if tag not in self.by_tag:
+            raise MarshalError("bad CHOICE designator: %d" % tag)
+        name, arm_type = self.by_tag[tag]
+        payload, offset = arm_type.decode(data, offset)
+        return (name, payload), offset
+
+    def __repr__(self):
+        return "CHOICE OF {%s}" % ", ".join(
+            "%s(%d) => %r" % (name, tag, t) for name, tag, t in self.arms)
+
+
+class VoidType(TypeNode):
+    """The empty argument/result list."""
+
+    def encode(self, value, out):
+        if value not in (None, {}):
+            raise MarshalError("VOID expects None")
+
+    def decode(self, data, offset):
+        return None, offset
+
+    def __repr__(self):
+        return "VOID"

@@ -1,0 +1,5 @@
+"""Developer tools: protocol tracing and message sequence charts."""
+
+from repro.tools.msc import PacketTrace, render_msc, trace_network
+
+__all__ = ["PacketTrace", "render_msc", "trace_network"]

@@ -1,0 +1,140 @@
+"""Packet tracing and ASCII message sequence charts.
+
+Attach a :class:`PacketTrace` to a network and every transmitted datagram
+is recorded with its decoded paired-message summary (when it parses as
+one).  :func:`render_msc` draws the recording as a message sequence chart
+with one lane per host — the pictures in the paper's Figures 4.3/4.4,
+generated from a live run.
+
+    with trace_network(world.net) as trace:
+        world.run(body())
+    print(render_msc(trace, hosts=["client", "s1", "s2"]))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from contextlib import contextmanager
+from typing import List, Optional, Sequence
+
+from repro.net.network import Datagram, Network
+from repro.pairedmsg import segments as seg
+
+
+@dataclasses.dataclass
+class TracedPacket:
+    time: float
+    src_host: str
+    dst_host: str
+    summary: str
+
+
+class PacketTrace:
+    """A recording of every datagram handed to the wire."""
+
+    def __init__(self):
+        self.packets: List[TracedPacket] = []
+
+    def record(self, time: float, datagram: Datagram) -> None:
+        self.packets.append(TracedPacket(
+            time, datagram.src.host, datagram.dst.host,
+            _summarize(datagram.payload)))
+
+    def between(self, start: float, end: float) -> List[TracedPacket]:
+        return [p for p in self.packets if start <= p.time <= end]
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+
+def _summarize(payload: bytes) -> str:
+    try:
+        segment = seg.decode(payload)
+    except seg.SegmentFormatError:
+        return "%dB" % len(payload)
+    kind = {seg.MSG_CALL: "CALL", seg.MSG_RETURN: "RET",
+            seg.MSG_PROBE: "PROBE", seg.MSG_PROBE_REPLY: "PROBE-R"}[
+        segment.msg_type]
+    if segment.ack:
+        return "%s-ACK#%d<=%d" % (kind, segment.call_number,
+                                  segment.segment_number)
+    flags = "!" if segment.please_ack else ""
+    if segment.total_segments > 1:
+        return "%s#%d %d/%d%s" % (kind, segment.call_number,
+                                  segment.segment_number,
+                                  segment.total_segments, flags)
+    return "%s#%d%s" % (kind, segment.call_number, flags)
+
+
+@contextmanager
+def trace_network(network: Network):
+    """Context manager: record all transmissions while the body runs."""
+    trace = PacketTrace()
+    original = network._transmit
+
+    def spy(datagram: Datagram) -> None:
+        trace.record(network.sim.now, datagram)
+        original(datagram)
+
+    network._transmit = spy
+    try:
+        yield trace
+    finally:
+        network._transmit = original
+
+
+def render_msc(trace: PacketTrace,
+               hosts: Optional[Sequence[str]] = None,
+               lane_width: int = 16,
+               max_packets: int = 80) -> str:
+    """Draw the trace as an ASCII message sequence chart.
+
+    One column per host; each packet is a labelled arrow from its source
+    lane toward its destination lane at the (virtual) time it was sent.
+    """
+    packets = trace.packets[:max_packets]
+    if hosts is None:
+        seen = []
+        for packet in packets:
+            for host in (packet.src_host, packet.dst_host):
+                if host not in seen:
+                    seen.append(host)
+        hosts = seen
+    lanes = {host: index for index, host in enumerate(hosts)}
+    width = lane_width * len(hosts)
+
+    def lane_center(host: str) -> int:
+        return lanes[host] * lane_width + lane_width // 2
+
+    lines = []
+    header = ""
+    for host in hosts:
+        header += host[:lane_width - 2].center(lane_width)
+    lines.append("time(ms) " + header)
+    ruler = ""
+    for host in hosts:
+        ruler += "|".center(lane_width)
+    for packet in packets:
+        if packet.src_host not in lanes or packet.dst_host not in lanes:
+            continue
+        a = lane_center(packet.src_host)
+        b = lane_center(packet.dst_host)
+        row = [c for c in ruler]
+        left, right = min(a, b), max(a, b)
+        for i in range(left + 1, right):
+            row[i] = "-"
+        row[b] = ">" if b > a else "<"
+        row[a] = "+"
+        label = packet.summary
+        text = "".join(row)
+        # Put the label in the middle of the arrow when it fits.
+        mid = (left + right) // 2 - len(label) // 2
+        if right - left > len(label) + 3 and mid > 0:
+            text = text[:mid] + label + text[mid + len(label):]
+            lines.append("%8.1f %s" % (packet.time, text))
+        else:
+            lines.append("%8.1f %s  %s" % (packet.time, text, label))
+    if len(trace.packets) > max_packets:
+        lines.append("... (%d more packets)" %
+                     (len(trace.packets) - max_packets))
+    return "\n".join(lines)

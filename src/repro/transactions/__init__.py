@@ -1,0 +1,72 @@
+"""Replicated lightweight transactions (Chapter 5).
+
+Troupes require more than serializability: all members must serialize
+transactions in the *same order* (§5.2.1), without communicating among
+themselves.  This package provides:
+
+- :mod:`repro.transactions.locks` — two-phase locking with shared and
+  exclusive modes and a waits-for graph;
+- :mod:`repro.transactions.deadlock` — cycle detection and victim
+  selection;
+- :mod:`repro.transactions.lightweight` — nested lightweight transactions
+  operating entirely in volatile memory (§5.2: troupes mask partial
+  failures, so the permanence machinery of conventional transactions is
+  unnecessary);
+- :mod:`repro.transactions.backoff` — binary exponential back-off for
+  retrying aborted transactions (§5.3.1);
+- :mod:`repro.transactions.commit` — the troupe commit protocol (§5.3):
+  optimistic, generic, converts divergent serialization orders into
+  deadlocks which are then broken by abort-and-retry;
+- :mod:`repro.transactions.broadcast` — the starvation-free ordered
+  broadcast protocol (§5.4, Figure 5.1) with deterministic local
+  concurrency control.
+"""
+
+from repro.transactions.locks import (
+    EXCLUSIVE,
+    LockTable,
+    SHARED,
+    TransactionAborted,
+)
+from repro.transactions.deadlock import DeadlockDetector, find_cycle
+from repro.transactions.lightweight import (
+    Transaction,
+    TransactionManager,
+    TransactionStatus,
+    TransactionalStore,
+)
+from repro.transactions.backoff import BinaryExponentialBackoff
+from repro.transactions.commit import (
+    CommitCoordinator,
+    CommitParticipant,
+    READY_TO_COMMIT_PROC,
+)
+from repro.transactions.broadcast import (
+    OrderedBroadcastServer,
+    atomic_broadcast,
+    GET_PROPOSED_TIME_PROC,
+    ACCEPT_TIME_PROC,
+)
+from repro.transactions.timestamps import WoundWaitScheduler
+
+__all__ = [
+    "ACCEPT_TIME_PROC",
+    "BinaryExponentialBackoff",
+    "CommitCoordinator",
+    "CommitParticipant",
+    "DeadlockDetector",
+    "EXCLUSIVE",
+    "GET_PROPOSED_TIME_PROC",
+    "LockTable",
+    "OrderedBroadcastServer",
+    "READY_TO_COMMIT_PROC",
+    "SHARED",
+    "Transaction",
+    "TransactionAborted",
+    "TransactionManager",
+    "TransactionStatus",
+    "TransactionalStore",
+    "WoundWaitScheduler",
+    "atomic_broadcast",
+    "find_cycle",
+]

@@ -1,0 +1,35 @@
+"""Binary exponential back-off for retrying aborted transactions (§5.3.1).
+
+"An aborted transaction is delayed for a randomly chosen interval before
+being retried.  If successive retries are required, the mean delay is
+doubled each time."  (The paper borrows the idea from Ethernet's
+collision resolution.)
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import RandomStream
+
+
+class BinaryExponentialBackoff:
+    """Produces the delay to wait before each successive retry."""
+
+    def __init__(self, rng: RandomStream, initial_mean: float = 20.0,
+                 max_mean: float = 5000.0):
+        if initial_mean <= 0:
+            raise ValueError("initial mean must be positive")
+        self.rng = rng
+        self.initial_mean = initial_mean
+        self.max_mean = max_mean
+        self.attempt = 0
+
+    def next_delay(self) -> float:
+        """The delay before the next retry: uniform in [0, 2*mean), with
+        the mean doubling on each successive retry."""
+        mean = min(self.initial_mean * (2 ** self.attempt), self.max_mean)
+        self.attempt += 1
+        return self.rng.uniform(0.0, 2.0 * mean)
+
+    def reset(self) -> None:
+        """Call after a success so the next failure starts small again."""
+        self.attempt = 0

@@ -1,0 +1,180 @@
+"""The ordered broadcast protocol (§5.4, Figure 5.1).
+
+A starvation-free alternative to the troupe commit protocol: concurrent
+broadcasts are never interleaved — all recipients accept messages for
+application-level processing in the same order.  Two phases, expressed as
+replicated procedure calls:
+
+1. ``get_proposed_time(message)`` — each server member timestamps the
+   message with its (synchronized) clock and queues it as *proposed*;
+2. ``accept_time(message, max_of_proposals)`` — each member re-queues the
+   message as *accepted* at the maximum proposed time, then drains its
+   queue head: a message is processed only when its status is accepted,
+   its acceptance time has arrived, and no earlier *proposed* message
+   remains ahead of it.
+
+Ties are broken by the (deterministic) message ID, so all members drain
+identically.  Combined with a deterministic local concurrency control
+algorithm — the simplest being serial execution in acceptance order —
+every member serializes transactions in the same order, with no chance
+of protocol-induced deadlock.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.collators import Collator
+from repro.core.runtime import CallContext, ExportedModule, TroupeRuntime
+from repro.core.troupe import TroupeDescriptor
+from repro.rpc.messages import decode_return
+from repro.rpc.threads import ThreadId
+from repro.sim.kernel import Simulator
+
+GET_PROPOSED_TIME_PROC = 0
+ACCEPT_TIME_PROC = 1
+
+PROPOSED = "proposed"
+ACCEPTED = "accepted"
+
+_TIME = struct.Struct("!d")
+_ID_LEN = struct.Struct("!H")
+
+
+def _encode_id_and_payload(msg_id: bytes, payload: bytes) -> bytes:
+    return _ID_LEN.pack(len(msg_id)) + msg_id + payload
+
+
+def _decode_id_and_payload(data: bytes) -> Tuple[bytes, bytes]:
+    (length,) = _ID_LEN.unpack_from(data, 0)
+    return data[2:2 + length], data[2 + length:]
+
+
+class MaxTimeCollator(Collator):
+    """Collates get_proposed_time responses: picks the maximum proposed
+    time (the ``max`` loop in Figure 5.1's client side), returning the raw
+    return message that carried it so the caller can decode uniformly."""
+
+    needs_all = True
+
+    def add(self, source, value):
+        self.values.append((source, value))
+        return (False, None)
+
+    def finish(self):
+        if not self.values:
+            from repro.core.collators import CollationError
+            raise CollationError("no proposals received")
+
+        def proposed_time(raw: bytes) -> float:
+            _header, body = decode_return(raw)
+            return _TIME.unpack(body)[0]
+
+        return max((v for _, v in self.values), key=proposed_time)
+
+
+class OrderedBroadcastServer:
+    """The server half of Figure 5.1, as an exportable module.
+
+    ``deliver`` is invoked (in acceptance order, identically at every
+    member) with each message's payload bytes; it may be a plain function
+    or a generator.  Deliveries run in a dedicated thread so a slow
+    handler never blocks the protocol procedures.
+    """
+
+    def __init__(self, runtime: TroupeRuntime,
+                 deliver: Callable[[bytes], None],
+                 clock_skew: float = 0.0):
+        self.runtime = runtime
+        self.sim: Simulator = runtime.sim
+        self.deliver = deliver
+        self.clock_skew = clock_skew
+        #: queue entries: [time, msg_id, payload, status], kept sorted by
+        #: (time, msg_id) — the paper's message_queue ordered by time.
+        self.queue: List[list] = []
+        self.delivered: List[bytes] = []   # msg_ids, in delivery order
+        self.module = ExportedModule("ordered-broadcast", {
+            GET_PROPOSED_TIME_PROC: self._get_proposed_time,
+            ACCEPT_TIME_PROC: self._accept_time,
+        })
+        self.module_addr = runtime.export(self.module)
+        runtime.start_server()
+
+    def now(self) -> float:
+        """The synchronized clock (§5.4 assumes synchronized clocks [50])."""
+        return self.sim.now + self.clock_skew
+
+    # -- protocol procedures ------------------------------------------------
+
+    def _get_proposed_time(self, ctx: CallContext, args: bytes) -> bytes:
+        msg_id, payload = _decode_id_and_payload(args)
+        time = self.now()
+        self._insert([time, msg_id, payload, PROPOSED])
+        return _TIME.pack(time)
+
+    def _accept_time(self, ctx: CallContext, args: bytes):
+        msg_id, time_raw = _decode_id_and_payload(args)
+        (accepted_time,) = _TIME.unpack(time_raw)
+        entry = self._remove(msg_id)
+        if entry is None:
+            return b""  # duplicate accept; already processed
+        entry[0] = accepted_time
+        entry[3] = ACCEPTED
+        self._insert(entry)
+        yield from self._drain()
+        return b""
+
+    # -- queue management -------------------------------------------------
+
+    def _insert(self, entry: list) -> None:
+        self.queue.append(entry)
+        self.queue.sort(key=lambda e: (e[0], e[1]))
+
+    def _remove(self, msg_id: bytes) -> Optional[list]:
+        for entry in self.queue:
+            if entry[1] == msg_id and entry[3] == PROPOSED:
+                self.queue.remove(entry)
+                return entry
+        return None
+
+    def _drain(self):
+        """Figure 5.1's acceptance loop: process head messages that are
+        accepted, due, and not preceded by a pending proposal."""
+        while self.queue:
+            time, msg_id, payload, status = self.queue[0]
+            if status == PROPOSED:
+                break
+            if time > self.now():
+                # Not due yet: re-drain when its acceptance time arrives.
+                self.sim.schedule(time - self.now(), self._drain_later)
+                break
+            self.queue.pop(0)
+            self.delivered.append(msg_id)
+            result = self.deliver(payload)
+            if hasattr(result, "send"):
+                yield from result
+
+    def _drain_later(self) -> None:
+        self.runtime.process.spawn(self._drain(), name="ob-drain",
+                                   daemon=True)
+
+
+def atomic_broadcast(runtime: TroupeRuntime, troupe: TroupeDescriptor,
+                     module: int, msg_id: bytes, payload: bytes,
+                     thread_id: Optional[ThreadId] = None):
+    """Generator: the client half of Figure 5.1.
+
+    Calls get_proposed_time at the whole troupe, takes the maximum of the
+    proposed times, and calls accept_time with it.  ``msg_id`` must be
+    unique and identical across client troupe members (derive it from the
+    thread ID and a per-thread sequence number).
+    """
+    proposals_raw = yield from runtime.call_troupe(
+        troupe, module, GET_PROPOSED_TIME_PROC,
+        _encode_id_and_payload(msg_id, payload),
+        collator=MaxTimeCollator(), thread_id=thread_id)
+    yield from runtime.call_troupe(
+        troupe, module, ACCEPT_TIME_PROC,
+        _encode_id_and_payload(msg_id, proposals_raw),
+        thread_id=thread_id)

@@ -1,0 +1,107 @@
+"""Timestamp-ordered concurrency control: wound-wait (§5.4).
+
+The starvation-free scheme needs "the same deterministic concurrency
+control algorithm at each troupe member", where deterministic means "the
+serialization order of a set of concurrent transactions is a well-defined
+function of the order in which they arrived".  The paper names two
+candidates: serial execution in chronological order (trivial, no
+concurrency) and "the combination of time stamps and two-phase locking
+described by Rosenkrantz et al." — wound-wait, implemented here.
+
+Rules, for a transaction T requesting a lock held conflictingly by H:
+
+- if T is *older* (smaller timestamp) it **wounds** H: H is aborted and
+  restarted later, T takes the lock;
+- if T is *younger* it **waits**.
+
+Older transactions never wait behind younger ones, so the waits-for graph
+cannot contain a cycle: wound-wait is deadlock-free, and the commit order
+of conflicting transactions is a function of their timestamps alone.
+Feeding it timestamps agreed via ordered broadcast makes every troupe
+member serialize identically with no communication among members.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional
+
+from repro.sim.kernel import Simulator, Sleep
+from repro.transactions.lightweight import Transaction, TransactionManager
+from repro.transactions.locks import (
+    EXCLUSIVE,
+    SHARED,
+    TransactionAborted,
+    _conflicts,
+)
+
+
+class WoundWaitScheduler:
+    """Timestamped lock acquisition over a TransactionManager's table.
+
+    Transactions register with :meth:`assign` before acquiring; the
+    timestamp is typically the ordered-broadcast acceptance time (§5.4),
+    or any value agreed identically by all troupe members.
+    """
+
+    def __init__(self, manager: TransactionManager,
+                 retry_interval: float = 5.0):
+        self.manager = manager
+        self.sim: Simulator = manager.sim
+        self.retry_interval = retry_interval
+        self._timestamps: Dict[Any, float] = {}
+        self.wounds = 0
+
+    def assign(self, txn: Transaction, timestamp: float) -> None:
+        if txn in self._timestamps:
+            raise ValueError("transaction already timestamped: %r" % txn)
+        self._timestamps[txn] = timestamp
+
+    def timestamp(self, txn: Transaction) -> Optional[float]:
+        return self._timestamps.get(txn)
+
+    def forget(self, txn: Transaction) -> None:
+        self._timestamps.pop(txn, None)
+
+    # -- acquisition under wound-wait ----------------------------------
+
+    def acquire(self, txn: Transaction, key: Hashable, mode: str):
+        """Generator: acquire under wound-wait; may abort *other*
+        transactions (wounds) but never deadlocks.
+
+        Raises TransactionAborted if ``txn`` itself is wounded while
+        waiting.
+        """
+        my_ts = self._timestamps.get(txn)
+        if my_ts is None:
+            raise ValueError("transaction has no timestamp: %r" % txn)
+        locks = self.manager.locks
+        while True:
+            txn.require_active()
+            if locks.try_acquire(txn, key, mode):
+                return
+            # Conflicting holders: wound every younger one.
+            wounded_any = False
+            for holder, held_mode in list(locks.holders(key).items()):
+                if holder is txn or not _conflicts(mode, held_mode):
+                    continue
+                holder_ts = self._timestamps.get(holder)
+                if holder_ts is None:
+                    continue  # not under timestamp control: just wait
+                if my_ts < holder_ts:
+                    self.manager.abort(holder, "wounded by older transaction")
+                    self.wounds += 1
+                    wounded_any = True
+            if wounded_any:
+                continue  # the lock may be free now
+            # We are the younger one: wait and retry.
+            yield Sleep(self.retry_interval)
+
+    def read(self, store, txn: Transaction, key: Hashable):
+        """Generator: store read under wound-wait locking."""
+        yield from self.acquire(txn, key, SHARED)
+        return store._visible(txn, key)
+
+    def write(self, store, txn: Transaction, key: Hashable, value) :
+        """Generator: store write under wound-wait locking."""
+        yield from self.acquire(txn, key, EXCLUSIVE)
+        txn.writes[key] = value

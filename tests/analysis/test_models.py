@@ -1,0 +1,147 @@
+"""Tests for the analytic models (Equations 4.x, 5.1, 6.1, 6.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    availability,
+    deadlock_probability,
+    expected_max_exponential,
+    failed_member_distribution,
+    harmonic,
+    required_repair_time,
+)
+
+
+def test_harmonic_small_values():
+    assert harmonic(0) == 0.0
+    assert harmonic(1) == 1.0
+    assert harmonic(2) == pytest.approx(1.5)
+    assert harmonic(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+
+def test_harmonic_large_values_match_asymptotics():
+    # H_n ~ ln n + gamma
+    n = 10 ** 6
+    assert harmonic(n) == pytest.approx(math.log(n) + 0.5772156649, abs=1e-5)
+
+
+def test_harmonic_continuity_at_switchover():
+    """The exact sum and the asymptotic expansion agree near n=100."""
+    exact = sum(1.0 / k for k in range(1, 101))
+    assert harmonic(100) == pytest.approx(exact, rel=1e-9)
+
+
+def test_harmonic_negative_rejected():
+    with pytest.raises(ValueError):
+        harmonic(-1)
+
+
+def test_expected_max_exponential_theorem_4_3():
+    # n=1: E[max] = mean; n=2: 1.5 * mean.
+    assert expected_max_exponential(1, 10.0) == pytest.approx(10.0)
+    assert expected_max_exponential(2, 10.0) == pytest.approx(15.0)
+
+
+def test_expected_max_exponential_validates():
+    with pytest.raises(ValueError):
+        expected_max_exponential(0, 1.0)
+    with pytest.raises(ValueError):
+        expected_max_exponential(1, 0.0)
+
+
+def test_expected_max_matches_monte_carlo():
+    import random
+    rng = random.Random(1)
+    n, mean, trials = 5, 2.0, 20000
+    total = 0.0
+    for _ in range(trials):
+        total += max(rng.expovariate(1.0 / mean) for _ in range(n))
+    assert total / trials == pytest.approx(
+        expected_max_exponential(n, mean), rel=0.03)
+
+
+def test_availability_equation_6_1():
+    # lambda = mu: A = 1 - (1/2)^n
+    assert availability(1, 1.0, 1.0) == pytest.approx(0.5)
+    assert availability(3, 1.0, 1.0) == pytest.approx(0.875)
+
+
+def test_paper_worked_example_6_4_2():
+    """3-member troupe, 1-hour lifetimes, 99.9% availability => replacement
+    within 1/9 of the lifetime (6 minutes 40 seconds)."""
+    repair = required_repair_time(3, lifetime=60.0, target_availability=0.999)
+    assert repair == pytest.approx(60.0 / 9.0, rel=1e-9)
+    # And 5 members allow 20 minutes (1/3 of the lifetime).
+    repair5 = required_repair_time(5, lifetime=60.0,
+                                   target_availability=0.999)
+    assert repair5 == pytest.approx(20.0, rel=0.01)
+
+
+def test_equation_6_2_inverts_6_1():
+    """Plugging Eq 6.2's repair time back into Eq 6.1 recovers the target."""
+    for n in (1, 2, 3, 5, 8):
+        lifetime = 50.0
+        target = 0.995
+        repair = required_repair_time(n, lifetime, target)
+        recovered = availability(n, 1.0 / lifetime, 1.0 / repair)
+        assert recovered == pytest.approx(target, rel=1e-9)
+
+
+def test_failed_member_distribution_sums_to_one():
+    dist = failed_member_distribution(4, 0.3, 0.7)
+    assert sum(dist) == pytest.approx(1.0)
+    assert len(dist) == 5
+    assert availability(4, 0.3, 0.7) == pytest.approx(1.0 - dist[-1])
+
+
+def test_availability_validates():
+    with pytest.raises(ValueError):
+        availability(0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        availability(1, 0.0, 1.0)
+    with pytest.raises(ValueError):
+        required_repair_time(1, 1.0, 1.5)
+
+
+def test_deadlock_probability_equation_5_1():
+    # One member or one transaction: never deadlocks.
+    assert deadlock_probability(5, 1) == 0.0
+    assert deadlock_probability(1, 5) == 0.0
+    # k=2, n=2: 1 - 1/2 = 0.5.
+    assert deadlock_probability(2, 2) == pytest.approx(0.5)
+    # k=3, n=3: 1 - (1/6)^2.
+    assert deadlock_probability(3, 3) == pytest.approx(1 - (1 / 6.0) ** 2)
+
+
+def test_deadlock_probability_approaches_certainty():
+    assert deadlock_probability(6, 3) > 0.99
+
+
+def test_deadlock_probability_validates():
+    with pytest.raises(ValueError):
+        deadlock_probability(0, 1)
+    with pytest.raises(ValueError):
+        deadlock_probability(1, 0)
+
+
+@given(st.integers(min_value=1, max_value=200))
+def test_property_harmonic_monotone(n):
+    assert harmonic(n + 1) > harmonic(n)
+
+
+@given(st.integers(min_value=1, max_value=10),
+       st.floats(min_value=0.01, max_value=10.0),
+       st.floats(min_value=0.01, max_value=10.0))
+def test_property_availability_monotone_in_n(n, lam, mu):
+    assert availability(n + 1, lam, mu) >= availability(n, lam, mu)
+
+
+@given(st.integers(min_value=2, max_value=7),
+       st.integers(min_value=2, max_value=6))
+def test_property_deadlock_monotone(k, n):
+    assert deadlock_probability(k + 1, n) >= deadlock_probability(k, n)
+    assert deadlock_probability(k, n + 1) >= deadlock_probability(k, n)
+    assert 0.0 <= deadlock_probability(k, n) <= 1.0

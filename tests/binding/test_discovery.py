@@ -1,0 +1,98 @@
+"""Tests for broadcast discovery of the Ringmaster (§6.3)."""
+
+import pytest
+
+from repro.binding import (
+    BindingClient,
+    DiscoveryFailed,
+    discover_ringmaster,
+    start_ringmaster,
+)
+from repro.core import ExportedModule, TroupeRuntime
+from repro.harness import World
+
+
+def test_discovery_finds_all_ringmaster_members():
+    world = World(machines=6)
+    ringmaster, _members = start_ringmaster(world.machines[:3])
+    client_proc = world.machines[4].spawn_process("discoverer")
+
+    def body():
+        return (yield from discover_ringmaster(client_proc))
+
+    discovered = world.run(body())
+    assert discovered.troupe_id == ringmaster.troupe_id
+    assert set(discovered.processes) == set(ringmaster.processes)
+
+
+def test_discovery_is_deterministic_across_discoverers():
+    world = World(machines=8)
+    start_ringmaster(world.machines[:2])
+
+    def discover_from(machine):
+        proc = machine.spawn_process("d")
+
+        def body():
+            return (yield from discover_ringmaster(proc))
+        return world.run(body())
+
+    d1 = discover_from(world.machines[3])
+    d2 = discover_from(world.machines[4])
+    assert d1.members == d2.members  # sorted responders, same order
+
+
+def test_discovered_descriptor_is_usable_for_binding():
+    world = World(machines=8)
+    start_ringmaster(world.machines[:2])
+
+    # A server exports through a *discovered* ringmaster descriptor.
+    server_machine = world.machines[3]
+    process = server_machine.spawn_process("svc")
+    runtime = TroupeRuntime(process)
+
+    def echo(ctx, args):
+        return b"found:" + args
+
+    member = runtime.export(ExportedModule("svc", {0: echo}))
+    runtime.start_server()
+
+    def server_flow():
+        discovered = yield from discover_ringmaster(runtime.process)
+        binding = BindingClient(runtime, discovered)
+        yield from binding.export_module("svc", member)
+
+    world.run(server_flow())
+
+    client = world.make_client()
+
+    def client_flow():
+        discovered = yield from discover_ringmaster(client.process)
+        binding = BindingClient(client, discovered)
+        return (yield from binding.call("svc", 0, b"it"))
+
+    assert world.run(client_flow()) == b"found:it"
+
+
+def test_discovery_fails_when_no_ringmaster():
+    world = World(machines=3)
+    proc = world.machines[0].spawn_process("d")
+
+    def body():
+        yield from discover_ringmaster(proc, window=30.0, retries=2)
+
+    with pytest.raises(DiscoveryFailed):
+        world.run(body())
+
+
+def test_discovery_ignores_crashed_members():
+    world = World(machines=6)
+    ringmaster, members = start_ringmaster(world.machines[:3])
+    world.machines[1].crash()
+    proc = world.machines[4].spawn_process("d")
+
+    def body():
+        return (yield from discover_ringmaster(proc))
+
+    discovered = world.run(body())
+    hosts = {addr.host for addr in discovered.processes}
+    assert hosts == {"host0", "host2"}

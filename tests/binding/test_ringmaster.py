@@ -1,0 +1,281 @@
+"""Tests for the Ringmaster binding agent (§6.2, §6.3)."""
+
+import pytest
+
+from repro.binding import (
+    BindingClient,
+    BindingError,
+    Janitor,
+    ReplaceableModule,
+    join_troupe,
+    start_ringmaster,
+)
+from repro.core import ExportedModule, StaleBindingError, TroupeRuntime
+from repro.core.runtime import RuntimeConfig
+from repro.harness import World
+from repro.sim import Sleep
+
+
+def make_world(machines=10, ringmasters=2, seed=0):
+    world = World(machines=machines, seed=seed)
+    ringmaster, rm_members = start_ringmaster(
+        world.machines[:ringmasters])
+    return world, ringmaster, rm_members
+
+
+def make_server(world, machine, ringmaster, module):
+    """A server process exporting `module`, bound through the Ringmaster."""
+    process = machine.spawn_process("server")
+    holder = {}
+
+    def resolver(tid):
+        client = holder.get("binding")
+        if client is None:
+            return None
+        return client.make_resolver()(tid)
+
+    runtime = TroupeRuntime(process, resolver=resolver)
+    binding = BindingClient(runtime, ringmaster)
+    holder["binding"] = binding
+    member_addr = runtime.export(module)
+    runtime.start_server()
+    return runtime, binding, member_addr
+
+
+def echo_module():
+    def echo(ctx, args):
+        return b"echo:" + args
+    return ExportedModule("echo", {0: echo})
+
+
+def make_client(world, ringmaster):
+    runtime = world.make_client()
+    return runtime, BindingClient(runtime, ringmaster)
+
+
+def test_export_then_import_and_call():
+    world, ringmaster, _ = make_world()
+    server_rt, server_binding, member = make_server(
+        world, world.machines[3], ringmaster, echo_module())
+
+    def server_setup():
+        tid = yield from server_binding.export_module("echo-svc", member)
+        return tid
+
+    tid = world.run(server_setup())
+    assert server_rt.troupe_id == tid  # set_troupe_id reached the member
+
+    client_rt, client_binding = make_client(world, ringmaster)
+
+    def client_body():
+        descriptor = yield from client_binding.import_troupe("echo-svc")
+        assert descriptor.troupe_id == tid
+        assert descriptor.degree == 1
+        return (yield from client_binding.call("echo-svc", 0, b"hi"))
+
+    assert world.run(client_body()) == b"echo:hi"
+
+
+def test_each_member_adds_itself_and_ids_change():
+    """§6.2: members register one at a time; every addition changes the
+    troupe ID and informs all members."""
+    world, ringmaster, _ = make_world()
+    servers = []
+    ids = []
+    for i in range(3):
+        rt, binding, member = make_server(
+            world, world.machines[3 + i], ringmaster, echo_module())
+        servers.append(rt)
+
+        def setup(binding=binding, member=member):
+            tid = yield from binding.export_module("echo-svc", member)
+            ids.append(tid)
+
+        world.run(setup())
+    assert len(set(ids)) == 3  # a fresh ID per membership change
+    # Every member ended up with the final ID.
+    assert {rt.troupe_id for rt in servers} == {ids[-1]}
+
+    client_rt, client_binding = make_client(world, ringmaster)
+
+    def client_body():
+        descriptor = yield from client_binding.import_troupe("echo-svc")
+        assert descriptor.degree == 3
+        return (yield from client_binding.call("echo-svc", 0, b"all"))
+
+    assert world.run(client_body()) == b"echo:all"
+    assert all(rt.calls_executed == 1 for rt in servers)
+
+
+def test_stale_cache_detected_and_rebound():
+    world, ringmaster, _ = make_world()
+    rt1, binding1, member1 = make_server(
+        world, world.machines[3], ringmaster, echo_module())
+    world.run(binding1.export_module("svc", member1))
+
+    client_rt, client_binding = make_client(world, ringmaster)
+
+    def first_call():
+        return (yield from client_binding.call("svc", 0, b"one"))
+
+    assert world.run(first_call()) == b"echo:one"
+    cached = client_binding.cache["svc"]
+
+    # Membership changes: the cached ID is now stale.
+    rt2, binding2, member2 = make_server(
+        world, world.machines[4], ringmaster, echo_module())
+    world.run(binding2.export_module("svc", member2))
+
+    def direct_call_with_stale_descriptor():
+        yield from client_rt.call_troupe(cached, None, 0, b"stale")
+
+    with pytest.raises(StaleBindingError):
+        world.run(direct_call_with_stale_descriptor())
+
+    def auto_rebinding_call():
+        return (yield from client_binding.call("svc", 0, b"two"))
+
+    assert world.run(auto_rebinding_call()) == b"echo:two"
+    assert client_binding.rebinds >= 1
+    assert client_binding.cache["svc"].degree == 2
+
+
+def test_import_unknown_name_fails():
+    world, ringmaster, _ = make_world()
+    client_rt, client_binding = make_client(world, ringmaster)
+
+    def body():
+        yield from client_binding.import_troupe("no-such-troupe")
+
+    with pytest.raises(BindingError):
+        world.run(body())
+
+
+def test_register_troupe_and_duplicate_rejected():
+    world, ringmaster, _ = make_world()
+    rt, binding, member = make_server(
+        world, world.machines[3], ringmaster, echo_module())
+
+    def body():
+        tid = yield from binding.register_troupe("whole", [member])
+        return tid
+
+    tid = world.run(body())
+    assert tid > 0
+
+    def duplicate():
+        yield from binding.register_troupe("whole", [member])
+
+    with pytest.raises(BindingError):
+        world.run(duplicate())
+
+
+def test_lookup_by_id():
+    world, ringmaster, _ = make_world()
+    rt, binding, member = make_server(
+        world, world.machines[3], ringmaster, echo_module())
+
+    def body():
+        tid = yield from binding.export_module("svc", member)
+        members = yield from binding.lookup_by_id(tid)
+        return members
+
+    members = world.run(body())
+    assert members == [member.process]
+
+
+def test_replicated_ringmaster_members_stay_consistent():
+    world, ringmaster, rm_members = make_world(ringmasters=3)
+    for i in range(3):
+        rt, binding, member = make_server(
+            world, world.machines[4 + i], ringmaster, echo_module())
+        world.run(binding.export_module("svc-%d" % (i % 2), member))
+    registries = [(rm.by_name, rm.by_id) for rm in rm_members]
+    for other in registries[1:]:
+        assert other == registries[0]
+
+
+def test_janitor_removes_crashed_member():
+    world, ringmaster, rm_members = make_world()
+    rt1, binding1, member1 = make_server(
+        world, world.machines[3], ringmaster, echo_module())
+    rt2, binding2, member2 = make_server(
+        world, world.machines[4], ringmaster, echo_module())
+    world.run(binding1.export_module("svc", member1))
+    world.run(binding2.export_module("svc", member2))
+
+    world.machine(member2.process.host).crash()
+
+    janitor_rt, janitor_binding = make_client(world, ringmaster)
+    janitor = Janitor(janitor_rt, janitor_binding)
+
+    def sweep():
+        return (yield from janitor.sweep())
+
+    removed = world.run(sweep())
+    assert removed == [("svc", member2)]
+    # The registry now lists only the survivor, under a fresh ID.
+    assert all(
+        rm.by_name["svc"][1] == [member1] for rm in rm_members)
+
+    client_rt, client_binding = make_client(world, ringmaster)
+
+    def call():
+        return (yield from client_binding.call("svc", 0, b"after-gc"))
+
+    assert world.run(call()) == b"echo:after-gc"
+
+
+def counter_module(state):
+    """A stateful module: increment/get, replaceable via get_state."""
+    def increment(ctx, args):
+        state["count"] = state.get("count", 0) + 1
+        return b"%d" % state["count"]
+
+    def get(ctx, args):
+        return b"%d" % state.get("count", 0)
+
+    return ReplaceableModule(
+        "counter", {0: increment, 1: get},
+        externalize=lambda: b"%d" % state.get("count", 0),
+        internalize=lambda raw: state.__setitem__("count", int(raw)))
+
+
+def test_join_troupe_transfers_state():
+    """§6.4.1: a new member fetches state via get_state, then registers."""
+    world, ringmaster, _ = make_world()
+    state1 = {}
+    rt1, binding1, member1 = make_server(
+        world, world.machines[3], ringmaster, counter_module(state1))
+    world.run(binding1.export_module("counter", member1))
+
+    client_rt, client_binding = make_client(world, ringmaster)
+
+    def warm_up():
+        for _ in range(5):
+            yield from client_binding.call("counter", 0, b"")
+
+    world.run(warm_up())
+    assert state1["count"] == 5
+
+    # A replacement member joins.
+    state2 = {}
+    module2 = counter_module(state2)
+    rt2, binding2, member2 = make_server(
+        world, world.machines[4], ringmaster, module2)
+
+    def join():
+        return (yield from join_troupe(rt2, module2, member2, "counter",
+                                       binding2))
+
+    new_id = world.run(join())
+    assert state2["count"] == 5          # state transferred
+    assert rt2.troupe_id == new_id       # ID installed
+    assert rt1.troupe_id == new_id       # existing member re-identified
+
+    def call_after_join():
+        return (yield from client_binding.call("counter", 0, b""))
+
+    assert world.run(call_after_join()) == b"6"
+    assert state1["count"] == 6
+    assert state2["count"] == 6          # the new member participates

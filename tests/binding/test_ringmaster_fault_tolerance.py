@@ -1,0 +1,88 @@
+"""The binding agent is itself highly available (§6.2): "it is essential
+that the binding agent be highly available.  An obvious choice is to make
+the binding agent a troupe" — so it must keep serving when members crash.
+"""
+
+import pytest
+
+from repro.binding import BindingClient, start_ringmaster
+from repro.core import ExportedModule, TroupeRuntime
+from repro.harness import World
+
+
+def echo_module():
+    def echo(ctx, args):
+        return b"echo:" + args
+    return ExportedModule("echo", {0: echo})
+
+
+def make_server(world, machine, ringmaster):
+    process = machine.spawn_process("server")
+    holder = {}
+    runtime = TroupeRuntime(
+        process,
+        resolver=lambda tid: holder["binding"].make_resolver()(tid))
+    binding = BindingClient(runtime, ringmaster)
+    holder["binding"] = binding
+    member = runtime.export(echo_module())
+    runtime.start_server()
+    return runtime, binding, member
+
+
+def test_binding_survives_ringmaster_member_crash():
+    world = World(machines=10)
+    ringmaster, rm_members = start_ringmaster(world.machines[:3])
+
+    # Register a service while all three Ringmasters are up.
+    rt1, binding1, member1 = make_server(world, world.machines[3],
+                                         ringmaster)
+    world.run(binding1.export_module("svc", member1))
+
+    # One Ringmaster machine dies.
+    world.machines[1].crash()
+
+    # Lookups still work (the survivors answer; the crashed member is
+    # detected and excluded by the replicated call machinery).
+    client_rt = world.make_client()
+    client_binding = BindingClient(client_rt, ringmaster)
+
+    def lookup_and_call():
+        descriptor = yield from client_binding.import_troupe("svc")
+        assert descriptor.degree == 1
+        return (yield from client_binding.call("svc", 0, b"up?"))
+
+    assert world.run(lookup_and_call()) == b"echo:up?"
+
+    # Mutations still work too: another member can join the service.
+    rt2, binding2, member2 = make_server(world, world.machines[4],
+                                         ringmaster)
+    world.run(binding2.export_module("svc", member2))
+
+    def call_two_member_troupe():
+        yield from client_binding.rebind("svc")
+        return (yield from client_binding.call("svc", 0, b"both?"))
+
+    assert world.run(call_two_member_troupe()) == b"echo:both?"
+    assert client_binding.cache["svc"].degree == 2
+
+    # The surviving Ringmaster members' registries agree.
+    alive = [rm for rm in rm_members if rm.runtime.process.machine.up]
+    assert len(alive) == 2
+    assert alive[0].by_name == alive[1].by_name
+
+
+def test_total_ringmaster_failure_fails_binding_operations():
+    from repro.core import TroupeFailure
+
+    world = World(machines=6)
+    ringmaster, _ = start_ringmaster(world.machines[:2])
+    world.machines[0].crash()
+    world.machines[1].crash()
+    client_rt = world.make_client("host3")
+    client_binding = BindingClient(client_rt, ringmaster)
+
+    def body():
+        yield from client_binding.import_troupe("anything")
+
+    with pytest.raises(TroupeFailure):
+        world.run(body())

@@ -1,0 +1,117 @@
+"""Tests for the configuration manager and the troupe extension problem."""
+
+import pytest
+
+from repro.config import (
+    ConfigurationError,
+    ConfigurationManager,
+    parse_specification,
+)
+from repro.host import Machine
+from repro.net import Network
+from repro.sim import Simulator
+
+
+def make_universe(specs):
+    sim = Simulator()
+    net = Network(sim)
+    machines = [Machine(sim, net, name, attributes=attrs)
+                for name, attrs in specs]
+    return sim, machines
+
+
+def test_instantiate_picks_satisfying_machines():
+    sim, machines = make_universe([
+        ("big1", {"memory": 16}),
+        ("small", {"memory": 2}),
+        ("big2", {"memory": 32}),
+    ])
+    manager = ConfigurationManager(machines)
+    spec = parse_specification(
+        "troupe(x, y) where x.memory >= 16 and y.memory >= 16")
+    chosen = manager.instantiate(spec)
+    assert sorted(m.name for m in chosen) == ["big1", "big2"]
+
+
+def test_instantiate_unsatisfiable_raises():
+    sim, machines = make_universe([("small", {"memory": 2})])
+    manager = ConfigurationManager(machines)
+    spec = parse_specification("troupe(x) where x.memory >= 16")
+    with pytest.raises(ConfigurationError):
+        manager.instantiate(spec)
+
+
+def test_extend_prefers_keeping_existing_members():
+    sim, machines = make_universe([
+        ("a", {"ok": True}), ("b", {"ok": True}),
+        ("c", {"ok": True}), ("d", {"ok": True}),
+    ])
+    manager = ConfigurationManager(machines)
+    spec = parse_specification(
+        "troupe(x, y, z) where x.ok and y.ok and z.ok")
+    old = [machines[0], machines[1]]  # a, b
+    chosen = manager.extend_troupe(spec, old=old)
+    names = {m.name for m in chosen}
+    # The closest 3-member extension of {a, b} keeps both.
+    assert {"a", "b"} <= names
+    assert len(names) == 3
+
+
+def test_extend_replaces_crashed_member():
+    sim, machines = make_universe([
+        ("a", {"ok": True}), ("b", {"ok": True}), ("c", {"ok": True}),
+    ])
+    manager = ConfigurationManager(machines)
+    spec = parse_specification("troupe(x, y) where x.ok and y.ok")
+    old = [machines[0], machines[1]]
+    machines[1].crash()
+    chosen = manager.extend_troupe(spec, old=old)
+    names = {m.name for m in chosen}
+    assert names == {"a", "c"}  # b is down; keep a, add c
+
+
+def test_crashed_machines_never_chosen():
+    sim, machines = make_universe([
+        ("a", {"ok": True}), ("b", {"ok": True}),
+    ])
+    machines[0].crash()
+    manager = ConfigurationManager(machines)
+    spec = parse_specification("troupe(x, y) where x.ok and y.ok")
+    with pytest.raises(ConfigurationError):
+        manager.instantiate(spec)
+
+
+def test_asymmetric_constraints_assign_correct_roles():
+    """Variables with different requirements map to suitable machines."""
+    sim, machines = make_universe([
+        ("disk-server", {"has-disk": True, "memory": 4}),
+        ("compute", {"has-disk": False, "memory": 64}),
+    ])
+    manager = ConfigurationManager(machines)
+    spec = parse_specification(
+        "troupe(d, c) where d.has-disk and c.memory >= 32")
+    chosen = manager.extend_troupe(spec)
+    assert [m.name for m in chosen] == ["disk-server", "compute"]
+
+
+def test_deploy_starts_members_only_on_new_machines():
+    sim, machines = make_universe([
+        ("a", {"ok": True}), ("b", {"ok": True}), ("c", {"ok": True}),
+    ])
+    manager = ConfigurationManager(machines)
+    spec = parse_specification(
+        "troupe(x, y, z) where x.ok and y.ok and z.ok")
+    started = []
+
+    def start_member(machine):
+        started.append(machine.name)
+
+    def body():
+        chosen = yield from manager.deploy(spec, "svc", start_member,
+                                           current=[machines[0]])
+        return chosen
+
+    chosen = sim.run_process(body())
+    assert len(chosen) == 3
+    assert "a" not in started          # already running
+    assert sorted(started) == ["b", "c"]

@@ -1,0 +1,148 @@
+"""Tests for collators (§4.3.6)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    CollationError,
+    FirstComeCollator,
+    MajorityCollator,
+    QuorumCollator,
+    UnanimousCollator,
+)
+from repro.core.collators import FunctionCollator
+
+
+def feed(collator, expected, values):
+    """Feed values; return (decided_early, result_or_exception)."""
+    collator.reset(expected)
+    for i, value in enumerate(values):
+        done, result = collator.add("src%d" % i, value)
+        if done and not collator.needs_all:
+            return True, result
+    return False, collator.finish()
+
+
+def test_unanimous_agreement():
+    early, result = feed(UnanimousCollator(), 3, [b"x", b"x", b"x"])
+    assert not early
+    assert result == b"x"
+
+
+def test_unanimous_disagreement_raises():
+    collator = UnanimousCollator()
+    collator.reset(2)
+    collator.add("a", b"x")
+    with pytest.raises(CollationError):
+        collator.add("b", b"y")
+
+
+def test_unanimous_no_responses_raises():
+    collator = UnanimousCollator()
+    collator.reset(3)
+    with pytest.raises(CollationError):
+        collator.finish()
+
+
+def test_first_come_decides_immediately():
+    early, result = feed(FirstComeCollator(), 3, [b"fast", b"slow"])
+    assert early
+    assert result == b"fast"
+
+
+def test_majority_decides_early():
+    collator = MajorityCollator()
+    collator.reset(3)
+    assert collator.add("a", b"v") == (False, None)
+    done, result = collator.add("b", b"v")
+    assert done and result == b"v"
+
+
+def test_majority_no_majority_raises():
+    collator = MajorityCollator()
+    collator.reset(3)
+    collator.add("a", b"x")
+    collator.add("b", b"y")
+    collator.add("c", b"z")
+    with pytest.raises(CollationError):
+        collator.finish()
+
+
+def test_majority_of_respondents_is_not_enough():
+    """2-of-2 responses agreeing is not a majority of 5 expected."""
+    collator = MajorityCollator()
+    collator.reset(5)
+    collator.add("a", b"v")
+    collator.add("b", b"v")
+    with pytest.raises(CollationError):
+        collator.finish()
+
+
+def test_quorum_collator():
+    collator = QuorumCollator(2)
+    collator.reset(5)
+    assert collator.add("a", b"v") == (False, None)
+    done, result = collator.add("b", b"v")
+    assert done and result == b"v"
+
+
+def test_quorum_not_reached():
+    collator = QuorumCollator(3)
+    collator.reset(3)
+    collator.add("a", b"x")
+    collator.add("b", b"y")
+    with pytest.raises(CollationError):
+        collator.finish()
+
+
+def test_quorum_validates_argument():
+    with pytest.raises(ValueError):
+        QuorumCollator(0)
+
+
+def test_function_collator_averages():
+    """The §7.4 temperature-controller style application collator."""
+    def average(pairs):
+        values = [v for _, v in pairs]
+        return sum(values) / len(values)
+
+    collator = FunctionCollator(average)
+    collator.reset(3)
+    for i, v in enumerate([10.0, 20.0, 30.0]):
+        collator.add(i, v)
+    assert collator.finish() == pytest.approx(20.0)
+
+
+@given(st.lists(st.binary(min_size=1, max_size=4), min_size=1, max_size=9))
+def test_property_majority_agrees_with_counting(values):
+    """The majority collator returns v iff v has > n/2 occurrences."""
+    from collections import Counter
+    collator = MajorityCollator()
+    collator.reset(len(values))
+    outcome = None
+    for i, v in enumerate(values):
+        done, result = collator.add(i, v)
+        if done:
+            outcome = result
+    counts = Counter(values)
+    top, top_count = counts.most_common(1)[0]
+    if top_count * 2 > len(values):
+        assert outcome == top or collator.finish() == top
+    else:
+        with pytest.raises(CollationError):
+            collator.finish()
+
+
+@given(st.lists(st.binary(max_size=4), min_size=1, max_size=8))
+def test_property_unanimous_iff_all_equal(values):
+    collator = UnanimousCollator()
+    collator.reset(len(values))
+    try:
+        for i, v in enumerate(values):
+            collator.add(i, v)
+        result = collator.finish()
+    except CollationError:
+        assert len(set(values)) > 1
+    else:
+        assert len(set(values)) == 1
+        assert result == values[0]

@@ -1,0 +1,176 @@
+"""Tests for invocation semantics (§4.3.7) and mid-call failure injection.
+
+Nelson's argument, quoted by the paper: with concurrency, *parallel*
+invocation semantics are needed to match the local case; serializing
+incoming calls by arrival time "introduces the possibility of deadlock".
+Circus itself was serial (no lightweight processes in 4.2BSD); this
+runtime offers both, so the deadlock is demonstrable.
+"""
+
+import pytest
+
+from repro.core import ExportedModule, TroupeRuntime
+from repro.core.runtime import RuntimeConfig
+from repro.harness import World
+from repro.sim import Sleep
+
+
+def test_parallel_execution_allows_mutual_callback():
+    """A calls B while B is calling A: fine with parallel invocation."""
+    world = World(machines=6, runtime_config=RuntimeConfig(
+        execution="parallel"))
+    troupe_holder = {}
+
+    def make_a():
+        def ping(ctx, args):
+            return b"a-pong"
+
+        def call_b(ctx, args):
+            inner = yield from ctx.call(troupe_holder["b"], 0, 0, b"")
+            return b"a-saw:" + inner
+        return ExportedModule("a", {0: ping, 1: call_b})
+
+    def make_b():
+        def call_a(ctx, args):
+            inner = yield from ctx.call(troupe_holder["a"], 0, 0, b"")
+            return b"b-saw:" + inner
+        return ExportedModule("b", {0: call_a})
+
+    troupe_holder["a"], _ = world.make_troupe("a", make_a, degree=1)
+    troupe_holder["b"], _ = world.make_troupe("b", make_b, degree=1)
+    client = world.make_client()
+
+    def body():
+        # a.call_b -> b.call_a -> a.ping: requires a to serve a nested
+        # call while its own outbound call is in progress.
+        return (yield from client.call_troupe(troupe_holder["a"], 0, 1, b""))
+
+    assert world.run(body()) == b"a-saw:b-saw:a-pong"
+
+
+def test_serial_execution_deadlocks_on_mutual_callback():
+    """The same program under serial invocation semantics deadlocks —
+    the §4.3.7 deficiency Circus inherited from 4.2BSD."""
+    world = World(machines=6, runtime_config=RuntimeConfig(
+        execution="serial"))
+    troupe_holder = {}
+
+    def make_a():
+        def ping(ctx, args):
+            return b"a-pong"
+
+        def call_b(ctx, args):
+            inner = yield from ctx.call(troupe_holder["b"], 0, 0, b"")
+            return b"a-saw:" + inner
+        return ExportedModule("a", {0: ping, 1: call_b})
+
+    def make_b():
+        def call_a(ctx, args):
+            inner = yield from ctx.call(troupe_holder["a"], 0, 0, b"")
+            return b"b-saw:" + inner
+        return ExportedModule("b", {0: call_a})
+
+    troupe_holder["a"], _ = world.make_troupe("a", make_a, degree=1)
+    troupe_holder["b"], _ = world.make_troupe("b", make_b, degree=1)
+    client = world.make_client()
+    finished = []
+
+    def body():
+        reply = yield from client.call_troupe(troupe_holder["a"], 0, 1, b"")
+        finished.append(reply)
+
+    world.spawn(body())
+    world.sim.run(until=10000.0)
+    # a's single serial executor is stuck inside call_b, so the nested
+    # ping can never run: the call never completes.
+    assert finished == []
+
+
+def test_member_crash_between_send_and_return_is_masked():
+    """A server member crashes after receiving the call but before
+    returning; the unanimous collator proceeds with the survivors."""
+    world = World(machines=6)
+    crash_host = {}
+
+    def make_member():
+        index = len(crash_host)
+        crash_host[index] = None
+
+        def slow(ctx, args, _index=index):
+            if _index == 0:
+                # This member will be crashed mid-execution.
+                yield Sleep(500.0)
+                return b"never"
+            yield Sleep(10.0)
+            return b"survived"
+        return ExportedModule("slow", {0: slow})
+
+    troupe, runtimes = world.make_troupe("slow", make_member, degree=3)
+    victim_host = troupe.members[0].process.host
+    world.sim.schedule(50.0, world.machine(victim_host).crash)
+    client = world.make_client()
+
+    def body():
+        return (yield from client.call_troupe(troupe, 0, 0, b""))
+
+    assert world.run(body()) == b"survived"
+
+
+def test_degraded_troupe_keeps_exactly_once_after_member_loss():
+    """After losing a member, subsequent calls still execute exactly once
+    at each survivor."""
+    world = World(machines=6)
+
+    def echo_module():
+        def echo(ctx, args):
+            return b"e"
+        return ExportedModule("echo", {0: echo})
+
+    troupe, runtimes = world.make_troupe("echo", echo_module, degree=3)
+    client = world.make_client()
+
+    def body():
+        yield from client.call_troupe(troupe, 0, 0, b"")
+        world.machine(troupe.members[1].process.host).crash()
+        for _ in range(3):
+            yield from client.call_troupe(troupe, 0, 0, b"")
+
+    world.run(body())
+    counts = [r.calls_executed for r in runtimes]
+    assert counts[0] == 4
+    assert counts[1] == 1    # crashed after the first call
+    assert counts[2] == 4
+
+
+def test_thread_id_depth_in_nested_serial_calls():
+    """§3.4.1: the adopted-thread-ID stack nests and unwinds correctly
+    through a three-deep chain (serial execution uses the shared stack)."""
+    world = World(machines=8)
+    depths = []
+    troupes = {}
+
+    def make_leaf():
+        def leaf(ctx, args):
+            runtime = ctx.runtime
+            depths.append(runtime.threads.depth())
+            return b"leaf"
+        return ExportedModule("leaf", {0: leaf})
+
+    troupes["leaf"], _ = world.make_troupe("leaf", make_leaf, degree=1)
+
+    def make_mid():
+        def mid(ctx, args):
+            inner = yield from ctx.call(troupes["leaf"], 0, 0, b"")
+            return b"mid:" + inner
+        return ExportedModule("mid", {0: mid})
+
+    troupes["mid"], mid_runtimes = world.make_troupe("mid", make_mid,
+                                                     degree=1)
+    client = world.make_client()
+
+    def body():
+        return (yield from client.call_troupe(troupes["mid"], 0, 0, b""))
+
+    assert world.run(body()) == b"mid:leaf"
+    assert depths == [1]  # the leaf adopted exactly one caller ID
+    assert mid_runtimes[0].threads.depth() == 0  # fully released

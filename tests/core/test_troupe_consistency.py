@@ -1,0 +1,162 @@
+"""Troupe consistency (§3.5.2): deterministic members stay identical.
+
+"The global determinism property implies that when a server troupe is
+called upon to execute a procedure, the invocation trees rooted at each
+troupe member are identical: the members of the server troupe make the
+same procedure calls and returns, with the same arguments and results, in
+the same order."  These tests record each member's execution history and
+compare them — including under packet loss and across nested calls.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ExportedModule
+from repro.harness import World
+from repro.net.network import NetworkConfig
+
+
+def test_members_log_identical_histories():
+    """A stateful module driven by a mixed call sequence: every member's
+    (procedure, args, state-after) log is identical."""
+    world = World(machines=6)
+    logs = []
+
+    def factory():
+        state = {"total": 0}
+        log = []
+        logs.append(log)
+
+        def add(ctx, args):
+            state["total"] += int(args)
+            log.append(("add", args, state["total"]))
+            return b"%d" % state["total"]
+
+        def reset(ctx, args):
+            state["total"] = 0
+            log.append(("reset", args, 0))
+            return b"0"
+
+        return ExportedModule("acc", {0: add, 1: reset})
+
+    troupe, _ = world.make_troupe("acc", factory, degree=3)
+    client = world.make_client()
+
+    def body():
+        for proc, arg in [(0, b"5"), (0, b"7"), (1, b""), (0, b"2"),
+                          (0, b"11"), (1, b""), (0, b"1")]:
+            yield from client.call_troupe(troupe, 0, proc, arg)
+
+    world.run(body())
+    assert len(logs[0]) == 7
+    assert logs[0] == logs[1] == logs[2]
+
+
+def test_histories_identical_under_packet_loss():
+    world = World(machines=6, seed=13,
+                  net_config=NetworkConfig(loss_probability=0.15))
+    logs = []
+
+    def factory():
+        log = []
+        logs.append(log)
+
+        def record(ctx, args):
+            log.append(args)
+            return b"ok"
+        return ExportedModule("rec", {0: record})
+
+    troupe, _ = world.make_troupe("rec", factory, degree=3)
+    client = world.make_client()
+
+    def body():
+        for i in range(12):
+            yield from client.call_troupe(troupe, 0, 0, b"m%d" % i)
+
+    world.run(body())
+    expected = [b"m%d" % i for i in range(12)]
+    assert logs[0] == expected
+    assert logs[0] == logs[1] == logs[2]
+
+
+def test_nested_call_trees_identical_across_members():
+    """Replicated middle tier: each member of troupe A makes the same
+    nested calls in the same order (the invocation-tree claim)."""
+    world = World(machines=8)
+    nested_logs = []
+
+    def make_b():
+        def double(ctx, args):
+            return b"%d" % (int(args) * 2)
+        return ExportedModule("b", {0: double})
+
+    troupe_b, _ = world.make_troupe("b", make_b, degree=1)
+
+    def make_a():
+        log = []
+        nested_logs.append(log)
+
+        def work(ctx, args):
+            n = int(args)
+            first = yield from ctx.call(troupe_b, 0, 0, b"%d" % n)
+            log.append(("call-b", n, first))
+            second = yield from ctx.call(troupe_b, 0, 0, first)
+            log.append(("call-b", int(first), second))
+            return second
+        return ExportedModule("a", {0: work})
+
+    troupe_a, _ = world.make_troupe("a", make_a, degree=3)
+    client = world.make_client()
+
+    def body():
+        return (yield from client.call_troupe(troupe_a, 0, 0, b"3"))
+
+    assert world.run(body()) == b"12"
+    assert len(nested_logs[0]) == 2
+    assert nested_logs[0] == nested_logs[1] == nested_logs[2]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    loss=st.floats(min_value=0.0, max_value=0.2),
+    ops=st.lists(st.integers(min_value=-50, max_value=50),
+                 min_size=1, max_size=8),
+)
+def test_property_consistency_under_random_workloads(seed, loss, ops):
+    """Whatever the workload and loss rate, all members converge to the
+    same state and identical logs (troupe consistency is invariant)."""
+    world = World(machines=5, seed=seed,
+                  net_config=NetworkConfig(loss_probability=loss))
+    states = []
+
+    def factory():
+        state = {"v": 0, "log": []}
+        states.append(state)
+
+        def apply(ctx, args):
+            delta = int(args)
+            state["v"] += delta
+            state["log"].append(delta)
+            return b"%d" % state["v"]
+        return ExportedModule("acc", {0: apply})
+
+    troupe, _ = world.make_troupe("acc", factory, degree=3)
+    client = world.make_client()
+
+    def body():
+        replies = []
+        for op in ops:
+            replies.append((yield from client.call_troupe(
+                troupe, 0, 0, b"%d" % op)))
+        return replies
+
+    replies = world.run(body())
+    running = 0
+    expected_replies = []
+    for op in ops:
+        running += op
+        expected_replies.append(b"%d" % running)
+    assert replies == expected_replies
+    assert states[0] == states[1] == states[2]
+    assert states[0]["v"] == sum(ops)

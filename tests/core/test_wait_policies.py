@@ -1,0 +1,186 @@
+"""Tests for server wait policies (§4.3.4/§4.3.5) and the watchdog."""
+
+import pytest
+
+from repro.core import ExportedModule, TroupeFailure
+from repro.core.runtime import RuntimeConfig
+from repro.harness import World
+from repro.sim import Sleep
+
+
+def echo_module():
+    def echo(ctx, args):
+        return b"echo:" + args
+    return ExportedModule("echo", {0: echo})
+
+
+def recording_module(executions, world):
+    def proc(ctx, args):
+        executions.append((world.sim.now, len(ctx.callers),
+                           ctx.group_complete))
+        return b"ok"
+    return ExportedModule("rec", {0: proc})
+
+
+def test_server_wait_first_executes_on_first_arrival():
+    world = World(machines=8, runtime_config=RuntimeConfig(
+        server_wait="first"))
+    executions = []
+    server_troupe, _ = world.make_troupe(
+        "rec", lambda: recording_module(executions, world), degree=1)
+    client_troupe, client_runtimes = world.make_client_troupe(
+        "clients", degree=2)
+
+    def client_body(runtime, delay):
+        def body():
+            yield Sleep(delay)
+            yield from runtime.call_troupe(server_troupe, 0, 0, b"x")
+        return body
+
+    world.spawn(client_body(client_runtimes[0], 0.0)())
+    world.spawn(client_body(client_runtimes[1], 200.0)())
+    world.sim.run()
+    # Executed exactly once, without waiting for the slow member.
+    assert len(executions) == 1
+    assert executions[0][0] < 200.0
+
+
+def test_server_wait_majority_needs_quorum():
+    """§4.3.5: a single member of a 3-member client troupe is a minority;
+    the server must not execute until a majority has called."""
+    world = World(machines=10, runtime_config=RuntimeConfig(
+        server_wait="majority", gather_timeout=100.0))
+    executions = []
+    server_troupe, _ = world.make_troupe(
+        "rec", lambda: recording_module(executions, world), degree=1)
+    client_troupe, client_runtimes = world.make_client_troupe(
+        "clients", degree=3)
+
+    def client_body(runtime, delay):
+        def body():
+            yield Sleep(delay)
+            yield from runtime.call_troupe(server_troupe, 0, 0, b"x")
+        return body
+
+    # Only the first client calls early; the second much later.
+    world.spawn(client_body(client_runtimes[0], 0.0)())
+    world.spawn(client_body(client_runtimes[1], 500.0)())
+    world.spawn(client_body(client_runtimes[2], 520.0)())
+    world.sim.run()
+    assert len(executions) == 1
+    # Execution waited for the second call (majority of 3), despite the
+    # gather timeout having fired long before.
+    assert executions[0][0] >= 500.0
+    assert executions[0][1] >= 2
+
+
+def test_watchdog_reports_consistency():
+    world = World(machines=6)
+    troupe, _ = world.make_troupe("echo", echo_module, degree=3)
+    client = world.make_client()
+
+    def body():
+        result, report = yield from client.call_troupe_watchdog(
+            troupe, 0, 0, b"w")
+        verdict = yield report.done
+        return result, verdict, report.mismatches
+
+    result, verdict, mismatches = world.run(body())
+    assert result == b"echo:w"
+    assert verdict is True
+    assert mismatches == []
+
+
+def test_watchdog_detects_divergent_member():
+    counter = [0]
+
+    def divergent_factory():
+        index = counter[0]
+        counter[0] += 1
+
+        def proc(ctx, args, _index=index):
+            yield Sleep(10.0 * _index)  # member 0 answers first
+            return b"A" if _index != 2 else b"B"
+        return ExportedModule("div", {0: proc})
+
+    world = World(machines=6)
+    troupe, _ = world.make_troupe("div", divergent_factory, degree=3)
+    client = world.make_client()
+
+    def body():
+        result, report = yield from client.call_troupe_watchdog(
+            troupe, 0, 0, b"")
+        verdict = yield report.done
+        return result, verdict, len(report.mismatches)
+
+    result, verdict, mismatch_count = world.run(body())
+    # Computation proceeded with the first answer...
+    assert result == b"A"
+    # ...and the watchdog caught the divergent replica afterwards.
+    assert verdict is False
+    assert mismatch_count == 1
+
+
+def test_watchdog_counts_crashed_members():
+    world = World(machines=6)
+    troupe, _ = world.make_troupe("echo", echo_module, degree=3)
+    world.machine(troupe.members[2].process.host).crash()
+    client = world.make_client()
+
+    def body():
+        result, report = yield from client.call_troupe_watchdog(
+            troupe, 0, 0, b"c")
+        verdict = yield report.done
+        return result, verdict, len(report.crashed)
+
+    result, verdict, crashed = world.run(body())
+    assert result == b"echo:c"
+    assert verdict is True
+    assert crashed == 1
+
+
+def test_watchdog_total_failure():
+    world = World(machines=6)
+    troupe, _ = world.make_troupe("echo", echo_module, degree=2)
+    for member in troupe.members:
+        world.machine(member.process.host).crash()
+    client = world.make_client()
+
+    def body():
+        yield from client.call_troupe_watchdog(troupe, 0, 0, b"")
+
+    with pytest.raises(TroupeFailure):
+        world.run(body())
+
+
+def test_majority_wait_prevents_minority_partition_divergence():
+    """The full §4.3.5 scenario: a partition splits a 3-member client
+    troupe 2/1; servers gather under majority wait, so only the majority
+    side's call executes — the minority member cannot make the troupe
+    diverge."""
+    world = World(machines=10, runtime_config=RuntimeConfig(
+        server_wait="majority", gather_timeout=100.0))
+    executions = []
+    server_troupe, _ = world.make_troupe(
+        "rec", lambda: recording_module(executions, world), degree=1)
+    client_troupe, client_runtimes = world.make_client_troupe(
+        "clients", degree=3)
+    server_host = server_troupe.members[0].process.host
+    majority_hosts = [client_runtimes[0].process.host,
+                      client_runtimes[1].process.host]
+    minority_host = client_runtimes[2].process.host
+    world.net.partition([majority_hosts + [server_host], [minority_host]])
+
+    def client_body(runtime):
+        def body():
+            try:
+                yield from runtime.call_troupe(server_troupe, 0, 0, b"x")
+            except Exception:
+                pass  # the minority member times out eventually
+        return body
+
+    for runtime in client_runtimes:
+        world.spawn(client_body(runtime)())
+    world.sim.run(until=5000.0)
+    assert len(executions) == 1
+    assert executions[0][1] == 2  # served the majority side's two callers

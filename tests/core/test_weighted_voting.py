@@ -1,0 +1,81 @@
+"""Tests for weighted voting (§4.3.6 / Gifford)."""
+
+import pytest
+
+from repro.core import CollationError, ExportedModule, WeightedVotingCollator
+from repro.harness import World
+from repro.sim import Sleep
+
+
+def test_weighted_quorum_early_decision():
+    collator = WeightedVotingCollator(quorum=3, weights={"a": 2, "b": 1})
+    collator.reset(3)
+    assert collator.add("a", b"v") == (False, None)   # weight 2 < 3
+    done, value = collator.add("b", b"v")             # 2 + 1 = 3
+    assert done and value == b"v"
+
+
+def test_weighted_quorum_not_reached():
+    collator = WeightedVotingCollator(quorum=5)
+    collator.reset(3)
+    collator.add("a", b"x")
+    collator.add("b", b"y")
+    collator.add("c", b"x")
+    with pytest.raises(CollationError):
+        collator.finish()
+
+
+def test_heavy_member_outvotes_two_light_ones():
+    collator = WeightedVotingCollator(quorum=3, weights={"heavy": 3})
+    collator.reset(3)
+    done, value = collator.add("heavy", b"H")
+    assert done and value == b"H"
+
+
+def test_default_weight_applies():
+    collator = WeightedVotingCollator(quorum=2, default_weight=2)
+    collator.reset(2)
+    done, value = collator.add("anyone", b"v")
+    assert done and value == b"v"
+
+
+def test_validates_quorum():
+    with pytest.raises(ValueError):
+        WeightedVotingCollator(quorum=0)
+
+
+def test_weighted_voting_over_a_real_troupe():
+    """A read quorum over a 3-member troupe where one trusted member
+    carries weight 2: its response plus any other decides."""
+    world = World(machines=5)
+    counter = [0]
+
+    def factory():
+        index = counter[0]
+        counter[0] += 1
+
+        def read(ctx, args, _index=index):
+            yield Sleep(10.0 * (3 - _index))  # member 2 answers first
+            return b"value"
+        return ExportedModule("store", {0: read})
+
+    troupe, _ = world.make_troupe("store", factory, degree=3)
+    client = world.make_client()
+    weights = {member.process: 2 if i == 0 else 1
+               for i, member in enumerate(troupe.members)}
+
+    def body():
+        start = world.sim.now
+        result = yield from client.call_troupe(
+            troupe, 0, 0, b"",
+            collator=WeightedVotingCollator(quorum=3, weights=weights))
+        weighted_elapsed = world.sim.now - start
+        start = world.sim.now
+        yield from client.call_troupe(troupe, 0, 0, b"")  # unanimous
+        unanimous_elapsed = world.sim.now - start
+        return result, weighted_elapsed, unanimous_elapsed
+
+    result, weighted_elapsed, unanimous_elapsed = world.run(body())
+    assert result == b"value"
+    # The weighted quorum decided without waiting for the slowest member.
+    assert weighted_elapsed < unanimous_elapsed

@@ -1,0 +1,78 @@
+"""Tests for the crash/repair failure model (§6.4.2 substrate)."""
+
+import pytest
+
+from repro.host import FailureModel, Machine
+from repro.net import Network
+from repro.sim import Simulator
+
+
+def make_machines(n):
+    sim = Simulator()
+    net = Network(sim, seed=3)
+    machines = [Machine(sim, net, "m%d" % i) for i in range(n)]
+    return sim, machines
+
+
+def test_failures_and_repairs_occur():
+    sim, machines = make_machines(3)
+    model = FailureModel(sim, machines, failure_rate=1 / 50.0,
+                         repair_rate=1 / 10.0, seed=1)
+    model.start()
+    sim.run(until=5000.0)
+    assert model.total_failures > 10
+    assert model.total_repairs > 10
+
+
+def test_on_repair_callback():
+    sim, machines = make_machines(1)
+    repaired = []
+    model = FailureModel(sim, machines, failure_rate=1 / 20.0,
+                         repair_rate=1 / 5.0, seed=2,
+                         on_repair=lambda m: repaired.append(m.name))
+    model.start()
+    sim.run(until=500.0)
+    assert repaired
+    assert set(repaired) == {"m0"}
+
+
+def test_single_machine_availability_matches_closed_form():
+    # For n=1, A = mu / (lambda + mu).
+    sim, machines = make_machines(1)
+    lam, mu = 1 / 40.0, 1 / 10.0
+    model = FailureModel(sim, machines, failure_rate=lam, repair_rate=mu,
+                         seed=4)
+    model.start()
+    sim.run(until=400000.0)
+    expected = mu / (lam + mu)
+    assert model.measured_availability() == pytest.approx(expected, abs=0.03)
+
+
+def test_replication_improves_availability():
+    def measure(n, seed):
+        sim, machines = make_machines(n)
+        model = FailureModel(sim, machines, failure_rate=1 / 20.0,
+                             repair_rate=1 / 20.0, seed=seed)
+        model.start()
+        sim.run(until=200000.0)
+        return model.measured_availability()
+
+    a1 = measure(1, 7)
+    a3 = measure(3, 7)
+    assert a3 > a1
+    # Equation 6.1 with lambda = mu: A = 1 - (1/2)^n.
+    assert a1 == pytest.approx(0.5, abs=0.05)
+    assert a3 == pytest.approx(0.875, abs=0.05)
+
+
+def test_invalid_rates_rejected():
+    sim, machines = make_machines(1)
+    with pytest.raises(ValueError):
+        FailureModel(sim, machines, failure_rate=0.0, repair_rate=1.0)
+
+
+def test_measured_availability_requires_start():
+    sim, machines = make_machines(1)
+    model = FailureModel(sim, machines, failure_rate=1.0, repair_rate=1.0)
+    with pytest.raises(RuntimeError):
+        model.measured_availability()

@@ -1,0 +1,177 @@
+"""Tests for deterministic modules, replay, and Theorem 3.7."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model import (
+    DeterministicModule,
+    InvalidHistory,
+    replay,
+    run_program,
+    validate_history,
+    validate_state_sequence,
+)
+
+
+def counter_module():
+    def increment(state, arg):
+        state.value = (state.value or 0) + arg
+        return state.value
+        yield  # pragma: no cover — marks this as a generator
+
+    def get(state, arg):
+        return state.value or 0
+        yield  # pragma: no cover
+
+    return DeterministicModule("counter", {
+        "increment": increment, "get": get}, initial_state=0)
+
+
+def make_banking_program():
+    """A two-module program: 'bank' calls into 'ledger'."""
+    def post(state, arg):
+        state.value = state.value + [arg]
+        return len(state.value)
+        yield  # pragma: no cover
+
+    ledger = DeterministicModule("ledger", {"post": post}, initial_state=[])
+
+    def transfer(state, arg):
+        amount = arg
+        entry1 = yield ("ledger", "post", ("debit", amount))
+        entry2 = yield ("ledger", "post", ("credit", amount))
+        state.value = (state.value or 0) + 1
+        return (entry1, entry2)
+
+    bank = DeterministicModule("bank", {"transfer": transfer},
+                               initial_state=0)
+    return {"ledger": ledger, "bank": bank}
+
+
+def test_run_program_returns_result_and_valid_history():
+    modules = make_banking_program()
+    result, history, states = run_program(modules, "bank", "transfer", 100)
+    assert result == (1, 2)
+    validate_history(history)
+    # call transfer, call post, ret post, call post, ret post, ret transfer
+    assert [(-1 if e.is_return else 1) for e in history] == \
+        [1, 1, -1, 1, -1, -1]
+
+
+def test_state_sequence_tracks_module_states():
+    modules = make_banking_program()
+    _result, history, states = run_program(modules, "bank", "transfer", 50)
+    # Final snapshot reflects both modules' final states.
+    assert states[-1]["bank"] == 1
+    assert states[-1]["ledger"] == [("debit", 50), ("credit", 50)]
+    # Definition 3.5: only M-events change the state of M.
+    for index in range(1, len(history)):
+        event = history[index]
+        for module_name in modules:
+            if event.module != module_name:
+                assert states[index][module_name] == \
+                    states[index - 1][module_name]
+
+
+def test_theorem_3_7_replay_reconstructs_state():
+    """Replaying the history from the initial state reproduces the final
+    state — checkpoint and log recovery are equivalent."""
+    modules = make_banking_program()
+    _result, history, states = run_program(modules, "bank", "transfer", 7)
+    replayed = replay(make_banking_program(), history)
+    assert replayed == states[-1]
+
+
+def test_theorem_3_7_identical_runs_identical_histories():
+    """Same initial call + same initial state => same history and states."""
+    run1 = run_program(make_banking_program(), "bank", "transfer", 3)
+    run2 = run_program(make_banking_program(), "bank", "transfer", 3)
+    assert [e.proc for e in run1[1]] == [e.proc for e in run2[1]]
+    assert [e.val for e in run1[1]] == [e.val for e in run2[1]]
+    assert run1[2] == run2[2]
+
+
+def test_replay_detects_divergence():
+    """A module that diverges from the log is caught (the watchdog idea)."""
+    modules = make_banking_program()
+    _result, history, _states = run_program(modules, "bank", "transfer", 9)
+
+    # Replay against a *different* implementation: results won't match.
+    tampered = make_banking_program()
+
+    def post_doubled(state, arg):
+        state.value = state.value + [arg, arg]
+        return len(state.value)
+        yield  # pragma: no cover
+
+    tampered["ledger"] = DeterministicModule(
+        "ledger", {"post": post_doubled}, initial_state=[])
+    with pytest.raises(InvalidHistory):
+        replay(tampered, history)
+
+
+def test_replay_rejects_truncated_history():
+    modules = make_banking_program()
+    _result, history, _states = run_program(modules, "bank", "transfer", 1)
+    from repro.model.events import EventSequence
+    truncated = EventSequence(history.events[:3])
+    with pytest.raises(InvalidHistory):
+        replay(make_banking_program(), truncated)
+
+
+def test_state_sequence_satisfies_definition_3_5():
+    """Only M-events change the state of M — validated mechanically."""
+    modules = make_banking_program()
+    _result, history, states = run_program(modules, "bank", "transfer", 4)
+    validate_state_sequence(history, states)
+
+
+def test_state_sequence_validator_catches_violation():
+    modules = make_banking_program()
+    _result, history, states = run_program(modules, "bank", "transfer", 4)
+    # Corrupt a snapshot: the ledger changes at a bank event.
+    bad = [dict(s) for s in states]
+    bad[-1]["ledger"] = ["tampered"]
+    with pytest.raises(InvalidHistory):
+        validate_state_sequence(history, bad)
+
+
+def test_state_sequence_validator_checks_length():
+    modules = make_banking_program()
+    _result, history, states = run_program(modules, "bank", "transfer", 4)
+    with pytest.raises(InvalidHistory):
+        validate_state_sequence(history, states[:-1])
+
+
+def test_plain_function_procedures_allowed():
+    """Procedures that make no nested calls can be plain functions."""
+    def double(state, arg):
+        return arg * 2
+
+    module = DeterministicModule("m", {"double": double})
+    result, history, _ = run_program({"m": module}, "m", "double", 21)
+    assert result == 42
+    validate_history(history)
+
+
+@given(st.lists(st.integers(min_value=-100, max_value=100),
+                min_size=1, max_size=10))
+def test_property_replay_equals_execution(amounts):
+    """Theorem 3.7 over random call sequences: a driver module makes the
+    calls; replay of the history reconstructs the same final state."""
+    def driver(state, arg):
+        for amount in arg:
+            yield ("counter", "increment", amount)
+        return None
+
+    def build():
+        return {
+            "counter": counter_module(),
+            "driver": DeterministicModule("driver", {"run": driver}),
+        }
+
+    _result, history, states = run_program(build(), "driver", "run",
+                                           list(amounts))
+    assert states[-1]["counter"] == sum(amounts)
+    replayed = replay(build(), history)
+    assert replayed == states[-1]

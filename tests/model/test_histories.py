@@ -1,0 +1,220 @@
+"""Tests for the Chapter 3 formal model: balanced intervals, histories,
+call stacks, and the Theorem 3.4 decomposition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model import (
+    EventSequence,
+    InvalidHistory,
+    balanced_decomposition,
+    call_stack,
+    depth,
+    execution_of,
+    is_balanced,
+    theorem_3_4_decomposition,
+    validate_history,
+)
+from repro.model.events import call, ret
+
+
+def simple_history():
+    """main calls a, a calls b, b returns, a returns, main returns."""
+    events = [
+        call("M", "main", eid=1),
+        call("A", "a", eid=2),
+        call("B", "b", eid=3),
+        ret("B", "b", eid=4),
+        ret("A", "a", eid=5),
+        ret("M", "main", eid=6),
+    ]
+    return EventSequence(events)
+
+
+def test_empty_sequence_is_balanced():
+    assert is_balanced(EventSequence())
+
+
+def test_simple_history_is_balanced():
+    assert is_balanced(simple_history())
+
+
+def test_unmatched_return_not_balanced():
+    assert not is_balanced(EventSequence([ret("A", "a", eid=1)]))
+
+
+def test_wrong_procedure_return_not_balanced():
+    seq = EventSequence([call("A", "a", eid=1), ret("B", "b", eid=2)])
+    assert not is_balanced(seq)
+
+
+def test_validate_history_accepts_simple():
+    validate_history(simple_history())
+
+
+def test_validate_history_rejects_leading_return():
+    with pytest.raises(InvalidHistory):
+        validate_history(EventSequence([ret("A", "a", eid=1)]))
+
+
+def test_validate_history_rejects_unbalanced_finite():
+    with pytest.raises(InvalidHistory):
+        validate_history(EventSequence([call("A", "a", eid=1)]))
+
+
+def test_validate_infinite_prefix_allows_open_calls():
+    validate_history(EventSequence([call("A", "a", eid=1)]),
+                     require_finite=False)
+
+
+def test_duplicate_event_ids_rejected():
+    with pytest.raises(InvalidHistory):
+        EventSequence([call("A", "a", eid=1), ret("A", "a", eid=1)])
+
+
+def test_execution_of_returns_balanced_interval():
+    history = simple_history()
+    inner = execution_of(history, history[1])  # the call to a
+    assert [e.eid for e in inner] == [2, 3, 4, 5]
+    assert is_balanced(inner)
+
+
+def test_execution_of_never_returning_call():
+    history = EventSequence([
+        call("M", "main", eid=1),
+        call("A", "loop", eid=2),
+        call("B", "b", eid=3),
+        ret("B", "b", eid=4),
+    ])
+    exec_seq = execution_of(history, history[1])
+    assert [e.eid for e in exec_seq] == [2, 3, 4]
+
+
+def test_call_stack_and_depth():
+    history = simple_history()
+    assert [e.eid for e in call_stack(history, history[2])] == [1, 2, 3]
+    assert depth(history, history[2]) == 3
+    assert depth(history, history[0]) == 1
+
+
+def test_restriction_to_module():
+    history = simple_history()
+    only_a = history.restrict_to_module("A")
+    assert [e.eid for e in only_a] == [2, 5]
+
+
+def test_balanced_decomposition_of_sibling_blocks():
+    seq = EventSequence([
+        call("A", "a", eid=1), ret("A", "a", eid=2),
+        call("B", "b", eid=3),
+        call("C", "c", eid=4), ret("C", "c", eid=5),
+        ret("B", "b", eid=6),
+    ])
+    blocks = balanced_decomposition(seq)
+    assert [[e.eid for e in block] for block in blocks] == [[1, 2], [3, 4, 5, 6]]
+
+
+def test_balanced_decomposition_rejects_unbalanced():
+    with pytest.raises(InvalidHistory):
+        balanced_decomposition(EventSequence([call("A", "a", eid=1)]))
+
+
+def test_theorem_3_4_decomposition():
+    """H_{<=e} = <c0, ..., c> B1...Bn <e> uniquely."""
+    history = EventSequence([
+        call("M", "main", eid=1),
+        call("A", "a", eid=2),
+        ret("A", "a", eid=3),
+        call("B", "b", eid=4),
+        ret("B", "b", eid=5),
+        call("C", "c", eid=6),
+    ])
+    interval, blocks = theorem_3_4_decomposition(history, history[5])
+    assert [e.eid for e in interval] == [1]
+    assert [[e.eid for e in block] for block in blocks] == [[2, 3], [4, 5]]
+    # Reassembling interval + blocks + e recovers the prefix.
+    reassembled = [e.eid for e in interval]
+    for block in blocks:
+        reassembled += [e.eid for e in block]
+    reassembled.append(history[5].eid)
+    assert reassembled == [e.eid for e in history.up_to(history[5])]
+
+
+# -- hypothesis: random balanced histories -------------------------------
+
+@st.composite
+def balanced_histories(draw, max_depth=4, max_children=3):
+    """Generate a random procedure invocation tree and linearize it."""
+    counter = [0]
+
+    def gen(depth_remaining):
+        counter[0] += 1
+        eid_call = counter[0] * 2 - 1
+        eid_ret = counter[0] * 2
+        module = draw(st.sampled_from(["A", "B", "C"]))
+        name = draw(st.sampled_from(["p", "q"]))
+        children = []
+        if depth_remaining > 0:
+            for _ in range(draw(st.integers(0, max_children))):
+                children.append(gen(depth_remaining - 1))
+        events = [call(module, name, eid=eid_call)]
+        for child in children:
+            events.extend(child)
+        events.append(ret(module, name, eid=eid_ret))
+        return events
+
+    return EventSequence(gen(max_depth))
+
+
+@given(balanced_histories())
+def test_property_generated_histories_validate(history):
+    validate_history(history)
+    assert is_balanced(history)
+
+
+@given(balanced_histories())
+def test_property_every_call_has_balanced_execution(history):
+    for event in history:
+        if event.is_call:
+            exec_seq = execution_of(history, event)
+            assert is_balanced(exec_seq)
+            assert exec_seq[0].eid == event.eid
+
+
+@given(balanced_histories())
+def test_property_theorem_3_4_reassembles(history):
+    """The unique decomposition, reassembled, is the prefix — for every
+    event in the history."""
+    for event in history:
+        interval, blocks = theorem_3_4_decomposition(history, event)
+        reassembled = [e.eid for e in interval]
+        for block in blocks:
+            assert is_balanced(block)
+            reassembled += [e.eid for e in block]
+        reassembled.append(event.eid)
+        assert reassembled == [e.eid for e in history.up_to(event)]
+
+
+@given(balanced_histories())
+def test_property_depth_matches_nesting(history):
+    """depth(c) equals 1 + number of enclosing executions."""
+    for event in history:
+        if not event.is_call:
+            continue
+        enclosing = 0
+        for other in history:
+            if other.is_call and other.eid != event.eid:
+                exec_seq = execution_of(history, other)
+                if any(e.eid == event.eid for e in exec_seq):
+                    enclosing += 1
+        assert depth(history, event) == enclosing + 1
+
+
+@given(balanced_histories())
+def test_property_restriction_commutes_with_prefix(history):
+    """(H_{<=e})^M == (H^M)_{<=e} for M-events e (§3.3.1)."""
+    for event in history:
+        restricted = history.restrict_to_module(event.module)
+        lhs = history.up_to(event).restrict_to_module(event.module)
+        rhs = restricted.up_to(event)
+        assert lhs == rhs

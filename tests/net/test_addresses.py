@@ -1,0 +1,55 @@
+"""Tests for address formats (§4.2.1, §4.3)."""
+
+import pytest
+
+from repro.net import ModuleAddress, ProcessAddress
+from repro.net.addresses import (
+    BROADCAST_HOST,
+    validate_module_number,
+    validate_port,
+)
+
+
+def test_process_address_fields_and_str():
+    addr = ProcessAddress("ucb-monet", 512)
+    assert addr.host == "ucb-monet"
+    assert addr.port == 512
+    assert str(addr) == "ucb-monet:512"
+
+
+def test_module_address_refines_process_address():
+    process = ProcessAddress("h", 9)
+    module = ModuleAddress(process, 3)
+    assert module.process == process
+    assert module.host == "h"
+    assert str(module) == "h:9/m3"
+
+
+def test_addresses_are_hashable_and_ordered():
+    a = ProcessAddress("a", 1)
+    b = ProcessAddress("b", 1)
+    assert len({a, b, ProcessAddress("a", 1)}) == 2
+    assert sorted([b, a]) == [a, b]
+
+
+def test_port_validation():
+    assert validate_port(0) == 0
+    assert validate_port(65535) == 65535
+    with pytest.raises(ValueError):
+        validate_port(65536)
+    with pytest.raises(ValueError):
+        validate_port(-1)
+
+
+def test_module_number_validation():
+    assert validate_module_number(0xFFFF) == 0xFFFF
+    with pytest.raises(ValueError):
+        validate_module_number(0x10000)
+
+
+def test_broadcast_host_reserved():
+    from repro.net import Network
+    from repro.sim import Simulator
+    net = Network(Simulator())
+    with pytest.raises(ValueError):
+        net.add_host(BROADCAST_HOST)

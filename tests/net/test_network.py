@@ -1,0 +1,194 @@
+"""Tests for the simulated wire: delivery, loss, duplication, partitions."""
+
+import pytest
+
+from repro.net import Network, NetworkConfig, ProcessAddress
+from repro.net.network import Datagram
+from repro.sim import Simulator
+
+
+def make_net(**config):
+    sim = Simulator()
+    net = Network(sim, seed=42, config=NetworkConfig(**config))
+    for name in ("a", "b", "c"):
+        net.add_host(name)
+    return sim, net
+
+
+def test_point_to_point_delivery():
+    sim, net = make_net()
+    received = []
+    dst = ProcessAddress("b", 9)
+    net.bind(dst, received.append)
+    net.send(Datagram(ProcessAddress("a", 1), dst, b"hello"))
+    sim.run()
+    assert len(received) == 1
+    assert received[0].payload == b"hello"
+    assert received[0].src == ProcessAddress("a", 1)
+
+
+def test_delivery_takes_time():
+    sim, net = make_net(latency=1.0, jitter=0.0, bandwidth=1000.0)
+    times = []
+    dst = ProcessAddress("b", 9)
+    net.bind(dst, lambda d: times.append(sim.now))
+    net.send(Datagram(ProcessAddress("a", 1), dst, b"x" * 936))
+    sim.run()
+    # latency 1.0 + (936 + 64 header) / 1000 = 2.0
+    assert times == [pytest.approx(2.0)]
+
+
+def test_unbound_port_drops_packet():
+    sim, net = make_net()
+    net.send(Datagram(ProcessAddress("a", 1), ProcessAddress("b", 7), b"x"))
+    sim.run()
+    assert net.packets_dropped == 1
+    assert net.packets_delivered == 0
+
+
+def test_unknown_host_drops_packet():
+    sim, net = make_net()
+    net.send(Datagram(ProcessAddress("a", 1), ProcessAddress("zz", 7), b"x"))
+    sim.run()
+    assert net.packets_dropped == 1
+
+
+def test_total_loss_drops_everything():
+    sim, net = make_net(loss_probability=1.0)
+    received = []
+    dst = ProcessAddress("b", 9)
+    net.bind(dst, received.append)
+    for _ in range(10):
+        net.send(Datagram(ProcessAddress("a", 1), dst, b"x"))
+    sim.run()
+    assert received == []
+    assert net.packets_dropped == 10
+
+
+def test_partial_loss_statistics():
+    sim, net = make_net(loss_probability=0.5)
+    received = []
+    dst = ProcessAddress("b", 9)
+    net.bind(dst, received.append)
+    for _ in range(400):
+        net.send(Datagram(ProcessAddress("a", 1), dst, b"x"))
+    sim.run()
+    # With seed 42 the loss rate should be near 50%.
+    assert 120 < len(received) < 280
+
+
+def test_duplication():
+    sim, net = make_net(duplicate_probability=1.0)
+    received = []
+    dst = ProcessAddress("b", 9)
+    net.bind(dst, received.append)
+    net.send(Datagram(ProcessAddress("a", 1), dst, b"x"))
+    sim.run()
+    assert len(received) == 2
+    assert net.packets_duplicated == 1
+
+
+def test_crashed_destination_drops_in_flight_packet():
+    sim, net = make_net(latency=5.0)
+    received = []
+    dst = ProcessAddress("b", 9)
+    net.bind(dst, received.append)
+    net.send(Datagram(ProcessAddress("a", 1), dst, b"x"))
+    sim.schedule(1.0, net.set_host_up, "b", False)
+    sim.run()
+    assert received == []
+
+
+def test_crashed_source_sends_nothing():
+    sim, net = make_net()
+    received = []
+    dst = ProcessAddress("b", 9)
+    net.bind(dst, received.append)
+    net.set_host_up("a", False)
+    net.send(Datagram(ProcessAddress("a", 1), dst, b"x"))
+    sim.run()
+    assert received == []
+
+
+def test_partition_blocks_cross_group_traffic():
+    sim, net = make_net()
+    received = []
+    dst = ProcessAddress("b", 9)
+    net.bind(dst, received.append)
+    net.partition([{"a"}, {"b", "c"}])
+    net.send(Datagram(ProcessAddress("a", 1), dst, b"x"))
+    sim.run()
+    assert received == []
+    assert not net.reachable("a", "b")
+    assert net.reachable("b", "c")
+
+
+def test_heal_restores_traffic():
+    sim, net = make_net()
+    received = []
+    dst = ProcessAddress("b", 9)
+    net.bind(dst, received.append)
+    net.partition([{"a"}, {"b"}])
+    net.heal()
+    net.send(Datagram(ProcessAddress("a", 1), dst, b"x"))
+    sim.run()
+    assert len(received) == 1
+
+
+def test_hosts_not_in_any_partition_group_form_their_own():
+    sim, net = make_net()
+    net.partition([{"a", "b"}])
+    assert net.reachable("a", "b")
+    assert not net.reachable("a", "c")
+
+
+def test_multicast_is_one_wire_send_many_deliveries():
+    sim, net = make_net()
+    received = {"b": [], "c": []}
+    net.bind(ProcessAddress("b", 9), received["b"].append)
+    net.bind(ProcessAddress("c", 9), received["c"].append)
+    net.multicast(ProcessAddress("a", 1),
+                  [ProcessAddress("b", 9), ProcessAddress("c", 9)], b"m")
+    sim.run()
+    assert len(received["b"]) == 1
+    assert len(received["c"]) == 1
+    assert net.packets_sent == 1
+    assert net.multicasts_sent == 1
+
+
+def test_broadcast_reaches_every_other_host():
+    sim, net = make_net()
+    received = {"b": [], "c": []}
+    net.bind(ProcessAddress("b", 5), received["b"].append)
+    net.bind(ProcessAddress("c", 5), received["c"].append)
+    net.broadcast(ProcessAddress("a", 1), 5, b"hello")
+    sim.run()
+    assert len(received["b"]) == 1
+    assert len(received["c"]) == 1
+
+
+def test_duplicate_host_rejected():
+    sim, net = make_net()
+    with pytest.raises(ValueError):
+        net.add_host("a")
+
+
+def test_duplicate_bind_rejected():
+    sim, net = make_net()
+    net.bind(ProcessAddress("a", 1), lambda d: None)
+    with pytest.raises(ValueError):
+        net.bind(ProcessAddress("a", 1), lambda d: None)
+
+
+def test_delivery_order_is_deterministic():
+    def run_once():
+        sim, net = make_net(jitter=0.3)
+        log = []
+        dst = ProcessAddress("b", 9)
+        net.bind(dst, lambda d: log.append(d.payload))
+        for i in range(20):
+            net.send(Datagram(ProcessAddress("a", 1), dst, b"%d" % i))
+        sim.run()
+        return log
+
+    assert run_once() == run_once()

@@ -1,0 +1,199 @@
+"""Tests for the TCP-analogue reliable stream."""
+
+import pytest
+
+from repro.net import (
+    ConnectionClosed,
+    ConnectionRefused,
+    Network,
+    NetworkConfig,
+    ProcessAddress,
+    TcpListener,
+    TcpSocket,
+)
+from repro.sim import Simulator
+
+
+def make_net(**config):
+    sim = Simulator()
+    net = Network(sim, seed=11, config=NetworkConfig(**config))
+    net.add_host("client")
+    net.add_host("server")
+    return sim, net
+
+
+def echo_server(net, listener, count):
+    def body():
+        conn = yield listener.accept()
+        for _ in range(count):
+            msg = yield from conn.receive()
+            yield from conn.send(b"echo:" + msg)
+    return body
+
+
+def test_connect_and_exchange():
+    sim, net = make_net()
+    listener = TcpListener(net, "server", 80)
+    sim.spawn(echo_server(net, listener, 1)(), name="server")
+
+    def client():
+        sock = TcpSocket(net, "client")
+        yield from sock.connect(ProcessAddress("server", 80))
+        yield from sock.send(b"hello")
+        reply = yield from sock.receive()
+        sock.close()
+        return reply
+
+    assert sim.run_process(client(), name="client") == b"echo:hello"
+
+
+def test_many_exchanges_on_one_connection():
+    sim, net = make_net()
+    listener = TcpListener(net, "server", 80)
+    sim.spawn(echo_server(net, listener, 10)(), name="server")
+
+    def client():
+        sock = TcpSocket(net, "client")
+        yield from sock.connect(ProcessAddress("server", 80))
+        replies = []
+        for i in range(10):
+            yield from sock.send(b"msg%d" % i)
+            replies.append((yield from sock.receive()))
+        sock.close()
+        return replies
+
+    replies = sim.run_process(client(), name="client")
+    assert replies == [b"echo:msg%d" % i for i in range(10)]
+
+
+def test_large_message_is_segmented_and_reassembled():
+    sim, net = make_net()
+    listener = TcpListener(net, "server", 80)
+    sim.spawn(echo_server(net, listener, 1)(), name="server")
+    big = bytes(range(256)) * 40  # 10240 bytes > MSS
+
+    def client():
+        sock = TcpSocket(net, "client")
+        yield from sock.connect(ProcessAddress("server", 80))
+        yield from sock.send(big)
+        reply = yield from sock.receive()
+        sock.close()
+        return reply
+
+    assert sim.run_process(client(), name="client") == b"echo:" + big
+
+
+def test_reliable_despite_packet_loss():
+    sim, net = make_net(loss_probability=0.2)
+    listener = TcpListener(net, "server", 80)
+    sim.spawn(echo_server(net, listener, 5)(), name="server")
+
+    def client():
+        sock = TcpSocket(net, "client")
+        yield from sock.connect(ProcessAddress("server", 80))
+        replies = []
+        for i in range(5):
+            yield from sock.send(b"m%d" % i)
+            replies.append((yield from sock.receive()))
+        sock.close()
+        return replies
+
+    replies = sim.run_process(client(), name="client")
+    assert replies == [b"echo:m%d" % i for i in range(5)]
+
+
+def test_connect_to_missing_listener_refused():
+    sim, net = make_net()
+
+    def client():
+        sock = TcpSocket(net, "client")
+        yield from sock.connect(ProcessAddress("server", 80))
+
+    with pytest.raises(ConnectionRefused):
+        sim.run_process(client(), name="client")
+
+
+def test_peer_close_raises_connection_closed():
+    sim, net = make_net()
+    listener = TcpListener(net, "server", 80)
+
+    def server():
+        conn = yield listener.accept()
+        conn.close()
+
+    sim.spawn(server(), name="server")
+
+    def client():
+        sock = TcpSocket(net, "client")
+        yield from sock.connect(ProcessAddress("server", 80))
+        yield from sock.receive()
+
+    with pytest.raises(ConnectionClosed):
+        sim.run_process(client(), name="client")
+
+
+def test_send_on_unconnected_socket_rejected():
+    sim, net = make_net()
+    sock = TcpSocket(net, "client")
+
+    def body():
+        yield from sock.send(b"x")
+
+    with pytest.raises(RuntimeError):
+        sim.run_process(body())
+
+
+def test_many_simultaneous_connections():
+    """One listener serves several concurrent clients, each on its own
+    per-connection port."""
+    sim, net = make_net()
+    net.add_host("client2")
+    net.add_host("client3")
+    listener = TcpListener(net, "server", 80)
+
+    def server():
+        conns = []
+        for _ in range(3):
+            conns.append((yield listener.accept()))
+        # Per-connection demultiplexing: all connection ports distinct.
+        ports = {c.addr.port for c in conns}
+        assert len(ports) == 3
+        for conn in conns:
+            msg = yield from conn.receive()
+            yield from conn.send(b"hi " + msg)
+
+    sim.spawn(server(), name="server")
+    replies = []
+
+    def client(host):
+        def body():
+            sock = TcpSocket(net, host)
+            yield from sock.connect(ProcessAddress("server", 80))
+            yield from sock.send(host.encode())
+            replies.append((yield from sock.receive()))
+            sock.close()
+        return body
+
+    for host in ("client", "client2", "client3"):
+        sim.spawn(client(host)(), name=host)
+    sim.run()
+    assert sorted(replies) == [b"hi client", b"hi client2", b"hi client3"]
+
+
+def test_handshake_before_data(prob=0.0):
+    """Data moves only after the three-way handshake (3 packets minimum)."""
+    sim, net = make_net()
+    listener = TcpListener(net, "server", 80)
+    sim.spawn(echo_server(net, listener, 1)(), name="server")
+
+    def client():
+        sock = TcpSocket(net, "client")
+        yield from sock.connect(ProcessAddress("server", 80))
+        handshake_packets = net.packets_sent
+        yield from sock.send(b"x")
+        yield from sock.receive()
+        sock.close()
+        return handshake_packets
+
+    handshake_packets = sim.run_process(client(), name="client")
+    assert handshake_packets >= 3

@@ -1,0 +1,276 @@
+"""Tests for the paired message protocol endpoint (§4.2)."""
+
+import pytest
+
+from repro.host import Machine
+from repro.net import Network, NetworkConfig, ProcessAddress
+from repro.pairedmsg import (
+    MSG_CALL,
+    PairedEndpoint,
+    PairedMessageConfig,
+    PeerCrashed,
+)
+from repro.sim import Simulator, Sleep
+
+
+def make_world(n_machines=2, seed=0, **net_config):
+    sim = Simulator()
+    net = Network(sim, seed=seed, config=NetworkConfig(**net_config))
+    machines = [Machine(sim, net, "m%d" % i) for i in range(n_machines)]
+    procs = [m.spawn_process() for m in machines]
+    return sim, net, machines, procs
+
+
+def echo_server(endpoint):
+    """A server loop: echo every incoming call back as a return."""
+    def body():
+        while True:
+            msg = yield from endpoint.next_call()
+            yield from endpoint.send_return(msg.peer, msg.call_number,
+                                            b"echo:" + msg.data)
+    return body
+
+
+def test_single_segment_exchange():
+    sim, net, machines, (client_p, server_p) = make_world()
+    client = PairedEndpoint(client_p)
+    server = PairedEndpoint(server_p, port=500)
+    server_p.spawn(echo_server(server)(), daemon=True)
+
+    def client_body():
+        reply = yield from client.call(server.addr, 1, b"hello")
+        return reply
+
+    assert sim.run_process(client_body()) == b"echo:hello"
+
+
+def test_sequential_calls_reuse_channel():
+    sim, net, machines, (client_p, server_p) = make_world()
+    client = PairedEndpoint(client_p)
+    server = PairedEndpoint(server_p, port=500)
+    server_p.spawn(echo_server(server)(), daemon=True)
+
+    def client_body():
+        replies = []
+        for number in range(1, 6):
+            reply = yield from client.call(server.addr, number, b"n%d" % number)
+            replies.append(reply)
+        return replies
+
+    assert sim.run_process(client_body()) == [
+        b"echo:n%d" % n for n in range(1, 6)]
+
+
+def test_multi_segment_message_reassembled():
+    sim, net, machines, (client_p, server_p) = make_world()
+    config = PairedMessageConfig(max_segment_data=128)
+    client = PairedEndpoint(client_p, config=config)
+    server = PairedEndpoint(server_p, port=500, config=config)
+    server_p.spawn(echo_server(server)(), daemon=True)
+    big = bytes(range(256)) * 8  # 2048 bytes -> 16 segments
+
+    def client_body():
+        reply = yield from client.call(server.addr, 1, big)
+        return reply
+
+    assert sim.run_process(client_body()) == b"echo:" + big
+
+
+def test_exchange_survives_packet_loss():
+    sim, net, machines, (client_p, server_p) = make_world(
+        seed=3, loss_probability=0.25)
+    config = PairedMessageConfig(max_segment_data=128)
+    client = PairedEndpoint(client_p, config=config)
+    server = PairedEndpoint(server_p, port=500, config=config)
+    server_p.spawn(echo_server(server)(), daemon=True)
+    data = b"x" * 700  # several segments
+
+    def client_body():
+        replies = []
+        for number in range(1, 4):
+            reply = yield from client.call(server.addr, number, data)
+            replies.append(reply)
+        return replies
+
+    replies = sim.run_process(client_body())
+    assert replies == [b"echo:" + data] * 3
+
+
+def test_exchange_survives_duplication():
+    sim, net, machines, (client_p, server_p) = make_world(
+        seed=5, duplicate_probability=0.5)
+    client = PairedEndpoint(client_p)
+    server = PairedEndpoint(server_p, port=500)
+    served = []
+
+    def server_body():
+        while True:
+            msg = yield from server.next_call()
+            served.append(msg.call_number)
+            yield from server.send_return(msg.peer, msg.call_number, msg.data)
+
+    server_p.spawn(server_body(), daemon=True)
+
+    def client_body():
+        for number in range(1, 4):
+            yield from client.call(server.addr, number, b"d")
+        # Give any delayed duplicates time to arrive.
+        yield Sleep(500.0)
+
+    sim.run_process(client_body())
+    # Exactly-once delivery to the application despite duplicates.
+    assert served == [1, 2, 3]
+
+
+def test_delayed_replay_suppressed():
+    """A delayed duplicate of an old call message must not re-execute it."""
+    sim, net, machines, (client_p, server_p) = make_world()
+    client = PairedEndpoint(client_p)
+    server = PairedEndpoint(server_p, port=500)
+    served = []
+
+    def server_body():
+        while True:
+            msg = yield from server.next_call()
+            served.append(msg.call_number)
+            yield from server.send_return(msg.peer, msg.call_number, msg.data)
+
+    server_p.spawn(server_body(), daemon=True)
+
+    def client_body():
+        yield from client.call(server.addr, 1, b"first")
+        # Replay the same call number out of band.
+        from repro.pairedmsg.segments import split_message
+        for s in split_message(MSG_CALL, 1, b"first", 1024):
+            client.sock.sendto(s.encode(), server.addr)
+        yield Sleep(300.0)
+
+    sim.run_process(client_body())
+    assert served == [1]
+
+
+def test_crash_detected_while_waiting():
+    sim, net, machines, (client_p, server_p) = make_world()
+    client = PairedEndpoint(client_p)
+    server = PairedEndpoint(server_p, port=500)
+
+    def server_body():
+        # Receive the call, then "hang" (crash happens mid-execution).
+        yield from server.next_call()
+        yield Sleep(10000.0)
+
+    server_p.spawn(server_body(), daemon=True)
+    sim.schedule(100.0, machines[1].crash)
+
+    def client_body():
+        yield from client.send_call(server.addr, 1, b"doomed")
+        try:
+            yield from client.wait_return(server.addr, 1)
+        except PeerCrashed as exc:
+            return ("crashed", exc.peer.host, sim.now)
+
+    result = sim.run_process(client_body())
+    assert result[0] == "crashed"
+    assert result[1] == "m1"
+    # Detected within the crash timeout plus one probe interval.
+    assert result[2] < 100.0 + 800.0 + 300.0
+
+
+def test_probing_does_not_false_positive_on_slow_server():
+    """A server that is slow but alive answers probes, so no crash is
+    declared even when execution takes much longer than the timeout."""
+    sim, net, machines, (client_p, server_p) = make_world()
+    client = PairedEndpoint(client_p)
+    server = PairedEndpoint(server_p, port=500)
+
+    def server_body():
+        msg = yield from server.next_call()
+        yield Sleep(3000.0)  # slow procedure, >> crash_timeout
+        yield from server.send_return(msg.peer, msg.call_number, b"finally")
+
+    server_p.spawn(server_body(), daemon=True)
+
+    def client_body():
+        reply = yield from client.call(server.addr, 1, b"patience")
+        return reply
+
+    assert sim.run_process(client_body()) == b"finally"
+
+
+def test_send_timeout_fires_after_max_retries():
+    sim, net, machines, (client_p, server_p) = make_world()
+    machines[1].crash()  # nobody home
+    config = PairedMessageConfig(retransmit_interval=10.0, max_retries=3)
+    client = PairedEndpoint(client_p, config=config)
+
+    def client_body():
+        transfer = yield from client.send_call(ProcessAddress("m1", 500), 1, b"void")
+        outcome = yield transfer.done
+        return outcome, sim.now
+
+    outcome, now = sim.run_process(client_body())
+    assert outcome == "timeout"
+    assert now < 200.0
+
+
+def test_concurrent_clients_one_server():
+    sim, net, machines, procs = make_world(n_machines=3)
+    client_a = PairedEndpoint(procs[0])
+    client_b = PairedEndpoint(procs[1])
+    server = PairedEndpoint(procs[2], port=500)
+    server_p = procs[2]
+    server_p.spawn(echo_server(server)(), daemon=True)
+    results = {}
+
+    def client_body(tag, endpoint):
+        def body():
+            reply = yield from endpoint.call(server.addr, 1, tag.encode())
+            results[tag] = reply
+        return body
+
+    pa = sim.spawn(client_body("a", client_a)())
+    pb = sim.spawn(client_body("b", client_b)())
+    sim.run()
+    assert results == {"a": b"echo:a", "b": b"echo:b"}
+
+
+def test_syscall_profile_contains_expected_calls():
+    """The execution profile mechanism behind Table 4.3: the six syscalls
+    of Table 4.2 all appear in a paired-message exchange."""
+    sim, net, machines, (client_p, server_p) = make_world()
+    client = PairedEndpoint(client_p)
+    server = PairedEndpoint(server_p, port=500)
+    server_p.spawn(echo_server(server)(), daemon=True)
+
+    def client_body():
+        yield from client.call(server.addr, 1, b"profile")
+
+    sim.run_process(client_body())
+    for name in ("sendmsg", "recvmsg", "select", "setitimer", "gettimeofday"):
+        assert client_p.syscall_counts.get(name, 0) >= 1, name
+    assert client_p.kernel_time > 0
+    assert client_p.user_time > 0
+
+
+def test_closed_endpoint_rejects_operations():
+    sim, net, machines, (client_p, _) = make_world()
+    client = PairedEndpoint(client_p)
+    client.close()
+
+    def body():
+        yield from client.send_call(ProcessAddress("m1", 500), 1, b"x")
+
+    with pytest.raises(RuntimeError):
+        sim.run_process(body())
+
+
+def test_duplicate_send_rejected():
+    sim, net, machines, (client_p, _) = make_world()
+    client = PairedEndpoint(client_p)
+
+    def body():
+        yield from client.send_call(ProcessAddress("m1", 500), 1, b"x")
+        yield from client.send_call(ProcessAddress("m1", 500), 1, b"x")
+
+    with pytest.raises(RuntimeError):
+        sim.run_process(body())

@@ -1,0 +1,120 @@
+"""Tests for the segment wire format (Figure 4.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pairedmsg import segments as seg
+from repro.pairedmsg import (
+    MSG_CALL,
+    MSG_RETURN,
+    MessageTooLarge,
+    Segment,
+    SegmentFormatError,
+    split_message,
+)
+
+
+def test_header_is_eight_bytes():
+    assert seg.HEADER_SIZE == 8
+
+
+def test_encode_decode_roundtrip():
+    original = Segment(msg_type=MSG_CALL, please_ack=True, ack=False,
+                       total_segments=3, segment_number=2,
+                       call_number=0xDEADBEEF, data=b"payload")
+    decoded = seg.decode(original.encode())
+    assert decoded == original
+
+
+def test_decode_short_datagram_rejected():
+    with pytest.raises(SegmentFormatError):
+        seg.decode(b"\x00" * 7)
+
+
+def test_decode_bad_type_rejected():
+    raw = Segment(MSG_CALL, False, False, 1, 1, 0).encode()
+    with pytest.raises(SegmentFormatError):
+        seg.decode(b"\x09" + raw[1:])
+
+
+def test_decode_bad_control_bits_rejected():
+    raw = bytearray(Segment(MSG_CALL, False, False, 1, 1, 0).encode())
+    raw[1] = 0x80
+    with pytest.raises(SegmentFormatError):
+        seg.decode(bytes(raw))
+
+
+def test_split_empty_message_gives_one_segment():
+    segs = split_message(MSG_CALL, 7, b"", max_data=100)
+    assert len(segs) == 1
+    assert segs[0].segment_number == 1
+    assert segs[0].total_segments == 1
+    assert segs[0].data == b""
+
+
+def test_split_fills_segments_in_order():
+    segs = split_message(MSG_RETURN, 9, b"abcdefghij", max_data=4)
+    assert [s.data for s in segs] == [b"abcd", b"efgh", b"ij"]
+    assert [s.segment_number for s in segs] == [1, 2, 3]
+    assert all(s.total_segments == 3 for s in segs)
+    assert all(s.call_number == 9 for s in segs)
+
+
+def test_split_too_large_rejected():
+    with pytest.raises(MessageTooLarge):
+        split_message(MSG_CALL, 0, b"x" * 256, max_data=1)
+
+
+def test_split_bad_call_number_rejected():
+    with pytest.raises(ValueError):
+        split_message(MSG_CALL, -1, b"", max_data=10)
+    with pytest.raises(ValueError):
+        split_message(MSG_CALL, 2 ** 32, b"", max_data=10)
+
+
+def test_make_ack():
+    ack = seg.make_ack(MSG_CALL, 5, 4, 2)
+    assert ack.ack and not ack.please_ack
+    assert ack.segment_number == 2
+    assert ack.data == b""
+    assert seg.decode(ack.encode()) == ack
+
+
+def test_probe_and_reply_roundtrip():
+    probe = seg.make_probe(3)
+    assert probe.msg_type == seg.MSG_PROBE
+    assert seg.decode(probe.encode()) == probe
+    reply = seg.make_probe_reply(3)
+    assert reply.msg_type == seg.MSG_PROBE_REPLY
+    assert seg.decode(reply.encode()) == reply
+
+
+@given(
+    msg_type=st.sampled_from([MSG_CALL, MSG_RETURN]),
+    call_number=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    data=st.binary(max_size=2000),
+    max_data=st.integers(min_value=10, max_value=300),
+)
+def test_property_split_reassembles_to_original(msg_type, call_number,
+                                                data, max_data):
+    """Splitting then concatenating in segment order is the identity."""
+    try:
+        segs = split_message(msg_type, call_number, data, max_data)
+    except MessageTooLarge:
+        assert len(data) > 255 * max_data - max_data  # genuinely too big
+        return
+    assert b"".join(s.data for s in segs) == data
+    assert [s.segment_number for s in segs] == list(range(1, len(segs) + 1))
+    # Round-trip each segment through the wire format.
+    for s in segs:
+        assert seg.decode(s.encode()) == s
+
+
+@given(st.binary(min_size=8, max_size=64))
+def test_property_decode_never_crashes_unexpectedly(raw):
+    """Arbitrary bytes either decode or raise SegmentFormatError."""
+    try:
+        segment = seg.decode(raw)
+    except SegmentFormatError:
+        return
+    assert segment.encode() == raw

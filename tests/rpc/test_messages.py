@@ -1,0 +1,123 @@
+"""Tests for call/return message encoding and thread IDs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rpc import (
+    CallHeader,
+    RemoteError,
+    ThreadContext,
+    ThreadId,
+    decode_call,
+    decode_return,
+    encode_call,
+    encode_error,
+    encode_return,
+    raise_if_error,
+)
+
+
+def test_thread_id_roundtrip():
+    tid = ThreadId("ucb-monet", 1234)
+    decoded, offset = ThreadId.decode(tid.encode())
+    assert decoded == tid
+    assert offset == len(tid.encode())
+
+
+def test_thread_id_decode_with_trailing_data():
+    tid = ThreadId("m", 1)
+    raw = tid.encode() + b"extra"
+    decoded, offset = ThreadId.decode(raw)
+    assert decoded == tid
+    assert raw[offset:] == b"extra"
+
+
+def test_call_message_roundtrip():
+    header = CallHeader(ThreadId("h", 7), 11, 22, 3, 4)
+    raw = encode_call(header, b"the-args")
+    decoded, args = decode_call(raw)
+    assert decoded == header
+    assert args == b"the-args"
+
+
+def test_return_ok_roundtrip():
+    raw = encode_return(b"results")
+    header, body = decode_return(raw)
+    assert not header.is_error
+    assert raise_if_error(header, body) == b"results"
+
+
+def test_return_error_raises():
+    raw = encode_error("NotFound", "no such key")
+    header, body = decode_return(raw)
+    assert header.is_error
+    with pytest.raises(RemoteError) as info:
+        raise_if_error(header, body)
+    assert info.value.kind == "NotFound"
+    assert info.value.detail == "no such key"
+
+
+def test_thread_context_default_and_adopt():
+    ctx = ThreadContext(default=ThreadId("base", 1))
+    assert ctx.current == ThreadId("base", 1)
+    caller = ThreadId("remote", 9)
+    ctx.adopt(caller)
+    assert ctx.current == caller
+    ctx.release(caller)
+    assert ctx.current == ThreadId("base", 1)
+
+
+def test_thread_context_nested_adoption():
+    ctx = ThreadContext(default=ThreadId("base", 1))
+    t1, t2 = ThreadId("a", 1), ThreadId("b", 2)
+    ctx.adopt(t1)
+    ctx.adopt(t2)
+    assert ctx.current == t2
+    assert ctx.depth() == 2
+    ctx.release(t2)
+    ctx.release(t1)
+    assert ctx.depth() == 0
+
+
+def test_thread_context_release_out_of_order_rejected():
+    ctx = ThreadContext(default=ThreadId("base", 1))
+    ctx.adopt(ThreadId("a", 1))
+    with pytest.raises(RuntimeError):
+        ctx.release(ThreadId("b", 2))
+
+
+def test_thread_context_no_default_rejected():
+    ctx = ThreadContext()
+    with pytest.raises(RuntimeError):
+        _ = ctx.current
+
+
+def test_call_numbers_monotonic():
+    ctx = ThreadContext(default=ThreadId("base", 1))
+    numbers = [ctx.next_call_number() for _ in range(5)]
+    assert numbers == [1, 2, 3, 4, 5]
+
+
+@given(
+    origin=st.text(min_size=0, max_size=40),
+    pid=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    troupe=st.integers(min_value=0, max_value=2 ** 64 - 1),
+    dest=st.integers(min_value=0, max_value=2 ** 64 - 1),
+    module=st.integers(min_value=0, max_value=0xFFFF),
+    proc=st.integers(min_value=0, max_value=0xFFFF),
+    args=st.binary(max_size=500),
+)
+def test_property_call_roundtrip(origin, pid, troupe, dest, module, proc, args):
+    header = CallHeader(ThreadId(origin, pid), troupe, dest, module, proc)
+    decoded, decoded_args = decode_call(encode_call(header, args))
+    assert decoded == header
+    assert decoded_args == args
+
+
+@given(kind=st.text(min_size=1, max_size=30), detail=st.text(max_size=100))
+def test_property_error_roundtrip(kind, detail):
+    header, body = decode_return(encode_error(kind, detail))
+    with pytest.raises(RemoteError) as info:
+        raise_if_error(header, body)
+    assert info.value.kind == kind
+    assert info.value.detail == detail

@@ -1,0 +1,387 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AnyOf,
+    Event,
+    Interrupted,
+    ProcessKilled,
+    SimulationError,
+    Simulator,
+    Sleep,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, seen.append, "b")
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(9.0, seen.append, "c")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 9.0
+
+
+def test_schedule_ties_break_by_insertion_order():
+    sim = Simulator()
+    seen = []
+    for tag in range(10):
+        sim.schedule(1.0, seen.append, tag)
+    sim.run()
+    assert seen == list(range(10))
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_cancelled_call_does_not_run():
+    sim = Simulator()
+    seen = []
+    handle = sim.schedule(1.0, seen.append, "x")
+    handle.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    seen = []
+    sim.schedule(10.0, seen.append, "late")
+    sim.run(until=5.0)
+    assert seen == []
+    assert sim.now == 5.0
+    sim.run()
+    assert seen == ["late"]
+
+
+def test_process_sleep_advances_clock():
+    sim = Simulator()
+
+    def body():
+        yield Sleep(3.0)
+        yield Sleep(4.0)
+        return sim.now
+
+    result = sim.run_process(body())
+    assert result == 7.0
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def body():
+        yield Sleep(1.0)
+        return 42
+
+    assert sim.run_process(body()) == 42
+
+
+def test_zero_sleep_yields_control():
+    sim = Simulator()
+    order = []
+
+    def a():
+        order.append("a1")
+        yield Sleep(0.0)
+        order.append("a2")
+
+    def b():
+        order.append("b1")
+        yield Sleep(0.0)
+        order.append("b2")
+
+    sim.spawn(a())
+    sim.spawn(b())
+    sim.run()
+    assert order == ["a1", "b1", "a2", "b2"]
+
+
+def test_event_wakes_waiter_with_value():
+    sim = Simulator()
+    ev = Event(sim, "e")
+    results = []
+
+    def waiter():
+        value = yield ev
+        results.append((sim.now, value))
+
+    def firer():
+        yield Sleep(2.5)
+        ev.fire("payload")
+
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert results == [(2.5, "payload")]
+
+
+def test_event_already_fired_resumes_immediately():
+    sim = Simulator()
+    ev = Event(sim, "e")
+    ev.fire(7)
+
+    def waiter():
+        value = yield ev
+        return value
+
+    assert sim.run_process(waiter()) == 7
+
+
+def test_event_fire_twice_is_error():
+    sim = Simulator()
+    ev = Event(sim, "e")
+    ev.fire()
+    with pytest.raises(RuntimeError):
+        ev.fire()
+
+
+def test_event_wakes_multiple_waiters():
+    sim = Simulator()
+    ev = Event(sim, "e")
+    woken = []
+
+    def waiter(tag):
+        yield ev
+        woken.append(tag)
+
+    for tag in range(3):
+        sim.spawn(waiter(tag))
+
+    def firer():
+        yield Sleep(1.0)
+        ev.fire()
+
+    sim.spawn(firer())
+    sim.run()
+    assert sorted(woken) == [0, 1, 2]
+
+
+def test_anyof_returns_first_fired_index():
+    sim = Simulator()
+    ev = Event(sim, "e")
+
+    def body():
+        index, value = yield AnyOf(ev, Sleep(10.0))
+        return index, value, sim.now
+
+    def firer():
+        yield Sleep(3.0)
+        ev.fire("fast")
+
+    sim.spawn(firer())
+    assert sim.run_process(body()) == (0, "fast", 3.0)
+
+
+def test_anyof_timeout_branch():
+    sim = Simulator()
+    ev = Event(sim, "never")
+
+    def body():
+        index, _ = yield AnyOf(ev, Sleep(2.0))
+        return index, sim.now
+
+    assert sim.run_process(body()) == (1, 2.0)
+
+
+def test_anyof_loser_subscription_cancelled():
+    """The losing sleep of an AnyOf must not resume the process later."""
+    sim = Simulator()
+    ev = Event(sim, "e")
+    resumes = []
+
+    def body():
+        index, _ = yield AnyOf(ev, Sleep(1.0))
+        resumes.append(index)
+        yield Sleep(100.0)
+        resumes.append("end")
+
+    def firer():
+        yield Sleep(0.5)
+        ev.fire()
+
+    sim.spawn(body())
+    sim.spawn(firer())
+    sim.run()
+    assert resumes == [0, "end"]
+
+
+def test_join_returns_child_result():
+    sim = Simulator()
+
+    def child():
+        yield Sleep(2.0)
+        return "done"
+
+    def parent():
+        proc = sim.spawn(child())
+        value = yield proc
+        return value, sim.now
+
+    assert sim.run_process(parent()) == ("done", 2.0)
+
+
+def test_join_already_dead_process():
+    sim = Simulator()
+
+    def child():
+        return "early"
+        yield  # pragma: no cover
+
+    def parent():
+        proc = sim.spawn(child())
+        yield Sleep(5.0)
+        value = yield proc
+        return value
+
+    assert sim.run_process(parent()) == "early"
+
+
+def test_child_exception_propagates_to_joiner():
+    sim = Simulator()
+
+    def child():
+        yield Sleep(1.0)
+        raise ValueError("boom")
+
+    def parent():
+        proc = sim.spawn(child())
+        try:
+            yield proc
+        except ValueError as exc:
+            return "caught %s" % exc
+
+    assert sim.run_process(parent()) == "caught boom"
+
+
+def test_unjoined_exception_fails_the_run():
+    sim = Simulator()
+
+    def body():
+        yield Sleep(1.0)
+        raise RuntimeError("unattended")
+
+    sim.spawn(body())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_kill_stops_process_and_runs_finally():
+    sim = Simulator()
+    log = []
+
+    def body():
+        try:
+            yield Sleep(100.0)
+            log.append("never")
+        except ProcessKilled:
+            log.append("killed")
+            raise
+        finally:
+            log.append("finally")
+
+    proc = sim.spawn(body())
+
+    def killer():
+        yield Sleep(1.0)
+        proc.kill()
+
+    sim.spawn(killer())
+    sim.run()
+    assert log == ["killed", "finally"]
+    assert not proc.alive
+    assert proc.killed
+
+
+def test_killed_process_does_not_fail_run():
+    sim = Simulator()
+
+    def body():
+        yield Sleep(100.0)
+
+    proc = sim.spawn(body())
+    sim.schedule(1.0, proc.kill)
+    sim.run()
+    assert not proc.alive
+
+
+def test_interrupt_raises_in_waiting_process():
+    sim = Simulator()
+
+    def body():
+        try:
+            yield Sleep(100.0)
+        except Interrupted as exc:
+            return ("interrupted", exc.cause, sim.now)
+
+    proc = sim.spawn(body())
+    sim.schedule(2.0, proc.interrupt, "reason")
+    sim.run()
+    assert proc.result == ("interrupted", "reason", 2.0)
+
+
+def test_yield_from_composition():
+    sim = Simulator()
+
+    def helper(n):
+        total = 0
+        for _ in range(n):
+            yield Sleep(1.0)
+            total += 1
+        return total
+
+    def body():
+        a = yield from helper(2)
+        b = yield from helper(3)
+        return a + b, sim.now
+
+    assert sim.run_process(body()) == (5, 5.0)
+
+
+def test_non_waitable_yield_is_an_error():
+    sim = Simulator()
+
+    def body():
+        yield 12345
+
+    sim.spawn(body())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_process_unfinished_raises():
+    sim = Simulator()
+
+    def body():
+        yield Event(sim, "never-fires")
+
+    with pytest.raises(SimulationError):
+        sim.run_process(body())
+
+
+def test_many_processes_deterministic():
+    def run_once():
+        sim = Simulator()
+        log = []
+
+        def body(tag, delay):
+            yield Sleep(delay)
+            log.append(tag)
+            yield Sleep(delay)
+            log.append(tag)
+
+        for tag in range(20):
+            sim.spawn(body(tag, (tag * 7) % 5 + 1))
+        sim.run()
+        return log
+
+    assert run_once() == run_once()

@@ -1,0 +1,55 @@
+"""Tests for seeded random streams (the common-random-numbers discipline)."""
+
+from repro.sim import RandomStream
+
+
+def test_same_seed_same_stream():
+    a = RandomStream(7, "net")
+    b = RandomStream(7, "net")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_are_independent():
+    a = RandomStream(7, "net")
+    b = RandomStream(7, "failures")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_fork_derives_deterministic_substream():
+    a1 = RandomStream(3, "root").fork("child")
+    a2 = RandomStream(3, "root").fork("child")
+    assert a1.name == "root/child"
+    assert [a1.random() for _ in range(3)] == [a2.random() for _ in range(3)]
+
+
+def test_fork_consumes_parent_state():
+    parent = RandomStream(3, "root")
+    parent.fork("x")
+    one = parent.random()
+    fresh = RandomStream(3, "root")
+    assert fresh.random() != one  # fork advanced the parent
+
+
+def test_chance_extremes():
+    rng = RandomStream(1, "c")
+    assert rng.chance(0.0) is False
+    assert rng.chance(1.0) is True
+    assert rng.chance(-0.5) is False
+    assert rng.chance(1.5) is True
+
+
+def test_expovariate_mean():
+    rng = RandomStream(5, "exp")
+    samples = [rng.expovariate(1 / 10.0) for _ in range(5000)]
+    assert 9.0 < sum(samples) / len(samples) < 11.0
+
+
+def test_sample_and_choice_and_shuffle():
+    rng = RandomStream(2, "s")
+    population = list(range(10))
+    picked = rng.sample(population, 3)
+    assert len(picked) == 3 and len(set(picked)) == 3
+    assert rng.choice(population) in population
+    shuffled = list(population)
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == population

@@ -1,0 +1,95 @@
+"""Tests for the multiplexed timer package (§4.2.4)."""
+
+from repro.sim import Simulator, TimerService
+
+
+def test_single_timer_fires_once():
+    sim = Simulator()
+    svc = TimerService(sim)
+    fired = []
+    svc.after(5.0, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now == 5.0
+
+
+def test_many_timers_fire_in_deadline_order():
+    sim = Simulator()
+    svc = TimerService(sim)
+    fired = []
+    svc.after(3.0, lambda: fired.append((sim.now, "b")))
+    svc.after(1.0, lambda: fired.append((sim.now, "a")))
+    svc.after(7.0, lambda: fired.append((sim.now, "c")))
+    sim.run()
+    assert fired == [(1.0, "a"), (3.0, "b"), (7.0, "c")]
+
+
+def test_stop_prevents_firing():
+    sim = Simulator()
+    svc = TimerService(sim)
+    fired = []
+    timer = svc.after(5.0, fired.append, "x")
+    sim.schedule(1.0, timer.stop)
+    sim.run()
+    assert fired == []
+    assert svc.active_count() == 0
+
+
+def test_restart_extends_deadline():
+    sim = Simulator()
+    svc = TimerService(sim)
+    fired = []
+    timer = svc.after(5.0, lambda: fired.append(sim.now))
+    sim.schedule(4.0, timer.restart)
+    sim.run()
+    assert fired == [9.0]
+
+
+def test_periodic_retransmission_pattern():
+    """The paper's retransmission loop: re-arm the timer in the callback."""
+    sim = Simulator()
+    svc = TimerService(sim)
+    fired = []
+
+    def tick():
+        fired.append(sim.now)
+        if len(fired) < 4:
+            svc.after(2.0, tick)
+
+    svc.after(2.0, tick)
+    sim.run()
+    assert fired == [2.0, 4.0, 6.0, 8.0]
+
+
+def test_on_arm_hook_counts_rearming():
+    """Every re-aim of the single underlying alarm is observable (the host
+    layer charges a setitimer syscall there)."""
+    sim = Simulator()
+    arms = []
+    svc = TimerService(sim, on_arm=lambda: arms.append(sim.now))
+    svc.after(5.0, lambda: None)
+    # A nearer deadline forces a re-arm.
+    svc.after(2.0, lambda: None)
+    sim.run()
+    assert len(arms) >= 2
+
+
+def test_same_deadline_timers_all_fire():
+    sim = Simulator()
+    svc = TimerService(sim)
+    fired = []
+    for tag in range(3):
+        svc.after(4.0, fired.append, tag)
+    sim.run()
+    assert sorted(fired) == [0, 1, 2]
+
+
+def test_cancel_all():
+    sim = Simulator()
+    svc = TimerService(sim)
+    fired = []
+    for tag in range(3):
+        svc.after(4.0, fired.append, tag)
+    svc.cancel_all()
+    sim.run()
+    assert fired == []

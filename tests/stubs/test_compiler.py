@@ -1,0 +1,218 @@
+"""Integration tests: generated stubs over real replicated calls."""
+
+import pytest
+
+from repro.core import FirstComeCollator
+from repro.harness import World
+from repro.stubs import (
+    ClientStub,
+    CourierError,
+    ExplicitBindingStub,
+    ServerStub,
+    compile_interface,
+    generate_source,
+    parse_interface,
+)
+
+NAME_SERVER = """
+NameServer: PROGRAM 26 VERSION 1 =
+BEGIN
+    Name: TYPE = STRING;
+    Property: TYPE = RECORD [name: Name, value: SEQUENCE OF UNSPECIFIED];
+    Properties: TYPE = SEQUENCE OF Property;
+    AlreadyExists: ERROR = 0;
+    NotFound: ERROR = 1;
+    Register: PROCEDURE [name: Name, properties: Properties]
+        REPORTS [AlreadyExists] = 0;
+    Lookup: PROCEDURE [name: Name]
+        RETURNS [properties: Properties]
+        REPORTS [NotFound] = 1;
+    Delete: PROCEDURE [name: Name]
+        REPORTS [NotFound] = 2;
+END.
+"""
+
+SPEC = parse_interface(NAME_SERVER)
+
+
+class NameServerImpl:
+    """A per-member implementation of the Figure 7.2 interface."""
+
+    def __init__(self):
+        self.table = {}
+
+    def Register(self, ctx, name, properties):
+        if name in self.table:
+            raise CourierError("AlreadyExists", 0, name)
+        self.table[name] = properties
+
+    def Lookup(self, ctx, name):
+        if name not in self.table:
+            raise CourierError("NotFound", 1, name)
+        return self.table[name]
+
+    def Delete(self, ctx, name):
+        if name not in self.table:
+            raise CourierError("NotFound", 1, name)
+        del self.table[name]
+
+
+def make_name_server_world(degree=3):
+    world = World(machines=6)
+    impls = []
+
+    def factory():
+        impl = NameServerImpl()
+        impls.append(impl)
+        return compile_interface(SPEC, impl)
+
+    troupe, runtimes = world.make_troupe("names", factory, degree=degree)
+    client_rt = world.make_client()
+    stub = ClientStub(SPEC, client_rt, troupe)
+    return world, troupe, impls, stub
+
+
+def test_register_lookup_roundtrip():
+    world, troupe, impls, stub = make_name_server_world()
+    props = [{"name": "address", "value": [1, 2, 3]}]
+
+    def body():
+        yield from stub.Register(name="printer", properties=props)
+        return (yield from stub.Lookup(name="printer"))
+
+    assert world.run(body()) == props
+    # The registration reached every replica.
+    assert all(impl.table == {"printer": props} for impl in impls)
+
+
+def test_declared_error_is_typed():
+    world, troupe, impls, stub = make_name_server_world()
+
+    def body():
+        yield from stub.Lookup(name="missing")
+
+    with pytest.raises(CourierError) as info:
+        world.run(body())
+    assert info.value.name == "NotFound"
+    assert info.value.code == 1
+
+
+def test_error_survives_replication():
+    """All replicas raise the same declared error; unanimity holds."""
+    world, troupe, impls, stub = make_name_server_world(degree=3)
+
+    def body():
+        yield from stub.Register(name="x", properties=[])
+        yield from stub.Register(name="x", properties=[])
+
+    with pytest.raises(CourierError) as info:
+        world.run(body())
+    assert info.value.name == "AlreadyExists"
+
+
+def test_procedure_with_no_results_returns_none():
+    world, troupe, impls, stub = make_name_server_world(degree=1)
+
+    def body():
+        result = yield from stub.Register(name="a", properties=[])
+        return result
+
+    assert world.run(body()) is None
+
+
+def test_marshal_error_on_bad_arguments():
+    world, troupe, impls, stub = make_name_server_world(degree=1)
+
+    def body():
+        yield from stub.Register(name=42, properties=[])  # not a STRING
+
+    from repro.stubs.types import MarshalError
+    with pytest.raises(MarshalError):
+        world.run(body())
+
+
+def test_implementation_missing_procedure_rejected():
+    class Incomplete:
+        def Lookup(self, ctx, name):
+            return []
+
+    with pytest.raises(TypeError):
+        ServerStub(SPEC, Incomplete())
+
+
+def test_client_stub_with_collator():
+    world, troupe, impls, stub = make_name_server_world()
+    fast_stub = ClientStub(SPEC, world.make_client(), troupe,
+                           collator=FirstComeCollator())
+
+    def body():
+        yield from stub.Register(name="p", properties=[])
+        return (yield from fast_stub.Lookup(name="p"))
+
+    assert world.run(body()) == []
+
+
+FILE_SYSTEM = """
+FileSystem: PROGRAM 4 VERSION 1 =
+BEGIN
+    NoSuchFile: ERROR = 0;
+    Read: PROCEDURE [file: STRING] RETURNS [page: STRING]
+        REPORTS [NoSuchFile] = 0;
+    Write: PROCEDURE [file: STRING, page: STRING] = 1;
+END.
+"""
+
+FS_SPEC = parse_interface(FILE_SYSTEM)
+
+
+class FsImpl:
+    def __init__(self, contents=None):
+        self.files = dict(contents or {})
+
+    def Read(self, ctx, file):
+        if file not in self.files:
+            raise CourierError("NoSuchFile", 0, file)
+        return self.files[file]
+
+    def Write(self, ctx, file, page):
+        self.files[file] = page
+
+
+def test_explicit_binding_third_party_transfer():
+    """Figure 7.5: a client copies a file between two instances of the
+    same interface using explicit binding handles."""
+    world = World(machines=6)
+    src_impl = FsImpl({"report": "the contents"})
+    dst_impl = FsImpl()
+    src_troupe, _ = world.make_troupe(
+        "fs-src", compile_interface(FS_SPEC, src_impl), degree=1)
+    dst_troupe, _ = world.make_troupe(
+        "fs-dst", compile_interface(FS_SPEC, dst_impl), degree=1)
+    client_rt = world.make_client()
+    stub = ExplicitBindingStub(FS_SPEC, client_rt)
+
+    def body():
+        page = yield from stub.Read(src_troupe, file="report")
+        yield from stub.Write(dst_troupe, file="report", page=page)
+
+    world.run(body())
+    assert dst_impl.files == {"report": "the contents"}
+
+
+def test_generated_source_executes():
+    """The textual stub artifact round-trips through exec and works."""
+    source = generate_source(FS_SPEC)
+    namespace = {}
+    exec(compile(source, "<generated>", "exec"), namespace)
+    assert namespace["SPEC"].name == "FileSystem"
+
+    world = World(machines=4)
+    impl = FsImpl({"f": "data"})
+    troupe, _ = world.make_troupe(
+        "fs", namespace["make_server_module"](impl), degree=2)
+    stub = namespace["make_client_stub"](world.make_client(), troupe)
+
+    def body():
+        return (yield from stub.Read(file="f"))
+
+    assert world.run(body()) == "data"

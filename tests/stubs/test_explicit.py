@@ -1,0 +1,252 @@
+"""Tests for explicit replication stubs (§7.4, Figures 7.6-7.11)."""
+
+import pytest
+
+from repro.core import MajorityCollator, UnanimousCollator
+from repro.core.collators import CollationError, FunctionCollator
+from repro.harness import World
+from repro.sim import Sleep
+from repro.stubs import (
+    ReplicatedClientStub,
+    SymbolicClientStub,
+    explicit_server_module,
+    parse_interface,
+    symbolic_server_module,
+)
+from repro.stubs.explicit import collate
+
+READONLY_FS = """
+FileSystem: PROGRAM 4 VERSION 1 =
+BEGIN
+    Read: PROCEDURE [file: STRING] RETURNS [page: STRING] = 0;
+END.
+"""
+
+FS_SPEC = parse_interface(READONLY_FS)
+
+CONTROLLER = """
+Controller: PROGRAM 9 VERSION 1 =
+BEGIN
+    SetTemperature: PROCEDURE [temperature: INTEGER]
+        RETURNS [accepted: INTEGER] = 0;
+END.
+"""
+
+CONTROLLER_SPEC = parse_interface(CONTROLLER)
+
+
+def test_client_explicit_replication_early_exit():
+    """Figure 7.6: iterate per-member responses, stop at an acceptable one."""
+    world = World(machines=6)
+    counter = [0]
+
+    def factory():
+        index = counter[0]
+        counter[0] += 1
+
+        class Impl:
+            def Read(self, ctx, file, _index=index):
+                yield Sleep(20.0 * (_index + 1))
+                return "page-from-%d" % _index
+
+        from repro.stubs.compiler import compile_interface
+        return compile_interface(FS_SPEC, Impl())
+
+    troupe, _ = world.make_troupe("fs", factory, degree=3)
+    client_rt = world.make_client()
+    stub = ReplicatedClientStub(FS_SPEC, client_rt, troupe)
+
+    def body():
+        pages = yield from stub.Read(file="f")
+        seen = []
+        while True:
+            result = yield from pages.next()
+            if result is None:
+                break
+            seen.append(result.value)
+            if len(seen) == 1:  # the first acceptable page wins
+                pages.cancel()
+                break
+        return seen
+
+    assert world.run(body()) == ["page-from-0"]
+
+
+def test_server_explicit_replication_averages_arguments():
+    """Figure 7.7: the temperature controller averages the client troupe
+    members' (divergent) arguments."""
+    world = World(machines=8)
+    accepted = []
+
+    class ControllerImpl:
+        def SetTemperature(self, ctx, arguments):
+            temps = [decoded["temperature"] for decoded in arguments.values()]
+            average = sum(temps) // len(temps)
+            accepted.append(average)
+            return average
+
+    troupe, _ = world.make_troupe(
+        "ctrl", explicit_server_module(CONTROLLER_SPEC, ControllerImpl()),
+        degree=1)
+    client_troupe, client_runtimes = world.make_client_troupe(
+        "sensors", degree=3)
+
+    # Each client member sends a *different* reading — deliberately
+    # nondeterministic replicas, which explicit replication permits.
+    readings = {0: 18, 1: 22, 2: 20}
+    results = []
+
+    def make_sensor(index, runtime):
+        from repro.stubs.types import RecordType
+        proc = CONTROLLER_SPEC.procedures["SetTemperature"]
+
+        def body():
+            args = proc.arg_record.externalize(
+                {"temperature": readings[index]})
+            raw = yield from runtime.call_troupe(troupe, None, 0, args)
+            results.append(proc.result_record.internalize(raw)["accepted"])
+        return body
+
+    for index, runtime in enumerate(client_runtimes):
+        world.spawn(make_sensor(index, runtime)())
+    world.sim.run()
+    assert accepted == [20]  # (18+22+20)//3
+    assert results == [20, 20, 20]
+
+
+def test_collate_helper_runs_figure_collators():
+    """Figures 7.8-7.10 as user code over the result generator."""
+    world = World(machines=6)
+    counter = [0]
+
+    def factory():
+        index = counter[0]
+        counter[0] += 1
+
+        class Impl:
+            def Read(self, ctx, file, _index=index):
+                # One divergent member.
+                return "common" if _index != 0 else "odd-one-out"
+
+        from repro.stubs.compiler import compile_interface
+        return compile_interface(FS_SPEC, Impl())
+
+    troupe, _ = world.make_troupe("fs", factory, degree=3)
+    client_rt = world.make_client()
+    stub = ReplicatedClientStub(FS_SPEC, client_rt, troupe)
+
+    def majority_body():
+        pages = yield from stub.Read(file="f")
+        return (yield from collate(pages, MajorityCollator(), 3))
+
+    assert world.run(majority_body()) == "common"
+
+    def unanimous_body():
+        pages = yield from stub.Read(file="f")
+        return (yield from collate(pages, UnanimousCollator(), 3))
+
+    with pytest.raises(CollationError):
+        world.run(unanimous_body())
+
+    def average_body():
+        pages = yield from stub.Read(file="f")
+        return (yield from collate(
+            pages, FunctionCollator(lambda pairs: sorted(v for _, v in pairs)),
+            3))
+
+    assert world.run(average_body()) == ["common", "common", "odd-one-out"]
+
+
+def test_crashed_member_reported_in_stream():
+    world = World(machines=6)
+
+    def factory():
+        class Impl:
+            def Read(self, ctx, file):
+                return "ok"
+
+        from repro.stubs.compiler import compile_interface
+        return compile_interface(FS_SPEC, Impl())
+
+    troupe, _ = world.make_troupe("fs", factory, degree=2)
+    world.machine(troupe.members[1].process.host).crash()
+    client_rt = world.make_client()
+    stub = ReplicatedClientStub(FS_SPEC, client_rt, troupe)
+
+    def body():
+        pages = yield from stub.Read(file="f")
+        statuses = []
+        while True:
+            result = yield from pages.next()
+            if result is None:
+                break
+            statuses.append(result.status)
+        return sorted(statuses)
+
+    assert world.run(body()) == ["crashed", "ok"]
+
+
+def test_symbolic_stub_roundtrip():
+    """§7.1.3: values travel in their printed representation."""
+    world = World(machines=4)
+
+    def procedures():
+        table = {}
+
+        def store(ctx, key, value):
+            table[key] = value
+            return ("stored", key)
+
+        def fetch(ctx, key):
+            return table.get(key)
+
+        return {"store": store, "fetch": fetch}
+
+    troupe, _ = world.make_troupe(
+        "lisp", lambda: symbolic_server_module("lisp", procedures()),
+        degree=2)
+    client_rt = world.make_client()
+    stub = SymbolicClientStub(client_rt, troupe)
+
+    def body():
+        ack = yield from stub.call("store", "config",
+                                   {"depth": 3, "tags": [1, 2, (3, 4)]})
+        value = yield from stub.call("fetch", "config")
+        return ack, value
+
+    ack, value = world.run(body())
+    assert ack == ("stored", "config")
+    assert value == {"depth": 3, "tags": [1, 2, (3, 4)]}
+
+
+def test_symbolic_unknown_procedure():
+    from repro.rpc import RemoteError
+    world = World(machines=4)
+    troupe, _ = world.make_troupe(
+        "lisp", lambda: symbolic_server_module("lisp", {}), degree=1)
+    stub = SymbolicClientStub(world.make_client(), troupe)
+
+    def body():
+        yield from stub.call("nonexistent")
+
+    with pytest.raises(RemoteError) as info:
+        world.run(body())
+    assert info.value.kind == "BadProcedure"
+
+
+def test_vector_print_read_property():
+    from repro.stubs.symbolic import vector_print, vector_read
+    from hypothesis import given, strategies as st
+
+    @given(st.recursive(
+        st.one_of(st.none(), st.booleans(), st.integers(),
+                  st.text(max_size=10)),
+        lambda children: st.one_of(
+            st.lists(children, max_size=3),
+            st.tuples(children, children),
+            st.dictionaries(st.text(max_size=5), children, max_size=3)),
+        max_leaves=10))
+    def check(form):
+        assert vector_read(vector_print(form)) == form
+
+    check()

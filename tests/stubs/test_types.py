@@ -1,0 +1,174 @@
+"""Tests for the IDL type system and Courier external representation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stubs import MarshalError
+from repro.stubs.types import (
+    ArrayType,
+    BooleanType,
+    CardinalType,
+    ChoiceType,
+    EnumerationType,
+    IntegerType,
+    LongCardinalType,
+    LongIntegerType,
+    RecordType,
+    SequenceType,
+    StringType,
+    UnspecifiedType,
+)
+
+
+def roundtrip(type_node, value):
+    return type_node.internalize(type_node.externalize(value))
+
+
+def test_boolean():
+    assert roundtrip(BooleanType(), True) is True
+    assert roundtrip(BooleanType(), False) is False
+    assert BooleanType().externalize(True) == b"\x00\x01"
+
+
+def test_boolean_rejects_non_bool():
+    with pytest.raises(MarshalError):
+        BooleanType().externalize(1)
+
+
+def test_cardinal_bounds():
+    assert roundtrip(CardinalType(), 0) == 0
+    assert roundtrip(CardinalType(), 65535) == 65535
+    with pytest.raises(MarshalError):
+        CardinalType().externalize(65536)
+    with pytest.raises(MarshalError):
+        CardinalType().externalize(-1)
+
+
+def test_integer_is_signed():
+    assert roundtrip(IntegerType(), -32768) == -32768
+    assert roundtrip(IntegerType(), 32767) == 32767
+    with pytest.raises(MarshalError):
+        IntegerType().externalize(32768)
+
+
+def test_long_variants():
+    assert roundtrip(LongCardinalType(), 2 ** 32 - 1) == 2 ** 32 - 1
+    assert roundtrip(LongIntegerType(), -(2 ** 31)) == -(2 ** 31)
+
+
+def test_string_padding_to_word_boundary():
+    raw = StringType().externalize("abc")
+    assert len(raw) % 2 == 0
+    assert roundtrip(StringType(), "abc") == "abc"
+
+
+def test_string_unicode():
+    assert roundtrip(StringType(), "héllo wörld ☃") == "héllo wörld ☃"
+
+
+def test_enumeration():
+    color = EnumerationType({"red": 0, "green": 1, "blue": 5})
+    assert roundtrip(color, "green") == "green"
+    assert color.externalize("blue") == b"\x00\x05"
+    with pytest.raises(MarshalError):
+        color.externalize("mauve")
+    with pytest.raises(MarshalError):
+        color.internalize(b"\x00\x02")
+
+
+def test_enumeration_duplicate_values_rejected():
+    with pytest.raises(ValueError):
+        EnumerationType({"a": 0, "b": 0})
+
+
+def test_array_fixed_length():
+    arr = ArrayType(3, CardinalType())
+    assert roundtrip(arr, [1, 2, 3]) == [1, 2, 3]
+    with pytest.raises(MarshalError):
+        arr.externalize([1, 2])
+
+
+def test_sequence_variable_length():
+    seq = SequenceType(StringType())
+    assert roundtrip(seq, []) == []
+    assert roundtrip(seq, ["a", "bc"]) == ["a", "bc"]
+
+
+def test_record_field_order_and_validation():
+    rec = RecordType([("name", StringType()), ("age", CardinalType())])
+    assert roundtrip(rec, {"name": "bob", "age": 30}) == \
+        {"name": "bob", "age": 30}
+    with pytest.raises(MarshalError):
+        rec.externalize({"name": "bob"})
+    with pytest.raises(MarshalError):
+        rec.externalize({"name": "bob", "age": 30, "extra": 1})
+
+
+def test_choice():
+    choice = ChoiceType([("number", 0, CardinalType()),
+                         ("text", 1, StringType())])
+    assert roundtrip(choice, ("number", 42)) == ("number", 42)
+    assert roundtrip(choice, ("text", "x")) == ("text", "x")
+    with pytest.raises(MarshalError):
+        choice.externalize(("other", 1))
+
+
+def test_nested_composite():
+    t = SequenceType(RecordType([
+        ("tag", EnumerationType({"a": 0, "b": 1})),
+        ("values", ArrayType(2, IntegerType())),
+    ]))
+    value = [{"tag": "a", "values": [1, -2]},
+             {"tag": "b", "values": [0, 7]}]
+    assert roundtrip(t, value) == value
+
+
+def test_internalize_rejects_trailing_bytes():
+    with pytest.raises(MarshalError):
+        CardinalType().internalize(b"\x00\x01\x00")
+
+
+# -- property-based round trips -----------------------------------------
+
+@given(st.integers(min_value=0, max_value=0xFFFF))
+def test_property_cardinal_roundtrip(n):
+    assert roundtrip(CardinalType(), n) == n
+
+
+@given(st.text(max_size=200))
+def test_property_string_roundtrip(s):
+    assert roundtrip(StringType(), s) == s
+
+
+@given(st.lists(st.integers(min_value=-0x8000, max_value=0x7FFF),
+                max_size=50))
+def test_property_sequence_of_integer_roundtrip(values):
+    assert roundtrip(SequenceType(IntegerType()), values) == values
+
+
+@given(st.lists(st.tuples(st.text(max_size=10),
+                          st.integers(min_value=0, max_value=0xFFFF)),
+                max_size=10))
+def test_property_record_like_sequence_roundtrip(pairs):
+    t = SequenceType(RecordType([("k", StringType()), ("v", CardinalType())]))
+    value = [{"k": k, "v": v} for k, v in pairs]
+    assert roundtrip(t, value) == value
+
+
+@given(st.recursive(
+    st.one_of(
+        st.booleans().map(lambda b: (BooleanType(), b)),
+        st.integers(min_value=0, max_value=0xFFFF).map(
+            lambda n: (CardinalType(), n)),
+        st.text(max_size=20).map(lambda s: (StringType(), s)),
+    ),
+    lambda children: st.lists(children, min_size=1, max_size=3).map(
+        lambda items: (
+            RecordType([("f%d" % i, t) for i, (t, _) in enumerate(items)]),
+            {"f%d" % i: v for i, (_, v) in enumerate(items)},
+        )),
+    max_leaves=8,
+))
+def test_property_arbitrary_nested_records_roundtrip(type_and_value):
+    type_node, value = type_and_value
+    assert roundtrip(type_node, value) == value

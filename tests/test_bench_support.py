@@ -1,0 +1,89 @@
+"""Tests for the benchmark support layer (workloads and reporting)."""
+
+import pytest
+
+from repro.bench import (
+    PAPER_TABLE_4_1,
+    PAPER_TABLE_4_2,
+    Table,
+    register_table,
+    registered_tables,
+    run_circus_echo,
+    run_tcp_echo,
+    run_udp_echo,
+)
+from repro.bench.echo import linear_fit
+from repro.bench.report import clear_tables
+
+
+def test_udp_echo_matches_calibration():
+    result = run_udp_echo(iterations=10)
+    # sendmsg + 2x setitimer + recvmsg = 13.3 ms kernel per call.
+    assert result.kernel == pytest.approx(13.3, abs=0.01)
+    assert result.user == pytest.approx(0.8, abs=0.01)
+    assert result.real > result.total
+
+
+def test_tcp_echo_matches_calibration():
+    result = run_tcp_echo(iterations=10)
+    assert result.kernel == pytest.approx(7.8, abs=0.01)
+    assert result.total == pytest.approx(PAPER_TABLE_4_1["TCP"]["total"],
+                                         abs=0.1)
+
+
+def test_circus_echo_profile_sums_to_kernel_time():
+    result = run_circus_echo(degree=2, iterations=8)
+    assert sum(result.profile.values()) == pytest.approx(result.kernel,
+                                                         rel=1e-6)
+    pcts = result.profile_percentages()
+    assert all(0.0 <= v <= 100.0 for v in pcts.values())
+
+
+def test_circus_echo_deterministic():
+    a = run_circus_echo(degree=2, iterations=5, seed=3)
+    b = run_circus_echo(degree=2, iterations=5, seed=3)
+    assert (a.real, a.user, a.kernel) == (b.real, b.user, b.kernel)
+
+
+def test_linear_fit_exact_line():
+    slope, intercept, r2 = linear_fit([1, 2, 3], [10.0, 20.0, 30.0])
+    assert slope == pytest.approx(10.0)
+    assert intercept == pytest.approx(0.0)
+    assert r2 == pytest.approx(1.0)
+
+
+def test_linear_fit_flat_line():
+    slope, _intercept, _r2 = linear_fit([1, 2, 3], [5.0, 5.0, 5.0])
+    assert slope == pytest.approx(0.0)
+
+
+def test_table_rendering():
+    clear_tables()
+    table = Table("Demo", ["a", "b"], notes="a note")
+    table.add_row(1, 2.5)
+    table.add_row("x", 3.25)
+    text = table.render()
+    assert "Demo" in text
+    assert "2.5" in text and "3.2" in text  # floats at one decimal
+    assert "a note" in text
+
+
+def test_table_wrong_arity_rejected():
+    table = Table("T", ["only"])
+    with pytest.raises(ValueError):
+        table.add_row(1, 2)
+
+
+def test_registry_replaces_by_title():
+    clear_tables()
+    t1 = Table("Same", ["c"])
+    t2 = Table("Same", ["c"])
+    register_table(t1)
+    register_table(t2)
+    assert registered_tables() == [t2]
+    clear_tables()
+
+
+def test_paper_reference_values_present():
+    assert PAPER_TABLE_4_2["sendmsg"] == 8.1
+    assert PAPER_TABLE_4_1[5]["real"] == 109.5

@@ -1,0 +1,55 @@
+"""Tests for the experiment CLI (`python -m repro ...`)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table42(capsys):
+    assert main(["table42"]) == 0
+    out = capsys.readouterr().out
+    assert "sendmsg" in out
+    assert "8.1" in out
+
+
+def test_deadlock(capsys):
+    assert main(["deadlock"]) == 0
+    out = capsys.readouterr().out
+    assert "Eq 5.1" in out
+    assert "0.500" in out  # k=2, n=2
+
+
+def test_availability(capsys):
+    assert main(["availability"]) == 0
+    out = capsys.readouterr().out
+    assert "6 min 40 s" in out
+
+
+def test_multicast(capsys):
+    assert main(["multicast"]) == 0
+    out = capsys.readouterr().out
+    assert "H_n*r" in out
+
+
+def test_table41_small(capsys):
+    assert main(["table41", "--iterations", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Circus(5)" in out
+    assert "UDP" in out and "TCP" in out
+
+
+def test_fig48_small(capsys):
+    assert main(["fig48", "--iterations", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "slope" in out
+
+
+def test_table43_small(capsys):
+    assert main(["table43", "--iterations", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "sendmsg" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])

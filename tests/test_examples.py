@@ -1,0 +1,52 @@
+"""Smoke tests: the runnable examples execute end-to-end.
+
+The heavyweight examples (replicated_kv_store, reconfiguration) exercise
+machinery already covered by dedicated integration tests, so only the
+fast ones run here — enough to catch import rot and API drift.
+"""
+
+import os
+import runpy
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name):
+    runpy.run_path(os.path.join(EXAMPLES, name), run_name="__main__")
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "echo[1]: hello" in out
+    assert "TroupeFailure" in out
+
+
+def test_temperature_controller_runs(capsys):
+    run_example("temperature_controller.py")
+    out = capsys.readouterr().out
+    assert "accepted 20" in out
+    assert "first archive response accepted: 19" in out
+
+
+def test_configuration_manager_runs(capsys):
+    run_example("configuration_manager.py")
+    out = capsys.readouterr().out
+    assert "instantiated on: ['UCB-Monet', 'UCB-Degas', 'UCB-Ernie']" in out
+    assert "reconfigured to:" in out
+
+
+def test_protocol_trace_runs(capsys):
+    run_example("protocol_trace.py")
+    out = capsys.readouterr().out
+    assert "replicated call returned: b'echo:hi'" in out
+    assert "CALL#1" in out and "RET#1" in out
+
+
+def test_n_version_runs(capsys):
+    run_example("n_version.py")
+    out = capsys.readouterr().out
+    assert "isqrt( 99) by majority vote = 9" in out
+    assert "unanimous collation detects" in out

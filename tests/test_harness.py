@@ -1,0 +1,89 @@
+"""Tests for the World assembly harness."""
+
+import pytest
+
+from repro.core import ExportedModule
+from repro.harness import World
+
+
+def echo_module():
+    def echo(ctx, args):
+        return b"e:" + args
+    return ExportedModule("echo", {0: echo})
+
+
+def test_machines_are_named_and_reachable():
+    world = World(machines=3)
+    assert [m.name for m in world.machines] == ["host0", "host1", "host2"]
+    assert world.machine("host1").up
+
+
+def test_custom_machine_names():
+    world = World(machine_names=["alpha", "beta"])
+    assert world.machine("alpha").name == "alpha"
+    assert len(world.machines) == 2
+
+
+def test_make_troupe_registers_resolver_entry():
+    world = World(machines=4)
+    troupe, runtimes = world.make_troupe("svc", echo_module, degree=2)
+    assert world.resolver(troupe.troupe_id) == list(troupe.processes)
+    assert world.resolver(999999) is None
+
+
+def test_troupe_members_round_robin_machines():
+    world = World(machines=3)
+    troupe, _ = world.make_troupe("a", echo_module, degree=2)
+    client = world.make_client()
+    hosts = {m.process.host for m in troupe.members}
+    assert client.process.machine.name not in hosts
+
+
+def test_too_many_members_rejected():
+    world = World(machines=2)
+    with pytest.raises(ValueError):
+        world.make_troupe("big", echo_module, degree=3)
+
+
+def test_stateful_factory_gives_fresh_module_per_member():
+    created = []
+
+    def factory():
+        module = echo_module()
+        created.append(module)
+        return module
+
+    world = World(machines=4)
+    world.make_troupe("svc", factory, degree=3)
+    assert len(created) == 3
+    assert len({id(m) for m in created}) == 3
+
+
+def test_shared_module_object_allowed_for_stateless():
+    world = World(machines=4)
+    module = echo_module()
+    troupe, runtimes = world.make_troupe("svc", module, degree=2)
+    client = world.make_client()
+
+    def body():
+        return (yield from client.call_troupe(troupe, 0, 0, b"x"))
+
+    assert world.run(body()) == b"e:x"
+
+
+def test_client_troupe_shares_thread_id():
+    world = World(machines=6)
+    troupe, runtimes = world.make_client_troupe("clients", degree=3)
+    ids = {r.threads.current for r in runtimes}
+    assert len(ids) == 1
+    assert world.resolver(troupe.troupe_id) == [r.addr for r in runtimes]
+
+
+def test_run_returns_process_result():
+    world = World(machines=1)
+
+    def body():
+        return 42
+        yield  # pragma: no cover
+
+    assert world.run(body()) == 42

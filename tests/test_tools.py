@@ -1,0 +1,84 @@
+"""Tests for the packet trace / message sequence chart tools."""
+
+from repro.core import ExportedModule
+from repro.harness import World
+from repro.tools import render_msc, trace_network
+from repro.tools.msc import PacketTrace, TracedPacket, _summarize
+from repro.pairedmsg import segments as seg
+
+
+def echo_module():
+    def echo(ctx, args):
+        return b"e:" + args
+    return ExportedModule("echo", {0: echo})
+
+
+def test_trace_records_call_and_return():
+    world = World(machines=3)
+    troupe, _ = world.make_troupe("echo", echo_module, degree=2)
+    client = world.make_client()
+
+    def body():
+        return (yield from client.call_troupe(troupe, 0, 0, b"x"))
+
+    with trace_network(world.net) as trace:
+        world.run(body())
+    summaries = [p.summary for p in trace.packets]
+    assert sum(1 for s in summaries if s.startswith("CALL#")) >= 2
+    assert sum(1 for s in summaries if s.startswith("RET#")) >= 2
+
+
+def test_trace_detaches_on_exit():
+    world = World(machines=3)
+    troupe, _ = world.make_troupe("echo", echo_module, degree=1)
+    client = world.make_client()
+
+    def body():
+        return (yield from client.call_troupe(troupe, 0, 0, b"x"))
+
+    with trace_network(world.net) as trace:
+        world.run(body())
+    count = len(trace)
+
+    def body2():
+        return (yield from client.call_troupe(troupe, 0, 0, b"y"))
+
+    world.run(body2())
+    assert len(trace) == count  # no recording after the context closed
+
+
+def test_summarize_segments():
+    call = seg.Segment(seg.MSG_CALL, False, False, 1, 1, 7, b"d")
+    assert _summarize(call.encode()) == "CALL#7"
+    multi = seg.Segment(seg.MSG_CALL, True, False, 3, 2, 7, b"d")
+    assert _summarize(multi.encode()) == "CALL#7 2/3!"
+    ack = seg.make_ack(seg.MSG_RETURN, 7, 3, 2)
+    assert _summarize(ack.encode()) == "RET-ACK#7<=2"
+    assert _summarize(b"\xff" * 12) == "12B"
+
+
+def test_render_msc_layout():
+    trace = PacketTrace()
+    trace.packets = [
+        TracedPacket(1.0, "a", "b", "CALL#1"),
+        TracedPacket(2.0, "b", "a", "RET#1"),
+    ]
+    chart = render_msc(trace, hosts=["a", "b"])
+    lines = chart.splitlines()
+    assert "a" in lines[0] and "b" in lines[0]
+    assert ">" in lines[1]   # a -> b
+    assert "<" in lines[2]   # b -> a
+
+
+def test_render_msc_truncation():
+    trace = PacketTrace()
+    trace.packets = [TracedPacket(float(i), "a", "b", "CALL#%d" % i)
+                     for i in range(100)]
+    chart = render_msc(trace, hosts=["a", "b"], max_packets=10)
+    assert "90 more packets" in chart
+
+
+def test_between():
+    trace = PacketTrace()
+    trace.packets = [TracedPacket(float(i), "a", "b", "p") for i in range(10)]
+    assert len(trace.between(2.0, 4.0)) == 3

@@ -1,0 +1,56 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.bench.workloads import (
+    ClosedLoopClient,
+    OpenLoopGenerator,
+    WorkloadResult,
+    echo_troupe,
+    run_load_sweep,
+)
+from repro.core.runtime import RuntimeConfig
+from repro.harness import World
+
+
+def test_closed_loop_completes_all_calls():
+    world = World(machines=5,
+                  runtime_config=RuntimeConfig(execution="parallel"))
+    troupe = echo_troupe(world, degree=2)
+    result = ClosedLoopClient(world, troupe, clients=2,
+                              calls_per_client=5).run()
+    assert result.completed == 10
+    assert result.throughput > 0
+    assert result.mean_latency > 0
+    assert len(result.latencies) == 10
+
+
+def test_open_loop_completes_all_calls():
+    world = World(machines=5,
+                  runtime_config=RuntimeConfig(execution="parallel"))
+    troupe = echo_troupe(world, degree=2)
+    result = OpenLoopGenerator(world, troupe, rate=20.0,
+                               total_calls=10, seed=3).run()
+    assert result.completed == 10
+    assert result.offered_rate == 20.0
+
+
+def test_open_loop_latency_grows_with_load():
+    """Queueing 101: latency at heavy offered load exceeds light load."""
+    light, heavy = run_load_sweep([5.0, 200.0], degree=2, total_calls=25)
+    assert heavy.mean_latency > light.mean_latency
+
+
+def test_workload_result_percentiles():
+    result = WorkloadResult(0.0, 4, 100.0, [1.0, 2.0, 3.0, 4.0])
+    assert result.percentile_latency(0.0) == 1.0
+    assert result.percentile_latency(0.99) == 4.0
+    assert result.mean_latency == pytest.approx(2.5)
+    assert result.throughput == pytest.approx(40.0)
+
+
+def test_open_loop_validates_rate():
+    world = World(machines=3)
+    troupe = echo_troupe(world, degree=1)
+    with pytest.raises(ValueError):
+        OpenLoopGenerator(world, troupe, rate=0.0)

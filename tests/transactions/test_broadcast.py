@@ -1,0 +1,149 @@
+"""Tests for the ordered broadcast protocol (§5.4, Figure 5.1)."""
+
+import pytest
+
+from repro.core import ExportedModule, RuntimeConfig
+from repro.harness import World
+from repro.sim import Sleep
+from repro.transactions import OrderedBroadcastServer, atomic_broadcast
+from repro.transactions.backoff import BinaryExponentialBackoff
+from repro.sim.rng import RandomStream
+
+
+def make_broadcast_troupe(world, degree=3, skews=None):
+    """A troupe of OrderedBroadcastServers; returns (descriptor, servers,
+    delivery logs, module number)."""
+    troupe, runtimes = world.make_troupe(
+        "ob", lambda: ExportedModule("placeholder", {}), degree=degree,
+        runtime_config=RuntimeConfig(execution="parallel"))
+    servers = []
+    logs = []
+    for index, runtime in enumerate(runtimes):
+        log = []
+        logs.append(log)
+        skew = skews[index] if skews else 0.0
+        servers.append(OrderedBroadcastServer(runtime, log.append,
+                                              clock_skew=skew))
+    module_number = servers[0].module_addr.module
+    return troupe, servers, logs, module_number
+
+
+def test_single_broadcast_delivered_at_all_members():
+    world = World(machines=6)
+    troupe, servers, logs, module = make_broadcast_troupe(world)
+    client = world.make_client()
+
+    def body():
+        yield from atomic_broadcast(client, troupe, module, b"m1", b"hello")
+        yield Sleep(100.0)
+
+    world.run(body())
+    assert logs == [[b"hello"], [b"hello"], [b"hello"]]
+
+
+def test_sequential_broadcasts_in_order():
+    world = World(machines=6)
+    troupe, servers, logs, module = make_broadcast_troupe(world)
+    client = world.make_client()
+
+    def body():
+        for i in range(4):
+            yield from atomic_broadcast(client, troupe, module,
+                                        b"m%d" % i, b"payload-%d" % i)
+        yield Sleep(100.0)
+
+    world.run(body())
+    expected = [b"payload-%d" % i for i in range(4)]
+    assert logs == [expected, expected, expected]
+
+
+def test_concurrent_broadcasts_never_interleaved():
+    """The §5.4 guarantee: all recipients accept concurrent broadcasts in
+    the same order."""
+    world = World(machines=10)
+    troupe, servers, logs, module = make_broadcast_troupe(world, degree=3)
+
+    def make_broadcaster(tag, count, delay):
+        client = world.make_client()
+
+        def body():
+            yield Sleep(delay)
+            for i in range(count):
+                yield from atomic_broadcast(
+                    client, troupe, module,
+                    b"%s-%d" % (tag, i), b"%s%d" % (tag, i))
+        return body
+
+    world.spawn(make_broadcaster(b"a", 5, 0.0)())
+    world.spawn(make_broadcaster(b"b", 5, 7.0)())
+    world.spawn(make_broadcaster(b"c", 5, 13.0)())
+    world.sim.run()
+    assert len(logs[0]) == 15
+    assert logs[0] == logs[1] == logs[2]
+
+
+def test_clock_skew_does_not_break_agreement():
+    """Members with skewed (but bounded) clocks still agree on order
+    because the accepted time is the maximum of all proposals."""
+    world = World(machines=10)
+    troupe, servers, logs, module = make_broadcast_troupe(
+        world, degree=3, skews=[0.0, 2.5, -1.5])
+
+    def make_broadcaster(tag, delay):
+        client = world.make_client()
+
+        def body():
+            yield Sleep(delay)
+            for i in range(3):
+                yield from atomic_broadcast(
+                    client, troupe, module,
+                    b"%s-%d" % (tag, i), b"%s%d" % (tag, i))
+        return body
+
+    world.spawn(make_broadcaster(b"x", 0.0)())
+    world.spawn(make_broadcaster(b"y", 4.0)())
+    world.sim.run()
+    assert len(logs[0]) == 6
+    assert logs[0] == logs[1] == logs[2]
+
+
+def test_delivery_respects_acceptance_order_not_proposal_order():
+    """A message proposed earlier but accepted later must not jump the
+    queue: servers hold delivery until earlier proposals resolve."""
+    world = World(machines=6)
+    troupe, servers, logs, module = make_broadcast_troupe(world, degree=2)
+    client_a = world.make_client()
+    client_b = world.make_client()
+    done = []
+
+    def a_body():
+        yield from atomic_broadcast(client_a, troupe, module, b"a", b"A")
+        done.append("a")
+
+    def b_body():
+        yield Sleep(1.0)
+        yield from atomic_broadcast(client_b, troupe, module, b"b", b"B")
+        done.append("b")
+
+    world.spawn(a_body())
+    world.spawn(b_body())
+    world.sim.run()
+    assert sorted(done) == ["a", "b"]
+    assert logs[0] == logs[1]
+    assert sorted(logs[0]) == [b"A", b"B"]
+
+
+def test_backoff_delays_double():
+    rng = RandomStream(1, "backoff")
+    backoff = BinaryExponentialBackoff(rng, initial_mean=10.0)
+    delays = [backoff.next_delay() for _ in range(6)]
+    # Each delay is within its doubling envelope.
+    for i, delay in enumerate(delays):
+        assert 0.0 <= delay < 2.0 * min(10.0 * 2 ** i, 5000.0)
+    backoff.reset()
+    assert backoff.attempt == 0
+
+
+def test_backoff_validates():
+    with pytest.raises(ValueError):
+        BinaryExponentialBackoff(RandomStream(0, "x"), initial_mean=0.0)

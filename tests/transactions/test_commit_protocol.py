@@ -1,0 +1,204 @@
+"""Integration tests for the troupe commit protocol (§5.3)."""
+
+import pytest
+
+from repro.core import ExportedModule, RuntimeConfig
+from repro.harness import World
+from repro.rpc import RemoteError
+from repro.sim import Sleep
+from repro.transactions import (
+    CommitCoordinator,
+    CommitParticipant,
+    TransactionManager,
+    TransactionalStore,
+)
+from repro.transactions.commit import TXN_ABORTED_ERROR
+
+
+def make_transactional_troupe(world, degree=2, name="bank"):
+    """A troupe whose module runs deposit/read inside transactions under
+    the troupe commit protocol.  Returns (descriptor, member states)."""
+    members = []
+
+    def factory():
+        state = {}
+        members.append(state)
+
+        def install(runtime_holder=state):
+            pass
+
+        module = ExportedModule(name, {})
+        state["module"] = module
+        return module
+
+    # We need access to each member's runtime, so build manually.
+    descriptor, runtimes = world.make_troupe(
+        name, factory, degree=degree,
+        runtime_config=RuntimeConfig(execution="parallel"))
+    for state, runtime in zip(members, runtimes):
+        manager = TransactionManager(world.sim)
+        store = TransactionalStore(manager)
+        participant = CommitParticipant(runtime, manager, store)
+        state.update(manager=manager, store=store, participant=participant,
+                     runtime=runtime)
+
+        def make_handlers(participant=participant, store=store):
+            def deposit(ctx, args):
+                key, amount = args.decode().split(":")
+
+                def body(txn):
+                    current = yield from store.read(txn, key)
+                    yield from store.write(txn, key,
+                                           (current or 0) + int(amount))
+                    return b"ok"
+                return (yield from participant.run_transaction(ctx, body))
+
+            def read(ctx, args):
+                key = args.decode()
+
+                def body(txn):
+                    value = yield from store.read(txn, key)
+                    return str(value).encode()
+                return (yield from participant.run_transaction(ctx, body))
+
+            return deposit, read
+
+        deposit, read = make_handlers()
+        state["module"].define(0, deposit)
+        state["module"].define(1, read)
+    return descriptor, members
+
+
+def test_single_client_transaction_commits_everywhere():
+    world = World(machines=8)
+    troupe, members = make_transactional_troupe(world, degree=2)
+    client = world.make_client()
+    CommitCoordinator(client)
+
+    def body():
+        reply = yield from client.call_troupe(troupe, 0, 0, b"acct:100")
+        return reply
+
+    assert world.run(body()) == b"ok"
+    for member in members:
+        assert member["store"].committed_get("acct") == 100
+        assert member["manager"].commits == 1
+        assert member["manager"].aborts == 0
+
+
+def test_sequential_transactions_accumulate():
+    world = World(machines=8)
+    troupe, members = make_transactional_troupe(world, degree=2)
+    client = world.make_client()
+    CommitCoordinator(client)
+
+    def body():
+        for _ in range(3):
+            yield from client.call_troupe(troupe, 0, 0, b"acct:10")
+        return (yield from client.call_troupe(troupe, 0, 1, b"acct"))
+
+    assert world.run(body()) == b"30"
+    for member in members:
+        assert member["store"].committed_get("acct") == 30
+
+
+def test_aborting_body_aborts_everywhere():
+    world = World(machines=8)
+    troupe, members = make_transactional_troupe(world, degree=2)
+    # Add a procedure whose body aborts.
+    for member in members:
+        participant = member["participant"]
+        store = member["store"]
+
+        def make_failing(participant=participant, store=store):
+            def failing(ctx, args):
+                def body(txn):
+                    yield from store.write(txn, "x", "tainted")
+                    from repro.transactions.locks import TransactionAborted
+                    raise TransactionAborted(txn.txn_id, "business rule")
+                return (yield from participant.run_transaction(ctx, body))
+            return failing
+
+        member["module"].define(2, make_failing())
+
+    client = world.make_client()
+    CommitCoordinator(client)
+
+    def body():
+        yield from client.call_troupe(troupe, 0, 2, b"")
+
+    with pytest.raises(RemoteError) as info:
+        world.run(body())
+    assert info.value.kind == TXN_ABORTED_ERROR
+    for member in members:
+        assert member["store"].committed_get("x") is None
+        assert member["manager"].aborts == 1
+
+
+def test_concurrent_nonconflicting_transactions_commit():
+    """Transactions touching different keys commit in parallel (§5.3:
+    'the local concurrency control algorithm should commit non-conflicting
+    transactions in parallel')."""
+    world = World(machines=10)
+    troupe, members = make_transactional_troupe(world, degree=2)
+    results = []
+
+    def make_client_thread(key):
+        client = world.make_client()
+        CommitCoordinator(client)
+
+        def body():
+            reply = yield from client.call_troupe(
+                troupe, 0, 0, ("%s:5" % key).encode())
+            results.append((key, reply))
+        return body
+
+    for key in ("alpha", "beta", "gamma"):
+        world.spawn(make_client_thread(key)())
+    world.sim.run()
+    assert sorted(results) == [
+        ("alpha", b"ok"), ("beta", b"ok"), ("gamma", b"ok")]
+    for member in members:
+        for key in ("alpha", "beta", "gamma"):
+            assert member["store"].committed_get(key) == 5
+
+
+def test_conflicting_transactions_serialize_consistently():
+    """Two clients incrementing the same key: whatever the interleaving,
+    every member ends with the same total (troupe consistency, §5.2.1),
+    possibly after protocol-induced aborts and retries."""
+    world = World(machines=10)
+    troupe, members = make_transactional_troupe(world, degree=2)
+    outcomes = []
+
+    def make_client_thread(tag, delay):
+        client = world.make_client()
+        CommitCoordinator(client)
+
+        def body():
+            yield Sleep(delay)
+            from repro.transactions import BinaryExponentialBackoff
+            from repro.sim.rng import RandomStream
+            backoff = BinaryExponentialBackoff(
+                RandomStream(hash(tag) % 1000, tag), initial_mean=100.0)
+            for attempt in range(8):
+                try:
+                    yield from client.call_troupe(troupe, 0, 0, b"shared:1")
+                    outcomes.append((tag, "committed"))
+                    return
+                except RemoteError as exc:
+                    if exc.kind != TXN_ABORTED_ERROR:
+                        raise
+                    yield Sleep(backoff.next_delay())
+            outcomes.append((tag, "starved"))
+        return body
+
+    world.spawn(make_client_thread("A", 0.0)())
+    world.spawn(make_client_thread("B", 3.0)())
+    world.sim.run(until=60000.0)
+    committed = [t for t, o in outcomes if o == "committed"]
+    # Every member converged to the same value == number of commits.
+    values = {m["store"].committed_get("shared") for m in members}
+    assert len(values) == 1
+    assert values.pop() == len(committed)
+    assert len(committed) >= 1  # at least one client made progress

@@ -1,0 +1,257 @@
+"""Tests for lightweight nested transactions and the transactional store."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Simulator
+from repro.transactions import (
+    TransactionAborted,
+    TransactionManager,
+    TransactionStatus,
+    TransactionalStore,
+)
+
+
+def make_store(initial=None):
+    sim = Simulator()
+    manager = TransactionManager(sim)
+    return sim, manager, TransactionalStore(manager, initial)
+
+
+def run(sim, gen):
+    return sim.run_process(gen)
+
+
+def test_read_committed_state():
+    sim, manager, store = make_store({"a": 1})
+    txn = manager.begin()
+
+    def body():
+        return (yield from store.read(txn, "a"))
+
+    assert run(sim, body()) == 1
+
+
+def test_write_visible_to_self_but_not_globally():
+    sim, manager, store = make_store()
+    txn = manager.begin()
+
+    def body():
+        yield from store.write(txn, "k", "v")
+        return (yield from store.read(txn, "k"))
+
+    assert run(sim, body()) == "v"
+    assert store.committed_get("k") is None
+
+
+def test_commit_publishes_writes():
+    sim, manager, store = make_store()
+    txn = manager.begin()
+
+    def body():
+        yield from store.write(txn, "k", 42)
+
+    run(sim, body())
+    manager.commit(txn, store)
+    assert store.committed_get("k") == 42
+    assert txn.status == TransactionStatus.COMMITTED
+
+
+def test_abort_discards_writes():
+    sim, manager, store = make_store({"k": "old"})
+    txn = manager.begin()
+
+    def body():
+        yield from store.write(txn, "k", "new")
+
+    run(sim, body())
+    manager.abort(txn)
+    assert store.committed_get("k") == "old"
+    assert txn.status == TransactionStatus.ABORTED
+
+
+def test_operations_on_aborted_transaction_rejected():
+    sim, manager, store = make_store()
+    txn = manager.begin()
+    manager.abort(txn)
+
+    def body():
+        yield from store.write(txn, "k", 1)
+
+    with pytest.raises(TransactionAborted):
+        run(sim, body())
+
+
+def test_delete_is_tentative():
+    sim, manager, store = make_store({"k": 1})
+    txn = manager.begin()
+
+    def body():
+        yield from store.delete(txn, "k")
+        return (yield from store.read(txn, "k"))
+
+    assert run(sim, body()) is None
+    assert store.committed_get("k") == 1
+    manager.commit(txn, store)
+    assert store.committed_get("k") is None
+
+
+def test_nested_child_sees_parent_tentative_writes():
+    sim, manager, store = make_store()
+    parent = manager.begin()
+    child = manager.begin(parent)
+
+    def body():
+        yield from store.write(parent, "k", "parent-value")
+        return (yield from store.read(child, "k"))
+
+    assert run(sim, body()) == "parent-value"
+
+
+def test_committed_child_visible_to_parent_not_globally():
+    sim, manager, store = make_store()
+    parent = manager.begin()
+    child = manager.begin(parent)
+
+    def body():
+        yield from store.write(child, "k", "child-value")
+
+    run(sim, body())
+    manager.commit(child, store)
+
+    def read_parent():
+        return (yield from store.read(parent, "k"))
+
+    assert run(sim, read_parent()) == "child-value"
+    assert store.committed_get("k") is None
+    manager.commit(parent, store)
+    assert store.committed_get("k") == "child-value"
+
+
+def test_parent_abort_undoes_committed_child():
+    """§2.3.2: if a transaction aborts, the effects of any committed
+    subtransactions must be undone."""
+    sim, manager, store = make_store({"k": "original"})
+    parent = manager.begin()
+    child = manager.begin(parent)
+
+    def body():
+        yield from store.write(child, "k", "child-value")
+
+    run(sim, body())
+    manager.commit(child, store)
+    manager.abort(parent)
+    assert store.committed_get("k") == "original"
+
+
+def test_abort_cascades_to_active_children():
+    sim, manager, store = make_store()
+    parent = manager.begin()
+    child = manager.begin(parent)
+    manager.abort(parent)
+    assert child.status == TransactionStatus.ABORTED
+
+
+def test_commit_with_active_child_rejected():
+    sim, manager, store = make_store()
+    parent = manager.begin()
+    manager.begin(parent)
+    with pytest.raises(RuntimeError):
+        manager.commit(parent, store)
+
+
+def test_isolation_between_top_level_transactions():
+    """T2 cannot read T1's tentative write; it blocks until T1 finishes."""
+    sim, manager, store = make_store({"k": "committed"})
+    t1 = manager.begin()
+    t2 = manager.begin()
+    reads = []
+
+    def writer():
+        yield from store.write(t1, "k", "tentative")
+        from repro.sim import Sleep
+        yield Sleep(10.0)
+        manager.commit(t1, store)
+
+    def reader():
+        from repro.sim import Sleep
+        yield Sleep(1.0)
+        value = yield from store.read(t2, "k")
+        reads.append((value, sim.now))
+
+    sim.spawn(writer())
+    sim.spawn(reader())
+    sim.run()
+    # The reader blocked until commit and then saw the committed value.
+    assert reads == [("tentative", 10.0)]
+
+
+def test_keys_visibility():
+    sim, manager, store = make_store({"a": 1, "b": 2})
+    txn = manager.begin()
+
+    def body():
+        yield from store.write(txn, "c", 3)
+        yield from store.delete(txn, "a")
+        return (yield from store.keys(txn))
+
+    assert run(sim, body()) == {"b", "c"}
+
+
+def test_snapshot_and_load_snapshot():
+    """The get_state mechanism (§6.4.1): copy committed state to a new
+    member."""
+    sim, manager, store = make_store({"x": 1})
+    snap = store.snapshot()
+    sim2, manager2, store2 = make_store()
+    store2.load_snapshot(snap)
+    assert store2.committed_get("x") == 1
+    # The snapshot is a copy, not an alias.
+    snap["x"] = 999
+    assert store.committed_get("x") == 1
+
+
+@given(st.lists(st.tuples(st.sampled_from(["w", "d"]),
+                          st.sampled_from(["a", "b", "c"]),
+                          st.integers()),
+                max_size=12))
+def test_property_commit_equals_sequential_application(ops):
+    """Committing a transaction applies its writes/deletes exactly as if
+    they had been applied directly to a dict."""
+    sim, manager, store = make_store({"a": 0})
+    txn = manager.begin()
+
+    def body():
+        for op, key, value in ops:
+            if op == "w":
+                yield from store.write(txn, key, value)
+            else:
+                yield from store.delete(txn, key)
+
+    run(sim, body())
+    manager.commit(txn, store)
+
+    expected = {"a": 0}
+    for op, key, value in ops:
+        if op == "w":
+            expected[key] = value
+        else:
+            expected.pop(key, None)
+    assert store.snapshot() == expected
+
+
+@given(st.lists(st.tuples(st.sampled_from(["a", "b"]), st.integers()),
+                max_size=10))
+def test_property_abort_is_identity(ops):
+    """An aborted transaction leaves no trace (atomicity, §2.3.1)."""
+    initial = {"a": -1, "b": -2}
+    sim, manager, store = make_store(initial)
+    txn = manager.begin()
+
+    def body():
+        for key, value in ops:
+            yield from store.write(txn, key, value)
+
+    run(sim, body())
+    manager.abort(txn)
+    assert store.snapshot() == initial

@@ -1,0 +1,193 @@
+"""Tests for two-phase locking and the waits-for graph."""
+
+import pytest
+
+from repro.sim import Simulator, Sleep
+from repro.transactions import EXCLUSIVE, LockTable, SHARED, TransactionAborted
+
+
+def test_shared_locks_compatible():
+    sim = Simulator()
+    table = LockTable(sim)
+
+    def body():
+        yield from table.acquire("T1", "x", SHARED)
+        yield from table.acquire("T2", "x", SHARED)
+        return table.holders("x")
+
+    holders = sim.run_process(body())
+    assert holders == {"T1": SHARED, "T2": SHARED}
+
+
+def test_exclusive_blocks_until_release():
+    sim = Simulator()
+    table = LockTable(sim)
+    events = []
+
+    def holder():
+        yield from table.acquire("T1", "x", EXCLUSIVE)
+        events.append(("T1-acquired", sim.now))
+        yield Sleep(10.0)
+        table.release_all("T1")
+
+    def waiter():
+        yield Sleep(1.0)
+        yield from table.acquire("T2", "x", EXCLUSIVE)
+        events.append(("T2-acquired", sim.now))
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.run()
+    assert events == [("T1-acquired", 0.0), ("T2-acquired", 10.0)]
+
+
+def test_shared_blocks_exclusive():
+    sim = Simulator()
+    table = LockTable(sim)
+    assert table.try_acquire("T1", "x", SHARED)
+    assert not table.try_acquire("T2", "x", EXCLUSIVE)
+    table.release_all("T1")
+    assert table.try_acquire("T2", "x", EXCLUSIVE)
+
+
+def test_reacquire_same_mode_is_noop():
+    sim = Simulator()
+    table = LockTable(sim)
+    assert table.try_acquire("T1", "x", SHARED)
+    assert table.try_acquire("T1", "x", SHARED)
+    assert table.holders("x") == {"T1": SHARED}
+
+
+def test_lock_upgrade_when_sole_holder():
+    sim = Simulator()
+    table = LockTable(sim)
+    assert table.try_acquire("T1", "x", SHARED)
+    assert table.try_acquire("T1", "x", EXCLUSIVE)
+    assert table.holders("x") == {"T1": EXCLUSIVE}
+
+
+def test_lock_upgrade_blocked_by_other_sharer():
+    sim = Simulator()
+    table = LockTable(sim)
+    assert table.try_acquire("T1", "x", SHARED)
+    assert table.try_acquire("T2", "x", SHARED)
+    assert not table.try_acquire("T1", "x", EXCLUSIVE)
+
+
+def test_exclusive_holder_can_read():
+    sim = Simulator()
+    table = LockTable(sim)
+    assert table.try_acquire("T1", "x", EXCLUSIVE)
+    assert table.try_acquire("T1", "x", SHARED)
+    # The exclusive mode is retained, not downgraded.
+    assert table.holders("x") == {"T1": EXCLUSIVE}
+
+
+def test_waits_for_graph():
+    sim = Simulator()
+    table = LockTable(sim)
+
+    def t1():
+        yield from table.acquire("T1", "x", EXCLUSIVE)
+        yield Sleep(100.0)
+
+    def t2():
+        yield Sleep(1.0)
+        yield from table.acquire("T2", "x", EXCLUSIVE)
+
+    sim.spawn(t1())
+    sim.spawn(t2())
+    sim.run(until=50.0)
+    assert table.waits_for() == {"T2": {"T1"}}
+
+
+def test_abort_waiter_raises_in_waiting_transaction():
+    sim = Simulator()
+    table = LockTable(sim)
+    outcome = []
+
+    def t1():
+        yield from table.acquire("T1", "x", EXCLUSIVE)
+        yield Sleep(100.0)
+
+    def t2():
+        yield Sleep(1.0)
+        try:
+            yield from table.acquire("T2", "x", EXCLUSIVE)
+        except TransactionAborted:
+            outcome.append("aborted")
+
+    sim.spawn(t1())
+    sim.spawn(t2())
+    sim.schedule(10.0, table.abort_waiter, "T2")
+    sim.run(until=50.0)
+    assert outcome == ["aborted"]
+
+
+def test_fifo_wakeup_order():
+    sim = Simulator()
+    table = LockTable(sim)
+    order = []
+
+    def holder():
+        yield from table.acquire("T0", "x", EXCLUSIVE)
+        yield Sleep(10.0)
+        table.release_all("T0")
+
+    def waiter(tag, delay):
+        yield Sleep(delay)
+        yield from table.acquire(tag, "x", EXCLUSIVE)
+        order.append(tag)
+        yield Sleep(5.0)
+        table.release_all(tag)
+
+    sim.spawn(holder())
+    sim.spawn(waiter("T1", 1.0))
+    sim.spawn(waiter("T2", 2.0))
+    sim.run()
+    assert order == ["T1", "T2"]
+
+
+def test_ancestor_conflicts_ignored():
+    """Moss rule: a child may lock what its ancestors hold."""
+    ancestry = {"child": {"parent"}}
+    sim = Simulator()
+    table = LockTable(sim, ancestors=lambda t: ancestry.get(t, set()))
+    assert table.try_acquire("parent", "x", EXCLUSIVE)
+    assert table.try_acquire("child", "x", EXCLUSIVE)
+    # An unrelated transaction is still blocked.
+    assert not table.try_acquire("stranger", "x", SHARED)
+
+
+def test_inherit_all_moves_locks_to_parent():
+    sim = Simulator()
+    table = LockTable(sim)
+    assert table.try_acquire("child", "x", EXCLUSIVE)
+    assert table.try_acquire("child", "y", SHARED)
+    table.inherit_all("child", "parent")
+    assert table.holders("x") == {"parent": EXCLUSIVE}
+    assert table.holders("y") == {"parent": SHARED}
+    assert table.held_keys("child") == set()
+    assert table.held_keys("parent") == {"x", "y"}
+
+
+def test_inherit_does_not_downgrade_parent_exclusive():
+    sim = Simulator()
+    table = LockTable(sim)
+    ancestry = {"child": {"parent"}}
+    table = LockTable(sim, ancestors=lambda t: ancestry.get(t, set()))
+    assert table.try_acquire("parent", "x", EXCLUSIVE)
+    assert table.try_acquire("child", "x", SHARED)
+    table.inherit_all("child", "parent")
+    assert table.holders("x") == {"parent": EXCLUSIVE}
+
+
+def test_bad_mode_rejected():
+    sim = Simulator()
+    table = LockTable(sim)
+
+    def body():
+        yield from table.acquire("T1", "x", "intent-exclusive")
+
+    with pytest.raises(ValueError):
+        sim.run_process(body())
