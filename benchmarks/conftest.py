@@ -1,8 +1,19 @@
 """Benchmark-suite plumbing: print every registered paper-vs-measured
 table in the terminal summary, so the reproduction's rows appear in the
-output of ``pytest benchmarks/ --benchmark-only``."""
+output of ``pytest benchmarks/ --benchmark-only``, and write the same
+tables as machine-readable JSON (``--bench-json=PATH``)."""
+
+import json
 
 from repro.bench.report import registered_tables
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json", action="store", default="BENCH_RESULTS.json",
+        metavar="PATH",
+        help="write registered benchmark tables as JSON to PATH "
+             "(default: %(default)s; empty string disables)")
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -18,3 +29,10 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         for line in table.render().splitlines():
             write(line)
     write("")
+    path = config.getoption("--bench-json")
+    if path:
+        with open(path, "w") as fh:
+            json.dump({"tables": [t.to_dict() for t in tables]}, fh,
+                      indent=2)
+            fh.write("\n")
+        write("benchmark tables written to %s" % path)

@@ -4,11 +4,17 @@ Generates the paper's Figures 4.3/4.4 from a live run — a one-to-many
 call from a client to a 2-member troupe, every datagram labelled with its
 decoded paired-message meaning (CALL/RET segments, acks, probes).
 
+Both observers here are subscribers of the same observability event bus
+(``world.sim.bus``, see docs/OBSERVABILITY.md): the packet trace listens
+for ``net.send`` events and the metrics collector aggregates every layer's
+events into counters and virtual-time histograms.
+
 Run:  python examples/protocol_trace.py
 """
 
 from repro.core import ExportedModule
 from repro.harness import World
+from repro.obs import MetricsCollector
 from repro.tools import render_msc, trace_network
 
 
@@ -30,7 +36,8 @@ def main():
         reply = yield from client.call_troupe(troupe, 0, 0, b"hi")
         return reply
 
-    with trace_network(world.net) as trace:
+    with trace_network(world.net) as trace, \
+            MetricsCollector(world.sim.bus) as collector:
         reply = world.run(body())
 
     print("replicated call returned:", reply)
@@ -39,6 +46,10 @@ def main():
     print("(! marks please-ack retransmissions; *-ACK are explicit acks)")
     print()
     print(render_msc(trace, hosts=["client", "server-1", "server-2"]))
+    print()
+    print("Metrics snapshot of the same run (every layer, one event bus):")
+    print()
+    print(collector.registry.render())
 
 
 if __name__ == "__main__":

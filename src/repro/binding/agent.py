@@ -45,6 +45,7 @@ from repro.core.runtime import (
 from repro.core.troupe import TroupeDescriptor, TroupeId
 from repro.host.machine import Machine
 from repro.net.addresses import ModuleAddress, ProcessAddress
+from repro.obs import events as obs_events
 from repro.rpc.messages import RemoteError
 
 RINGMASTER_MODULE_NAME = "ringmaster"
@@ -131,6 +132,25 @@ class RingmasterMember:
         self._next_id += 1
         return ALLOCATED_ID_BASE + self._next_id
 
+    # -- observability -----------------------------------------------------
+
+    def _emit_lookup(self, op: str, name: str, found: bool) -> None:
+        sim = self.runtime.sim
+        if sim.bus.active:
+            process = self.runtime.process
+            sim.bus.emit(obs_events.BindingLookup(
+                t=sim.now, host=process.host, proc=process.name, op=op,
+                name=name, found=found))
+
+    def _emit_member(self, op: str, name: str, new_id: TroupeId,
+                     members: int) -> None:
+        sim = self.runtime.sim
+        if sim.bus.active:
+            process = self.runtime.process
+            sim.bus.emit(obs_events.MembershipChanged(
+                t=sim.now, host=process.host, proc=process.name, op=op,
+                name=name, new_id=new_id, members=members))
+
     # -- procedures ---------------------------------------------------------
 
     def _register_troupe(self, ctx: CallContext, args: bytes) -> bytes:
@@ -141,6 +161,7 @@ class RingmasterMember:
         troupe_id = self._new_troupe_id()
         self.by_name[name] = (troupe_id, list(members))
         self.by_id[troupe_id] = name
+        self._emit_member("register", name, troupe_id, len(members))
         return wire.encode_u64(troupe_id)
 
     def _add_troupe_member(self, ctx: CallContext, args: bytes):
@@ -151,6 +172,7 @@ class RingmasterMember:
             troupe_id = self._new_troupe_id()
             self.by_name[name] = (troupe_id, [member])
             self.by_id[troupe_id] = name
+            self._emit_member("add", name, troupe_id, 1)
             yield from self._set_troupe_id_at(name, troupe_id, [member],
                                               ctx)
             return wire.encode_u64(troupe_id)
@@ -163,6 +185,7 @@ class RingmasterMember:
         del self.by_id[old_id]
         self.by_name[name] = (new_id, new_members)
         self.by_id[new_id] = name
+        self._emit_member("add", name, new_id, len(new_members))
         # Figure 6.2: membership and troupe ID change together, and every
         # member (including the new one) learns the new ID.
         yield from self._set_troupe_id_at(name, new_id, new_members, ctx)
@@ -180,6 +203,7 @@ class RingmasterMember:
         new_members = [m for m in members if m != member]
         new_id = self._new_troupe_id()
         del self.by_id[old_id]
+        self._emit_member("remove", name, new_id, len(new_members))
         if not new_members:
             del self.by_name[name]
             return wire.encode_u64(new_id)
@@ -191,16 +215,21 @@ class RingmasterMember:
     def _lookup_by_name(self, ctx: CallContext, args: bytes) -> bytes:
         name, _ = wire.decode_str(args, 0)
         if name not in self.by_name:
+            self._emit_lookup("by_name", name, found=False)
             raise RemoteError(NOT_FOUND_ERROR, name)
         troupe_id, members = self.by_name[name]
+        self._emit_lookup("by_name", name, found=True)
         return wire.encode_u64(troupe_id) + wire.encode_members(members)
 
     def _lookup_by_id(self, ctx: CallContext, args: bytes) -> bytes:
         troupe_id, _ = wire.decode_u64(args, 0)
         name = self.by_id.get(troupe_id)
         if name is None:
+            self._emit_lookup("by_id", "troupe id %d" % troupe_id,
+                              found=False)
             raise RemoteError(NOT_FOUND_ERROR, "troupe id %d" % troupe_id)
         _tid, members = self.by_name[name]
+        self._emit_lookup("by_id", name, found=True)
         return wire.encode_members(members)
 
     def _rebind(self, ctx: CallContext, args: bytes) -> bytes:
@@ -208,9 +237,11 @@ class RingmasterMember:
         current binding (and do not blindly delete the old one)."""
         name, offset = wire.decode_str(args, 0)
         _old_id, _ = wire.decode_u64(args, offset)
+        self._emit_lookup("rebind", name, found=name in self.by_name)
         return self._lookup_by_name(ctx, wire.encode_str(name))
 
     def _list_troupes(self, ctx: CallContext, args: bytes) -> bytes:
+        self._emit_lookup("list", "", found=True)
         names = sorted(self.by_name)
         out = [struct.pack("!H", len(names))]
         for name in names:

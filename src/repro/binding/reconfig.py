@@ -23,6 +23,7 @@ from typing import Callable, Dict, Optional
 from repro.binding.client import BindingClient
 from repro.core.runtime import CallContext, ExportedModule, TroupeRuntime
 from repro.net.addresses import ModuleAddress
+from repro.obs import events as obs_events
 
 #: Reserved procedure number for the automatically generated get_state.
 GET_STATE_PROC = 0xFFF0
@@ -47,7 +48,12 @@ class ReplaceableModule(ExportedModule):
 
     def _get_state(self, ctx: CallContext, args: bytes) -> bytes:
         # Read-only by construction: externalize must not mutate.
-        return self.externalize()
+        state = self.externalize()
+        sim = ctx.runtime.sim
+        if sim.bus.active:
+            sim.bus.emit(obs_events.StateTransferred(
+                t=sim.now, module=self.name, size=len(state)))
+        return state
 
 
 def join_troupe(runtime: TroupeRuntime, module: ReplaceableModule,

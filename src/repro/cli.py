@@ -9,13 +9,18 @@
     python -m repro availability       # Eq 6.1/6.2
     python -m repro all                # everything above
 
-Each command prints a paper-vs-measured table (the same ones the
-benchmark suite registers).
+    python -m repro trace examples/quickstart      # Chrome trace JSON
+    python -m repro metrics quickstart             # metrics snapshot
+
+Each experiment command prints a paper-vs-measured table (the same ones
+the benchmark suite registers); ``trace`` and ``metrics`` drive the
+observability layer (docs/OBSERVABILITY.md) over a canned scenario.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis import (
@@ -139,6 +144,132 @@ def cmd_availability(args) -> None:
           % required_repair_time(3, 60.0, 0.999))
 
 
+# ---------------------------------------------------------------------------
+# Observability scenarios (repro trace / repro metrics)
+# ---------------------------------------------------------------------------
+
+def _echo_module():
+    from repro.core import ExportedModule
+
+    def echo(ctx, args):
+        yield from ctx.compute(1.0)
+        return b"echo:" + args
+
+    return ExportedModule("echo", {0: echo})
+
+
+def _scenario_quickstart():
+    """The examples/quickstart.py scenario: a 3-member echo troupe
+    answering replicated calls while its machines crash underneath it."""
+    from repro.core import TroupeFailure
+    from repro.harness import World
+
+    world = World(machines=5, seed=42)
+    troupe, _members = world.make_troupe("echo-service", _echo_module,
+                                         degree=3)
+    client = world.make_client()
+
+    def body():
+        yield from client.call_troupe(troupe, 0, 0, b"hello")
+        world.machine(troupe.members[0].process.host).crash()
+        yield from client.call_troupe(troupe, 0, 0, b"still there?")
+        world.machine(troupe.members[1].process.host).crash()
+        yield from client.call_troupe(troupe, 0, 0, b"last one?")
+        world.machine(troupe.members[2].process.host).crash()
+        try:
+            yield from client.call_troupe(troupe, 0, 0, b"anyone?")
+        except TroupeFailure:
+            pass
+
+    return world, body
+
+
+def _scenario_protocol_trace():
+    """The examples/protocol_trace.py scenario: one replicated call to a
+    2-member troupe."""
+    from repro.harness import World
+
+    world = World(machines=3, seed=5,
+                  machine_names=["client", "server-1", "server-2"])
+    troupe, _ = world.make_troupe("echo", _echo_module, degree=2,
+                                  on_machines=["server-1", "server-2"])
+    client = world.make_client("client")
+
+    def body():
+        yield from client.call_troupe(troupe, 0, 0, b"hi")
+
+    return world, body
+
+
+def _scenario_circus(iterations: int):
+    """``iterations`` sequential replicated calls to a 3-member troupe —
+    the Table 4.1 Circus(3) shape, with the bus attached."""
+    from repro.harness import World
+
+    world = World(machines=4, seed=7)
+    troupe, _ = world.make_troupe("echo", _echo_module, degree=3)
+    client = world.make_client()
+
+    def body():
+        for i in range(iterations):
+            yield from client.call_troupe(troupe, 0, 0, b"ping %d" % i)
+
+    return world, body
+
+
+#: target name -> scenario factory (callable of no args).
+TRACE_SCENARIOS = {
+    "quickstart": _scenario_quickstart,
+    "protocol_trace": _scenario_protocol_trace,
+}
+
+
+def _resolve_scenario(target: str):
+    name = target.replace("\\", "/").rstrip("/")
+    if name.endswith(".py"):
+        name = name[:-3]
+    if "/" in name:
+        name = name.rsplit("/", 1)[1]
+    if name not in TRACE_SCENARIOS:
+        raise SystemExit(
+            "unknown scenario %r (choose from: %s)"
+            % (target, ", ".join(sorted(TRACE_SCENARIOS))))
+    return name, TRACE_SCENARIOS[name]
+
+
+def cmd_trace(args) -> None:
+    from repro.obs import trace_calls
+
+    name, factory = _resolve_scenario(args.target)
+    world, body = factory()
+    with trace_calls(world.sim) as tracer:
+        world.run(body())
+    out = args.out or ("%s_trace.json" % name)
+    payload = tracer.to_chrome()
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    calls = tracer.calls
+    execs = sum(len(c.execs) for c in calls)
+    print("traced %d replicated call(s), %d replica execution(s)"
+          % (len(calls), execs))
+    print("%d trace events -> %s (load in chrome://tracing or Perfetto)"
+          % (len(payload["traceEvents"]), out))
+
+
+def cmd_metrics(args) -> None:
+    from repro.obs import MetricsCollector
+
+    bench = args.bench
+    if bench == "circus":
+        world, body = _scenario_circus(args.iterations)
+    else:
+        _name, factory = _resolve_scenario(bench)
+        world, body = factory()
+    with MetricsCollector(world.sim.bus) as collector:
+        world.run(body())
+    print(collector.registry.render())
+
+
 COMMANDS = {
     "table41": cmd_table41,
     "table42": cmd_table42,
@@ -155,16 +286,40 @@ def main(argv=None) -> int:
         prog="repro",
         description="Reproduce the experiments of 'Replicated Distributed "
                     "Programs' (Cooper, 1985).")
-    parser.add_argument("experiment", choices=sorted(COMMANDS) + ["all"],
-                        help="which experiment to run")
-    parser.add_argument("--iterations", type=int, default=30,
-                        help="measurement loop length (default 30)")
+    sub = parser.add_subparsers(dest="command", required=True,
+                                metavar="command")
+    experiments = sorted(COMMANDS) + ["all"]
+    for name in experiments:
+        cmd = sub.add_parser(name, help="run the %s experiment" % name
+                             if name != "all" else "run every experiment")
+        cmd.add_argument("--iterations", type=int, default=30,
+                         help="measurement loop length (default 30)")
+    trace_cmd = sub.add_parser(
+        "trace", help="run a scenario with call tracing; write Chrome "
+                      "trace_event JSON")
+    trace_cmd.add_argument(
+        "target", help="scenario: examples/quickstart or "
+                       "examples/protocol_trace")
+    trace_cmd.add_argument("--out", default=None,
+                           help="output path (default <scenario>_trace.json)")
+    metrics_cmd = sub.add_parser(
+        "metrics", help="run a workload with the metrics collector; print "
+                        "the snapshot")
+    metrics_cmd.add_argument(
+        "bench", help="workload: quickstart, protocol_trace, or circus")
+    metrics_cmd.add_argument("--iterations", type=int, default=30,
+                             help="calls for the circus workload "
+                                  "(default 30)")
     args = parser.parse_args(argv)
-    if args.experiment == "all":
+    if args.command == "trace":
+        cmd_trace(args)
+    elif args.command == "metrics":
+        cmd_metrics(args)
+    elif args.command == "all":
         for name in sorted(COMMANDS):
             COMMANDS[name](args)
     else:
-        COMMANDS[args.experiment](args)
+        COMMANDS[args.command](args)
     return 0
 
 

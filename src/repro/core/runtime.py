@@ -38,6 +38,7 @@ from repro.core.collators import (
 from repro.core.troupe import NO_TROUPE, TroupeDescriptor, TroupeId
 from repro.host.process import OsProcess
 from repro.net.addresses import ModuleAddress, ProcessAddress
+from repro.obs import events as obs_events
 from repro.pairedmsg.endpoint import (
     PairedEndpoint,
     PairedMessageConfig,
@@ -322,6 +323,12 @@ class TroupeRuntime:
                     and header.dest_troupe_id != self.troupe_id):
                 # §6.2: stale destination troupe ID — reject so the client
                 # rebinds; never execute a call meant for an old incarnation.
+                if self.sim.bus.active:
+                    self.sim.bus.emit(obs_events.StaleCallRejected(
+                        t=self.sim.now, host=self.process.host,
+                        proc=self.process.name,
+                        call_number=msg.call_number,
+                        expected_id=self.troupe_id))
                 self.process.spawn(
                     self.endpoint.send_return(
                         msg.peer, msg.call_number,
@@ -350,6 +357,13 @@ class TroupeRuntime:
                 expected = self._expected_callers(header)
                 group = _ManyToOneCall(key, header, msg.call_number, expected)
                 self._groups[key] = group
+                if self.sim.bus.active:
+                    self.sim.bus.emit(obs_events.GatherStarted(
+                        t=self.sim.now, host=self.process.host,
+                        proc=self.process.name,
+                        thread_id=str(header.thread_id),
+                        call_number=msg.call_number,
+                        expected=-1 if expected is None else len(expected)))
                 if (expected is not None and len(expected) > 1
                         and self.config.server_wait == "all"):
                     self.sim.schedule(self.config.gather_timeout,
@@ -410,6 +424,15 @@ class TroupeRuntime:
     def _run_group(self, group: _ManyToOneCall):
         header = group.header
         key = group.key
+        if self.sim.bus.active:
+            self.sim.bus.emit(obs_events.ExecutionStarted(
+                t=self.sim.now, host=self.process.host,
+                proc=self.process.name, thread_id=str(header.thread_id),
+                call_number=group.call_number, troupe_id=self.troupe_id,
+                module=header.module, procedure=header.procedure,
+                callers=len(group.args_by_peer),
+                group_complete=group.complete()))
+        exec_outcome = "ok"
         try:
             module = self.exports.get(header.module)
             if module is None:
@@ -445,7 +468,14 @@ class TroupeRuntime:
                 if adopt:
                     self.threads.release(header.thread_id)
         except RemoteError as exc:
+            exec_outcome = exc.kind
             payload = encode_error(exc.kind, exc.detail)
+        if self.sim.bus.active:
+            self.sim.bus.emit(obs_events.ExecutionFinished(
+                t=self.sim.now, host=self.process.host,
+                proc=self.process.name, thread_id=str(header.thread_id),
+                call_number=group.call_number, module=header.module,
+                procedure=header.procedure, outcome=exec_outcome))
         if header.module != CONTROL_MODULE:
             # calls_executed counts application procedure executions; the
             # runtime's own control traffic (set_troupe_id) is excluded.
@@ -465,6 +495,13 @@ class TroupeRuntime:
         if group.expected is not None:
             recipients |= set(group.expected)
         recipients = sorted(recipients)
+        if self.sim.bus.active:
+            self.sim.bus.emit(obs_events.ReturnSent(
+                t=self.sim.now, host=self.process.host,
+                proc=self.process.name,
+                thread_id=str(group.header.thread_id),
+                call_number=group.call_number,
+                recipients=len(recipients)))
         if self.config.use_multicast and len(recipients) > 1:
             yield from self.endpoint.send_message_multicast(
                 recipients, MSG_RETURN, group.call_number, payload)
@@ -515,18 +552,58 @@ class TroupeRuntime:
             thread_id = self.threads.current
         if call_number is None:
             call_number = self.threads.next_call_number()
-        members, payloads = self._build_payloads(troupe, module, procedure,
-                                                 args, thread_id)
-        yield from self._send_call(members, call_number, payloads)
-        outcome = yield from self._collect(troupe, members, call_number,
-                                           collator)
-        return_header, body = decode_return(outcome)
+        bus = self.sim.bus
+        if bus.active:
+            bus.emit(obs_events.CallStarted(
+                t=self.sim.now, host=self.process.host,
+                proc=self.process.name, thread_id=str(thread_id),
+                call_number=call_number, troupe=troupe.name,
+                troupe_id=troupe.troupe_id, members=len(troupe.members),
+                module=-1 if module is None else module,
+                procedure=procedure))
         try:
-            return raise_if_error(return_header, body)
-        except RemoteError as exc:
-            if exc.kind == STALE_BINDING_ERROR:
-                raise StaleBindingError(troupe.name) from exc
+            members, payloads = self._build_payloads(
+                troupe, module, procedure, args, thread_id)
+            yield from self._send_call(members, call_number, payloads)
+            outcome = yield from self._collect(troupe, members, call_number,
+                                               collator, thread_id)
+            return_header, body = decode_return(outcome)
+            try:
+                result = raise_if_error(return_header, body)
+            except RemoteError as exc:
+                if exc.kind == STALE_BINDING_ERROR:
+                    raise StaleBindingError(troupe.name) from exc
+                raise
+        except BaseException as exc:
+            if bus.active:
+                bus.emit(obs_events.CallCompleted(
+                    t=self.sim.now, host=self.process.host,
+                    proc=self.process.name, thread_id=str(thread_id),
+                    call_number=call_number, troupe=troupe.name,
+                    outcome=self._classify_failure(exc)))
+                if isinstance(exc, StaleBindingError):
+                    bus.emit(obs_events.StaleBindingInvalidated(
+                        t=self.sim.now, host=self.process.host,
+                        proc=self.process.name, troupe=troupe.name))
             raise
+        if bus.active:
+            bus.emit(obs_events.CallCompleted(
+                t=self.sim.now, host=self.process.host,
+                proc=self.process.name, thread_id=str(thread_id),
+                call_number=call_number, troupe=troupe.name, outcome="ok"))
+        return result
+
+    @staticmethod
+    def _classify_failure(exc: BaseException) -> str:
+        if isinstance(exc, StaleBindingError):
+            return "stale_binding"
+        if isinstance(exc, TroupeFailure):
+            return "troupe_failure"
+        if isinstance(exc, CollationError):
+            return "collation_error"
+        if isinstance(exc, RemoteError):
+            return "remote_error:%s" % exc.kind
+        return type(exc).__name__
 
     def _build_payloads(self, troupe: TroupeDescriptor, module: Optional[int],
                         procedure: int, args: bytes, thread_id: ThreadId):
@@ -557,8 +634,10 @@ class TroupeRuntime:
 
     def _collect(self, troupe: TroupeDescriptor,
                  members: List[ProcessAddress], call_number: int,
-                 collator: Collator):
+                 collator: Collator, thread_id: Optional[ThreadId] = None):
         """Wait for return messages, feeding the collator as they arrive."""
+        bus = self.sim.bus
+        tid = str(thread_id) if thread_id is not None else ""
         collator.reset(expected=len(members))
         waiters = {}
         for member in members:
@@ -567,6 +646,7 @@ class TroupeRuntime:
                 name="await-%s" % (member,), daemon=True)
         pending = dict(waiters)
         crashed = []
+        responses = 0
         decided = False
         result = None
         while pending:
@@ -575,15 +655,31 @@ class TroupeRuntime:
             member = order[index]
             del pending[member]
             status, data = value
+            if bus.active:
+                bus.emit(obs_events.ReplicaResult(
+                    t=self.sim.now, host=self.process.host,
+                    proc=self.process.name, thread_id=tid,
+                    call_number=call_number, member=member,
+                    status="crashed" if status == "crashed" else "ok"))
             if status == "crashed":
                 crashed.append(member)
                 continue
-            done, early = collator.add(member, data)
+            responses += 1
+            try:
+                done, early = collator.add(member, data)
+            except CollationError:
+                if bus.active:
+                    bus.emit(self._collation_event(
+                        tid, call_number, troupe, "disagreement", responses))
+                raise
             if done and not collator.needs_all:
                 decided = True
                 result = early
                 break
         if decided:
+            if bus.active:
+                bus.emit(self._collation_event(
+                    tid, call_number, troupe, "decided_early", responses))
             # Tell the endpoint to drop the stragglers' returns.
             for member, waiter in pending.items():
                 waiter.kill()
@@ -591,7 +687,25 @@ class TroupeRuntime:
             return result
         if len(crashed) == len(members):
             raise TroupeFailure(troupe.name)
-        return collator.finish()
+        try:
+            final = collator.finish()
+        except CollationError:
+            if bus.active:
+                bus.emit(self._collation_event(
+                    tid, call_number, troupe, "failed", responses))
+            raise
+        if bus.active:
+            bus.emit(self._collation_event(
+                tid, call_number, troupe, "agreed", responses))
+        return final
+
+    def _collation_event(self, tid: str, call_number: int,
+                         troupe: TroupeDescriptor, verdict: str,
+                         responses: int) -> obs_events.Collated:
+        return obs_events.Collated(
+            t=self.sim.now, host=self.process.host, proc=self.process.name,
+            thread_id=tid, call_number=call_number, troupe=troupe.name,
+            verdict=verdict, responses=responses)
 
     def _await_one(self, member: ProcessAddress, call_number: int):
         try:

@@ -22,6 +22,7 @@ from repro.net.addresses import (
     ProcessAddress,
     validate_port,
 )
+from repro.obs import events as obs_events
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStream
 
@@ -201,44 +202,63 @@ class Network:
                 self._transmit(Datagram(src, ProcessAddress(name, port), payload))
 
     def _transmit(self, datagram: Datagram) -> None:
+        bus = self.sim.bus
+        if bus.active:
+            bus.emit(obs_events.PacketSent(
+                t=self.sim.now, src=datagram.src, dst=datagram.dst,
+                payload=datagram.payload))
         src_host = self.hosts.get(datagram.src.host)
         dst_host = self.hosts.get(datagram.dst.host)
         if src_host is None or dst_host is None:
-            self.packets_dropped += 1
+            self._drop(datagram, "no-host")
             return
         if not src_host.up:
             # A crashed machine sends nothing.
-            self.packets_dropped += 1
+            self._drop(datagram, "host-down")
             return
         if not self.reachable(datagram.src.host, datagram.dst.host):
-            self.packets_dropped += 1
+            self._drop(datagram, "partition")
             return
         if self.rng.chance(self.config.loss_probability):
-            self.packets_dropped += 1
+            self._drop(datagram, "loss")
             return
         copies = 1
         if self.rng.chance(self.config.duplicate_probability):
             copies = 2
             self.packets_duplicated += 1
+            if bus.active:
+                bus.emit(obs_events.PacketDuplicated(
+                    t=self.sim.now, src=datagram.src, dst=datagram.dst))
         for _ in range(copies):
             delay = self.config.transit_time(datagram.size, self.rng)
             self.sim.schedule(delay, self._deliver, datagram)
+
+    def _drop(self, datagram: Datagram, reason: str) -> None:
+        self.packets_dropped += 1
+        if self.sim.bus.active:
+            self.sim.bus.emit(obs_events.PacketDropped(
+                t=self.sim.now, src=datagram.src, dst=datagram.dst,
+                reason=reason))
 
     def _deliver(self, datagram: Datagram) -> None:
         dst_host = self.hosts.get(datagram.dst.host)
         if dst_host is None or not dst_host.up:
             # The destination crashed while the packet was in flight.
-            self.packets_dropped += 1
+            self._drop(datagram, "dst-down")
             return
         if self.partitioned and not self.reachable(
                 datagram.src.host, datagram.dst.host):
             # The partition appeared while the packet was in flight.
-            self.packets_dropped += 1
+            self._drop(datagram, "partition-in-flight")
             return
         handler = dst_host.ports.get(datagram.dst.port)
         if handler is None:
             # No process bound to the port: silently discarded, as UDP does.
-            self.packets_dropped += 1
+            self._drop(datagram, "no-port")
             return
         self.packets_delivered += 1
+        if self.sim.bus.active:
+            self.sim.bus.emit(obs_events.PacketDelivered(
+                t=self.sim.now, src=datagram.src, dst=datagram.dst,
+                size=datagram.size))
         handler(datagram)

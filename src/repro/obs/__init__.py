@@ -1,0 +1,36 @@
+"""Unified observability: event bus, virtual-time metrics, call tracing.
+
+Every :class:`~repro.sim.kernel.Simulator` owns an :class:`EventBus`
+(``sim.bus``); every protocol layer emits typed events
+(:mod:`repro.obs.events`) to it when — and only when — a subscriber is
+attached.  On top of the bus sit two standard observers:
+
+* :class:`MetricsCollector` — aggregates events into a
+  :class:`MetricsRegistry` of counters, gauges and virtual-time
+  histograms, labelled per endpoint / troupe / host.
+* :class:`CallTracer` — reconstructs replicated calls as span trees
+  (client call → per-replica execution → collation) and exports Chrome
+  ``trace_event`` JSON keyed by virtual time.
+
+See ``docs/OBSERVABILITY.md`` for the event taxonomy, metric names and
+trace format, and ``repro trace`` / ``repro metrics`` on the CLI.
+"""
+
+from repro.obs import events
+from repro.obs.bus import EventBus, Subscription
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsCollector,
+                               MetricsRegistry)
+from repro.obs.trace import CallTracer, trace_calls
+
+__all__ = [
+    "events",
+    "EventBus",
+    "Subscription",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "CallTracer",
+    "trace_calls",
+]

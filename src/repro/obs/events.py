@@ -1,0 +1,451 @@
+"""The event taxonomy: one typed dataclass per observable occurrence.
+
+Kinds are dotted names grouped by layer; subscribe with a prefix filter
+(``"pm."`` for every paired-message event).  The full taxonomy is
+documented in ``docs/OBSERVABILITY.md``.
+
+=========  ==========================================================
+prefix     layer
+=========  ==========================================================
+``sim.``   simulation kernel: process spawn/exit, timer fires
+``net.``   the wire: per-datagram send/deliver/drop/duplicate
+``pm.``    paired messages: sends, retransmits, acks, probes, crashes
+``rpc.``   replicated calls: one-to-many start, per-replica results,
+           collation verdicts, many-to-one gather/execute/return
+``txn.``   transactions: lock waits, deadlocks, commit votes/outcomes
+``bind.``  the Ringmaster: lookups, membership changes, stale
+           bindings, get_state transfers
+=========  ==========================================================
+
+Every event carries ``t``, the virtual time (ms) at emission.  Fields
+referencing addresses hold :class:`~repro.net.addresses.ProcessAddress`
+values (render with ``str``); thread IDs are pre-stringified so events
+are cheap to serialize.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, ClassVar, Optional, Tuple
+
+
+@dataclasses.dataclass
+class ObsEvent:
+    """Base class: a kind tag plus the virtual time of emission."""
+
+    kind: ClassVar[str] = "event"
+    t: float
+
+
+# ---------------------------------------------------------------------------
+# sim.* — the discrete-event kernel
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class ProcessSpawned(ObsEvent):
+    kind: ClassVar[str] = "sim.spawn"
+    name: str = ""
+    daemon: bool = False
+
+
+@dataclasses.dataclass
+class ProcessExited(ObsEvent):
+    kind: ClassVar[str] = "sim.exit"
+    name: str = ""
+    killed: bool = False
+    failed: bool = False     # terminated by an unhandled exception
+
+
+@dataclasses.dataclass
+class TimerFired(ObsEvent):
+    kind: ClassVar[str] = "sim.timer"
+    due: int = 0             # timers dispatched by this alarm
+
+
+# ---------------------------------------------------------------------------
+# net.* — the simulated wire
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class PacketSent(ObsEvent):
+    """One datagram handed to the wire (multicast emits one per
+    destination, mirroring per-recipient delivery)."""
+
+    kind: ClassVar[str] = "net.send"
+    src: Any = None          # ProcessAddress
+    dst: Any = None          # ProcessAddress
+    payload: bytes = b""
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+
+@dataclasses.dataclass
+class PacketDelivered(ObsEvent):
+    kind: ClassVar[str] = "net.deliver"
+    src: Any = None
+    dst: Any = None
+    size: int = 0
+
+
+@dataclasses.dataclass
+class PacketDropped(ObsEvent):
+    kind: ClassVar[str] = "net.drop"
+    src: Any = None
+    dst: Any = None
+    #: why: 'loss' | 'host-down' | 'partition' | 'no-host' | 'no-port'
+    #: | 'dst-down' | 'partition-in-flight'
+    reason: str = "loss"
+
+
+@dataclasses.dataclass
+class PacketDuplicated(ObsEvent):
+    kind: ClassVar[str] = "net.dup"
+    src: Any = None
+    dst: Any = None
+
+
+# ---------------------------------------------------------------------------
+# pm.* — the paired message protocol (§4.2)
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class MessageSent(ObsEvent):
+    """A call/return message began transmission (all initial segments)."""
+
+    kind: ClassVar[str] = "pm.send"
+    endpoint: Any = None     # sender's ProcessAddress
+    peer: Any = None
+    msg_type: int = 0
+    call_number: int = 0
+    segments: int = 0
+    size: int = 0
+
+
+@dataclasses.dataclass
+class SegmentRetransmitted(ObsEvent):
+    kind: ClassVar[str] = "pm.retransmit"
+    endpoint: Any = None
+    peer: Any = None
+    msg_type: int = 0
+    call_number: int = 0
+    segment: int = 0
+
+
+@dataclasses.dataclass
+class DuplicateSuppressed(ObsEvent):
+    """A segment of an already-delivered message arrived again (§4.2.4)."""
+
+    kind: ClassVar[str] = "pm.dup"
+    endpoint: Any = None
+    peer: Any = None
+    msg_type: int = 0
+    call_number: int = 0
+
+
+@dataclasses.dataclass
+class ExplicitAckReceived(ObsEvent):
+    kind: ClassVar[str] = "pm.ack_explicit"
+    endpoint: Any = None
+    peer: Any = None
+    msg_type: int = 0
+    call_number: int = 0
+    ack_number: int = 0
+
+
+@dataclasses.dataclass
+class ImplicitAck(ObsEvent):
+    """A data segment served as the acknowledgment of an earlier
+    transfer: a return acks its call, a call acks earlier returns."""
+
+    kind: ClassVar[str] = "pm.ack_implicit"
+    endpoint: Any = None
+    peer: Any = None
+    call_number: int = 0
+    by: str = "return"       # 'return' | 'call'
+
+
+@dataclasses.dataclass
+class ProbeSent(ObsEvent):
+    kind: ClassVar[str] = "pm.probe"
+    endpoint: Any = None
+    peer: Any = None
+    call_number: int = 0
+
+
+@dataclasses.dataclass
+class PeerCrashDeclared(ObsEvent):
+    kind: ClassVar[str] = "pm.crash"
+    endpoint: Any = None
+    peer: Any = None
+    silence: float = 0.0     # ms since last heard
+
+
+@dataclasses.dataclass
+class TransferTimedOut(ObsEvent):
+    kind: ClassVar[str] = "pm.timeout"
+    endpoint: Any = None
+    peer: Any = None
+    call_number: int = 0
+
+
+@dataclasses.dataclass
+class MessageDelivered(ObsEvent):
+    """A fully reassembled message was handed to the layer above."""
+
+    kind: ClassVar[str] = "pm.deliver"
+    endpoint: Any = None
+    peer: Any = None
+    msg_type: int = 0
+    call_number: int = 0
+    size: int = 0
+
+
+# ---------------------------------------------------------------------------
+# rpc.* — replicated procedure calls (§4.3)
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class CallStarted(ObsEvent):
+    """One-to-many multicast begins: the client half of a replicated
+    call.  ``(thread_id, call_number)`` is the propagated trace context —
+    it rides the §3.4.1 call header to every replica."""
+
+    kind: ClassVar[str] = "rpc.call_start"
+    host: str = ""
+    proc: str = ""
+    thread_id: str = ""
+    call_number: int = 0
+    troupe: str = ""
+    troupe_id: int = 0       # the target troupe's incarnation ID
+    members: int = 0
+    module: int = 0
+    procedure: int = 0
+
+
+@dataclasses.dataclass
+class ReplicaResult(ObsEvent):
+    """One member's return message arrived at (or crash was declared to)
+    the calling client."""
+
+    kind: ClassVar[str] = "rpc.result"
+    host: str = ""
+    proc: str = ""
+    thread_id: str = ""
+    call_number: int = 0
+    member: Any = None
+    status: str = "ok"       # 'ok' | 'crashed'
+
+
+@dataclasses.dataclass
+class Collated(ObsEvent):
+    """The collator's verdict over the result set."""
+
+    kind: ClassVar[str] = "rpc.collate"
+    host: str = ""
+    proc: str = ""
+    thread_id: str = ""
+    call_number: int = 0
+    troupe: str = ""
+    #: 'agreed' (needs-all collator satisfied) | 'decided_early'
+    #: | 'disagreement' (collator rejected a conflicting response)
+    #: | 'failed' (no decision from the final set)
+    verdict: str = "agreed"
+    responses: int = 0
+
+
+@dataclasses.dataclass
+class CallCompleted(ObsEvent):
+    kind: ClassVar[str] = "rpc.call_end"
+    host: str = ""
+    proc: str = ""
+    thread_id: str = ""
+    call_number: int = 0
+    troupe: str = ""
+    #: 'ok' | 'remote_error:<kind>' | 'stale_binding' | 'troupe_failure'
+    #: | 'collation_error' | the exception type name
+    outcome: str = "ok"
+
+
+@dataclasses.dataclass
+class GatherStarted(ObsEvent):
+    """Server half: the first call message of a replicated call arrived
+    and the many-to-one gather began (§4.3.2)."""
+
+    kind: ClassVar[str] = "rpc.gather"
+    host: str = ""
+    proc: str = ""
+    thread_id: str = ""
+    call_number: int = 0
+    expected: int = -1       # -1: client troupe membership unknown
+
+
+@dataclasses.dataclass
+class ExecutionStarted(ObsEvent):
+    kind: ClassVar[str] = "rpc.exec_start"
+    host: str = ""
+    proc: str = ""
+    thread_id: str = ""
+    call_number: int = 0
+    troupe_id: int = 0       # the serving member's own troupe ID
+    module: int = 0
+    procedure: int = 0
+    callers: int = 0
+    group_complete: bool = True
+
+
+@dataclasses.dataclass
+class ExecutionFinished(ObsEvent):
+    kind: ClassVar[str] = "rpc.exec_end"
+    host: str = ""
+    proc: str = ""
+    thread_id: str = ""
+    call_number: int = 0
+    module: int = 0
+    procedure: int = 0
+    outcome: str = "ok"      # 'ok' | the RemoteError kind
+
+
+@dataclasses.dataclass
+class ReturnSent(ObsEvent):
+    """Many-to-one completion: results go to the client troupe."""
+
+    kind: ClassVar[str] = "rpc.return"
+    host: str = ""
+    proc: str = ""
+    thread_id: str = ""
+    call_number: int = 0
+    recipients: int = 0
+
+
+@dataclasses.dataclass
+class StaleCallRejected(ObsEvent):
+    """A member rejected a call bearing a stale destination troupe ID
+    (§6.2) — the server side of binding invalidation."""
+
+    kind: ClassVar[str] = "rpc.stale"
+    host: str = ""
+    proc: str = ""
+    call_number: int = 0
+    expected_id: int = 0
+
+
+# ---------------------------------------------------------------------------
+# txn.* — transactions (Chapter 5)
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class LockWait(ObsEvent):
+    kind: ClassVar[str] = "txn.lock_wait"
+    txn: str = ""
+    key: str = ""
+    mode: str = ""
+    holders: Tuple[str, ...] = ()
+
+
+@dataclasses.dataclass
+class LockGranted(ObsEvent):
+    """A blocked acquisition finally succeeded; ``waited`` is the time
+    spent in the queue (ms)."""
+
+    kind: ClassVar[str] = "txn.lock_grant"
+    txn: str = ""
+    key: str = ""
+    mode: str = ""
+    waited: float = 0.0
+
+
+@dataclasses.dataclass
+class DeadlockDetected(ObsEvent):
+    kind: ClassVar[str] = "txn.deadlock"
+    cycle: Tuple[str, ...] = ()
+    victim: str = ""
+
+
+@dataclasses.dataclass
+class CommitVote(ObsEvent):
+    """One server member's ready_to_commit vote, as seen by the
+    coordinator (§5.3)."""
+
+    kind: ClassVar[str] = "txn.vote"
+    host: str = ""
+    proc: str = ""
+    peer: Any = None
+    serial: int = 0
+    ready: bool = True
+
+
+@dataclasses.dataclass
+class CommitOutcome(ObsEvent):
+    kind: ClassVar[str] = "txn.commit"
+    host: str = ""
+    proc: str = ""
+    decision: str = "commit"     # 'commit' | 'abort'
+    votes: int = 0
+    group_complete: bool = True
+
+
+# ---------------------------------------------------------------------------
+# bind.* — the Ringmaster binding agent (Chapter 6)
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class BindingLookup(ObsEvent):
+    kind: ClassVar[str] = "bind.lookup"
+    host: str = ""
+    proc: str = ""
+    op: str = "by_name"      # 'by_name' | 'by_id' | 'rebind' | 'list'
+    name: str = ""
+    found: bool = True
+
+
+@dataclasses.dataclass
+class MembershipChanged(ObsEvent):
+    kind: ClassVar[str] = "bind.member"
+    host: str = ""
+    proc: str = ""
+    op: str = "add"          # 'register' | 'add' | 'remove'
+    name: str = ""
+    new_id: int = 0
+    members: int = 0
+
+
+@dataclasses.dataclass
+class StaleBindingInvalidated(ObsEvent):
+    """Client side: a cached binding was discovered stale and must be
+    refreshed via rebind (§6.1)."""
+
+    kind: ClassVar[str] = "bind.stale"
+    host: str = ""
+    proc: str = ""
+    troupe: str = ""
+
+
+@dataclasses.dataclass
+class StateTransferred(ObsEvent):
+    """A get_state call externalized a member's state for a joining
+    replica (§6.4.1)."""
+
+    kind: ClassVar[str] = "bind.get_state"
+    module: str = ""
+    size: int = 0
+
+
+#: every event class, keyed by kind — for documentation and validation.
+ALL_EVENTS = {
+    cls.kind: cls
+    for cls in (
+        ProcessSpawned, ProcessExited, TimerFired,
+        PacketSent, PacketDelivered, PacketDropped, PacketDuplicated,
+        MessageSent, SegmentRetransmitted, DuplicateSuppressed,
+        ExplicitAckReceived, ImplicitAck, ProbeSent, PeerCrashDeclared,
+        TransferTimedOut, MessageDelivered,
+        CallStarted, ReplicaResult, Collated, CallCompleted,
+        GatherStarted, ExecutionStarted, ExecutionFinished, ReturnSent,
+        StaleCallRejected,
+        LockWait, LockGranted, DeadlockDetected, CommitVote, CommitOutcome,
+        BindingLookup, MembershipChanged, StaleBindingInvalidated,
+        StateTransferred,
+    )
+}

@@ -1,0 +1,384 @@
+"""Virtual-time metrics: counters, gauges, histograms, and the standard
+collector that aggregates bus events per endpoint/troupe/call.
+
+The registry is deliberately simulation-flavoured: histograms record
+*virtual* milliseconds and keep every observation (runs are deterministic
+and bounded), so percentiles are exact rather than bucketed estimates.
+
+    registry = MetricsRegistry()
+    with MetricsCollector(world.sim.bus, registry):
+        world.run(body())
+    print(registry.render())
+    snap = registry.snapshot()   # {"pm.retransmits{endpoint=...}": 3, ...}
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import events as ev
+from repro.obs.bus import EventBus
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value: Any = 0
+
+    def set(self, value: Any) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Exact distribution of virtual-time observations (ms)."""
+
+    __slots__ = ("values",)
+
+    def __init__(self):
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile (nearest-rank); ``p`` in [0, 100]."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(1, int(math.ceil(p / 100.0 * len(ordered))))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def summary(self) -> Dict[str, float]:
+        if not self.values:
+            return {"count": 0}
+        return {
+            "count": len(self.values),
+            "mean": self.mean,
+            "min": min(self.values),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "max": max(self.values),
+        }
+
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _labelset(labels: Dict[str, Any]) -> LabelSet:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_key(name: str, labels: LabelSet) -> str:
+    if not labels:
+        return name
+    return "%s{%s}" % (name, ",".join("%s=%s" % kv for kv in labels))
+
+
+class MetricsRegistry:
+    """Get-or-create metric instruments keyed by (name, labels)."""
+
+    def __init__(self):
+        self._metrics: Dict[Tuple[str, LabelSet], Any] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, Any]):
+        key = (name, _labelset(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls()
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError("metric %r is a %s, not a %s" % (
+                name, type(metric).__name__, cls.__name__))
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # -- reading -----------------------------------------------------------
+
+    def value(self, name: str, **labels) -> Any:
+        """The current value of a counter/gauge (0 if never touched)."""
+        metric = self._metrics.get((name, _labelset(labels)))
+        return metric.value if metric is not None else 0
+
+    def total(self, name: str) -> int:
+        """Sum of a counter across every label set."""
+        return sum(m.value for (n, _), m in self._metrics.items()
+                   if n == name and isinstance(m, Counter))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-friendly flat mapping of every instrument."""
+        out: Dict[str, Any] = {}
+        for (name, labels), metric in sorted(self._metrics.items()):
+            key = _render_key(name, labels)
+            if isinstance(metric, Histogram):
+                out[key] = metric.summary()
+            else:
+                out[key] = metric.value
+        return out
+
+    def render(self) -> str:
+        """Human-readable snapshot, one instrument per line."""
+        lines = []
+        for key, value in self.snapshot().items():
+            if isinstance(value, dict):
+                detail = " ".join(
+                    "%s=%.3f" % (k, v) if isinstance(v, float) else
+                    "%s=%s" % (k, v)
+                    for k, v in value.items())
+                lines.append("%-56s %s" % (key, detail))
+            else:
+                lines.append("%-56s %s" % (key, value))
+        return "\n".join(lines)
+
+
+class MetricsCollector:
+    """The standard event-to-metric aggregation.
+
+    Subscribes to the whole bus and maintains the metric names documented
+    in ``docs/OBSERVABILITY.md``: packet counters per drop reason,
+    paired-message counters per endpoint, replicated-call counters and
+    latency histograms per troupe, transaction and binding counters.
+
+    Usable as a context manager; :meth:`close` detaches from the bus.
+    """
+
+    def __init__(self, bus: EventBus, registry: Optional[MetricsRegistry] = None):
+        self.bus = bus
+        self.registry = registry or MetricsRegistry()
+        #: open call start times keyed (host, proc, thread_id,
+        #: call_number) — the issuing process disambiguates nested and
+        #: many-to-many calls that reuse the (thread, call number) context.
+        self._call_started: Dict[Tuple[str, str, str, int], float] = {}
+        self._exec_started: Dict[Tuple[str, str, str, int], float] = {}
+        self._sub = bus.subscribe(self._on_event)
+
+    def close(self) -> None:
+        self.bus.unsubscribe(self._sub)
+
+    def __enter__(self) -> "MetricsCollector":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- event dispatch ----------------------------------------------------
+
+    def _on_event(self, event) -> None:
+        handler = self._HANDLERS.get(event.kind)
+        if handler is not None:
+            handler(self, event)
+
+    # sim.*
+    def _on_spawn(self, event):
+        self.registry.counter("sim.processes_spawned").inc()
+
+    def _on_exit(self, event):
+        self.registry.counter("sim.processes_exited").inc()
+
+    def _on_timer(self, event):
+        self.registry.counter("sim.timer_fires").inc()
+
+    # net.*
+    def _on_net_send(self, event):
+        self.registry.counter("net.packets_sent").inc()
+        self.registry.counter("net.bytes_sent").inc(len(event.payload))
+
+    def _on_net_deliver(self, event):
+        self.registry.counter("net.packets_delivered").inc()
+
+    def _on_net_drop(self, event):
+        self.registry.counter("net.packets_dropped", reason=event.reason).inc()
+
+    def _on_net_dup(self, event):
+        self.registry.counter("net.packets_duplicated").inc()
+
+    # pm.*
+    def _on_pm_send(self, event):
+        self.registry.counter("pm.messages_sent",
+                              endpoint=event.endpoint).inc()
+        self.registry.counter("pm.segments_sent",
+                              endpoint=event.endpoint).inc(event.segments)
+
+    def _on_pm_retransmit(self, event):
+        self.registry.counter("pm.retransmits", endpoint=event.endpoint).inc()
+
+    def _on_pm_dup(self, event):
+        self.registry.counter("pm.duplicates_suppressed",
+                              endpoint=event.endpoint).inc()
+
+    def _on_pm_ack_explicit(self, event):
+        self.registry.counter("pm.explicit_acks",
+                              endpoint=event.endpoint).inc()
+
+    def _on_pm_ack_implicit(self, event):
+        self.registry.counter("pm.implicit_acks", endpoint=event.endpoint,
+                              by=event.by).inc()
+
+    def _on_pm_probe(self, event):
+        self.registry.counter("pm.probes", endpoint=event.endpoint).inc()
+
+    def _on_pm_crash(self, event):
+        self.registry.counter("pm.crashes_declared",
+                              endpoint=event.endpoint).inc()
+
+    def _on_pm_timeout(self, event):
+        self.registry.counter("pm.send_timeouts",
+                              endpoint=event.endpoint).inc()
+
+    def _on_pm_deliver(self, event):
+        self.registry.counter("pm.messages_delivered",
+                              endpoint=event.endpoint).inc()
+
+    # rpc.*
+    def _on_call_start(self, event):
+        self.registry.counter("rpc.calls_started", troupe=event.troupe).inc()
+        self._call_started[(event.host, event.proc, event.thread_id,
+                            event.call_number)] = event.t
+
+    def _on_result(self, event):
+        self.registry.counter("rpc.replica_results",
+                              status=event.status).inc()
+
+    def _on_collate(self, event):
+        self.registry.counter("rpc.collations", verdict=event.verdict).inc()
+
+    def _on_call_end(self, event):
+        self.registry.counter("rpc.calls_completed", troupe=event.troupe,
+                              outcome=event.outcome).inc()
+        started = self._call_started.pop(
+            (event.host, event.proc, event.thread_id, event.call_number),
+            None)
+        if started is not None:
+            self.registry.histogram("rpc.call_ms",
+                                    troupe=event.troupe).observe(
+                event.t - started)
+
+    def _on_gather(self, event):
+        self.registry.counter("rpc.gathers", host=event.host).inc()
+
+    def _on_exec_start(self, event):
+        key = (event.host, event.proc, event.thread_id, event.call_number)
+        self._exec_started[key] = event.t
+        if not event.group_complete:
+            self.registry.counter("rpc.incomplete_gathers",
+                                  host=event.host).inc()
+
+    def _on_exec_end(self, event):
+        self.registry.counter("rpc.executions", host=event.host,
+                              outcome=event.outcome).inc()
+        key = (event.host, event.proc, event.thread_id, event.call_number)
+        started = self._exec_started.pop(key, None)
+        if started is not None:
+            self.registry.histogram("rpc.exec_ms",
+                                    host=event.host).observe(
+                event.t - started)
+
+    def _on_return(self, event):
+        self.registry.counter("rpc.returns_sent", host=event.host).inc()
+
+    def _on_rpc_stale(self, event):
+        self.registry.counter("rpc.stale_calls_rejected",
+                              host=event.host).inc()
+
+    # txn.*
+    def _on_lock_wait(self, event):
+        self.registry.counter("txn.lock_waits").inc()
+
+    def _on_lock_grant(self, event):
+        self.registry.histogram("txn.lock_wait_ms").observe(event.waited)
+
+    def _on_deadlock(self, event):
+        self.registry.counter("txn.deadlocks").inc()
+
+    def _on_vote(self, event):
+        self.registry.counter(
+            "txn.votes", ready="true" if event.ready else "false").inc()
+
+    def _on_commit(self, event):
+        self.registry.counter("txn.commit_decisions",
+                              decision=event.decision).inc()
+
+    # bind.*
+    def _on_lookup(self, event):
+        self.registry.counter("bind.lookups", op=event.op).inc()
+
+    def _on_member(self, event):
+        self.registry.counter("bind.membership_changes", op=event.op).inc()
+
+    def _on_stale(self, event):
+        self.registry.counter("bind.stale_bindings").inc()
+
+    def _on_get_state(self, event):
+        self.registry.counter("bind.state_transfers").inc()
+
+    _HANDLERS = {
+        ev.ProcessSpawned.kind: _on_spawn,
+        ev.ProcessExited.kind: _on_exit,
+        ev.TimerFired.kind: _on_timer,
+        ev.PacketSent.kind: _on_net_send,
+        ev.PacketDelivered.kind: _on_net_deliver,
+        ev.PacketDropped.kind: _on_net_drop,
+        ev.PacketDuplicated.kind: _on_net_dup,
+        ev.MessageSent.kind: _on_pm_send,
+        ev.SegmentRetransmitted.kind: _on_pm_retransmit,
+        ev.DuplicateSuppressed.kind: _on_pm_dup,
+        ev.ExplicitAckReceived.kind: _on_pm_ack_explicit,
+        ev.ImplicitAck.kind: _on_pm_ack_implicit,
+        ev.ProbeSent.kind: _on_pm_probe,
+        ev.PeerCrashDeclared.kind: _on_pm_crash,
+        ev.TransferTimedOut.kind: _on_pm_timeout,
+        ev.MessageDelivered.kind: _on_pm_deliver,
+        ev.CallStarted.kind: _on_call_start,
+        ev.ReplicaResult.kind: _on_result,
+        ev.Collated.kind: _on_collate,
+        ev.CallCompleted.kind: _on_call_end,
+        ev.GatherStarted.kind: _on_gather,
+        ev.ExecutionStarted.kind: _on_exec_start,
+        ev.ExecutionFinished.kind: _on_exec_end,
+        ev.ReturnSent.kind: _on_return,
+        ev.StaleCallRejected.kind: _on_rpc_stale,
+        ev.LockWait.kind: _on_lock_wait,
+        ev.LockGranted.kind: _on_lock_grant,
+        ev.DeadlockDetected.kind: _on_deadlock,
+        ev.CommitVote.kind: _on_vote,
+        ev.CommitOutcome.kind: _on_commit,
+        ev.BindingLookup.kind: _on_lookup,
+        ev.MembershipChanged.kind: _on_member,
+        ev.StaleBindingInvalidated.kind: _on_stale,
+        ev.StateTransferred.kind: _on_get_state,
+    }

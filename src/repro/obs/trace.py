@@ -1,0 +1,322 @@
+"""Replicated-call tracing: span trees and Chrome trace_event export.
+
+A replicated call is identified by its ``(thread ID, call number)`` pair
+— the trace context.  Circus already propagates both in every call header
+(§3.4.1/§4.3.2): the thread ID is adopted by every replica that executes
+on the thread's behalf, and the call number groups the many-to-one
+gather.  The tracer therefore reconstructs a cross-process span tree from
+bus events alone, with no extra wire bytes:
+
+    client call span
+    ├── per-replica execution span (one per server troupe member)
+    ├── per-replica result arrival (instant)
+    └── collation verdict (instant)
+
+Nested replicated calls (a handler calling another troupe) attach under
+the execution span of the replica that issued them, matched by thread ID.
+
+Export is Chrome ``trace_event`` JSON keyed by virtual time (1 virtual ms
+= 1 exported µs ×1000, i.e. ``ts`` is virtual microseconds): load it in
+``chrome://tracing`` / Perfetto with one process lane per simulated host.
+
+    with trace_calls(world.sim) as tracer:
+        world.run(body())
+    open("trace.json", "w").write(tracer.to_json())
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import events as ev
+
+#: (thread_id, call_number): the trace context that rides the call header.
+CallKey = Tuple[str, int]
+#: (host, proc, thread_id, call_number): one client half's call.  The
+#: trace context alone is not unique — a nested call reuses the thread ID
+#: with its issuer's own call numbering, and in a many-to-many call every
+#: member of the client troupe opens a span with the same context — so
+#: client spans are additionally keyed by the issuing process.
+ClientKey = Tuple[str, str, str, int]
+
+
+class ExecSpan:
+    """One replica's execution of a replicated call (server side)."""
+
+    def __init__(self, event: ev.ExecutionStarted):
+        self.host = event.host
+        self.proc = event.proc
+        self.thread_id = event.thread_id
+        self.call_number = event.call_number
+        self.troupe_id = event.troupe_id
+        self.module = event.module
+        self.procedure = event.procedure
+        self.callers = event.callers
+        self.group_complete = event.group_complete
+        self.start = event.t
+        self.end: Optional[float] = None
+        self.outcome = "unfinished"
+        #: nested replicated calls issued while this span was open.
+        self.calls: List["CallSpan"] = []
+
+    @property
+    def name(self) -> str:
+        return "exec %d.%d" % (self.module, self.procedure)
+
+
+class CallSpan:
+    """The client half of one replicated call and everything under it."""
+
+    def __init__(self, event: ev.CallStarted):
+        self.host = event.host
+        self.proc = event.proc
+        self.thread_id = event.thread_id
+        self.call_number = event.call_number
+        self.troupe = event.troupe
+        self.troupe_id = event.troupe_id
+        self.members = event.members
+        self.module = event.module
+        self.procedure = event.procedure
+        self.start = event.t
+        self.end: Optional[float] = None
+        self.outcome = "unfinished"
+        self.results: List[Tuple[float, str, str]] = []   # (t, member, status)
+        self.collation: Optional[Tuple[float, str, int]] = None
+        self.execs: List[ExecSpan] = []
+
+    @property
+    def name(self) -> str:
+        return "call %s %d.%d" % (self.troupe, self.module, self.procedure)
+
+    @property
+    def key(self) -> ClientKey:
+        return (self.host, self.proc, self.thread_id, self.call_number)
+
+
+class CallTracer:
+    """Builds span trees from ``rpc.*`` bus events.
+
+    Attach before the traced run (events are not replayable); detach with
+    :meth:`close` or use the :func:`trace_calls` context manager.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._open_calls: Dict[ClientKey, CallSpan] = {}
+        self._open_execs: Dict[Tuple[CallKey, str, str], ExecSpan] = {}
+        #: root call spans (not nested under any execution), in start order.
+        self.roots: List[CallSpan] = []
+        #: every call span ever opened, in start order.
+        self.calls: List[CallSpan] = []
+        #: every execution span ever opened, in start order.
+        self.execs: List[ExecSpan] = []
+        self._returns: List[ev.ReturnSent] = []
+        self._sub = sim.bus.subscribe(self._on_event, kinds=("rpc.",))
+
+    def close(self) -> None:
+        self.sim.bus.unsubscribe(self._sub)
+
+    # -- event handling ----------------------------------------------------
+
+    def _on_event(self, event) -> None:
+        kind = event.kind
+        if kind == ev.CallStarted.kind:
+            span = CallSpan(event)
+            self._open_calls[span.key] = span
+            self.calls.append(span)
+            parent = self._enclosing_exec(event.thread_id, event.host,
+                                          event.proc)
+            if parent is not None:
+                parent.calls.append(span)
+            else:
+                self.roots.append(span)
+        elif kind == ev.ReplicaResult.kind:
+            span = self._open_calls.get(
+                (event.host, event.proc, event.thread_id, event.call_number))
+            if span is not None:
+                span.results.append((event.t, str(event.member),
+                                     event.status))
+        elif kind == ev.Collated.kind:
+            span = self._open_calls.get(
+                (event.host, event.proc, event.thread_id, event.call_number))
+            if span is not None:
+                span.collation = (event.t, event.verdict, event.responses)
+        elif kind == ev.CallCompleted.kind:
+            span = self._open_calls.pop(
+                (event.host, event.proc, event.thread_id, event.call_number),
+                None)
+            if span is not None:
+                span.end = event.t
+                span.outcome = event.outcome
+        elif kind == ev.ExecutionStarted.kind:
+            span = ExecSpan(event)
+            key = ((event.thread_id, event.call_number),
+                   event.host, event.proc)
+            self._open_execs[key] = span
+            self.execs.append(span)
+            # Attach under every open client half of this call: the target
+            # troupe ID separates the call to this troupe from an outer or
+            # nested call sharing the same (thread, call number) context;
+            # in a many-to-many call each calling member's span gets it.
+            for call in self._open_calls.values():
+                if (call.thread_id == event.thread_id
+                        and call.call_number == event.call_number
+                        and call.troupe_id == event.troupe_id):
+                    call.execs.append(span)
+        elif kind == ev.ExecutionFinished.kind:
+            key = ((event.thread_id, event.call_number),
+                   event.host, event.proc)
+            span = self._open_execs.pop(key, None)
+            if span is not None:
+                span.end = event.t
+                span.outcome = event.outcome
+        elif kind == ev.ReturnSent.kind:
+            self._returns.append(event)
+
+    def _enclosing_exec(self, thread_id: str, host: str,
+                        proc: str) -> Optional[ExecSpan]:
+        """The open execution span this call was issued from, if any: a
+        nested call shares the thread ID and originates on the same
+        simulated process as the replica executing the outer call."""
+        for span in self._open_execs.values():
+            if (span.thread_id == thread_id and span.host == host
+                    and span.proc == proc):
+                return span
+        return None
+
+    # -- span tree ---------------------------------------------------------
+
+    def span_tree(self) -> List[Dict[str, Any]]:
+        """The trace as nested dictionaries — exact and deterministic,
+        suitable for golden-file comparison."""
+        return [self._call_dict(span) for span in self.roots]
+
+    def _call_dict(self, span: CallSpan) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": span.name,
+            "troupe": span.troupe,
+            "client": "%s/%s" % (span.host, span.proc),
+            "thread_id": span.thread_id,
+            "call_number": span.call_number,
+            "members": span.members,
+            "t0": round(span.start, 3),
+            "t1": round(span.end, 3) if span.end is not None else None,
+            "outcome": span.outcome,
+            "results": [
+                {"t": round(t, 3), "member": member, "status": status}
+                for t, member, status in span.results],
+            "executions": [self._exec_dict(e)
+                           for e in sorted(span.execs,
+                                           key=lambda e: (e.start, e.host))],
+        }
+        if span.collation is not None:
+            t, verdict, responses = span.collation
+            out["collation"] = {"t": round(t, 3), "verdict": verdict,
+                                "responses": responses}
+        else:
+            out["collation"] = None
+        return out
+
+    def _exec_dict(self, span: ExecSpan) -> Dict[str, Any]:
+        return {
+            "name": span.name,
+            "replica": "%s/%s" % (span.host, span.proc),
+            "t0": round(span.start, 3),
+            "t1": round(span.end, 3) if span.end is not None else None,
+            "outcome": span.outcome,
+            "group_complete": span.group_complete,
+            "calls": [self._call_dict(c) for c in span.calls],
+        }
+
+    # -- Chrome trace_event export ----------------------------------------
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The trace in Chrome ``trace_event`` JSON object format."""
+        pids: Dict[str, int] = {}
+        tids: Dict[Tuple[str, str], int] = {}
+        trace_events: List[Dict[str, Any]] = []
+
+        def lane(host: str, proc: str) -> Tuple[int, int]:
+            if host not in pids:
+                pids[host] = len(pids) + 1
+                trace_events.append({
+                    "ph": "M", "name": "process_name", "pid": pids[host],
+                    "tid": 0, "args": {"name": host}})
+            key = (host, proc)
+            if key not in tids:
+                tids[key] = len(tids) + 1
+                trace_events.append({
+                    "ph": "M", "name": "thread_name", "pid": pids[host],
+                    "tid": tids[key], "args": {"name": proc}})
+            return pids[host], tids[key]
+
+        def us(t: float) -> float:
+            return round(t * 1000.0, 3)   # virtual ms -> exported µs
+
+        for call in self.calls:
+            pid, tid = lane(call.host, call.proc)
+            end = call.end if call.end is not None else call.start
+            trace_events.append({
+                "ph": "X", "name": call.name, "cat": "rpc",
+                "ts": us(call.start), "dur": us(end - call.start),
+                "pid": pid, "tid": tid,
+                "args": {"troupe": call.troupe,
+                         "thread_id": call.thread_id,
+                         "call_number": call.call_number,
+                         "members": call.members,
+                         "outcome": call.outcome}})
+            for t, member, status in call.results:
+                trace_events.append({
+                    "ph": "i", "name": "result %s" % status, "cat": "rpc",
+                    "ts": us(t), "pid": pid, "tid": tid, "s": "t",
+                    "args": {"member": member,
+                             "call_number": call.call_number}})
+            if call.collation is not None:
+                t, verdict, responses = call.collation
+                trace_events.append({
+                    "ph": "i", "name": "collate %s" % verdict, "cat": "rpc",
+                    "ts": us(t), "pid": pid, "tid": tid, "s": "t",
+                    "args": {"responses": responses,
+                             "call_number": call.call_number}})
+        # Executions are emitted from the global list: a many-to-many
+        # call attaches one execution span under several client spans,
+        # but it is one slice of server time — one trace event.
+        for span in self.execs:
+            epid, etid = lane(span.host, span.proc)
+            eend = span.end if span.end is not None else span.start
+            trace_events.append({
+                "ph": "X", "name": span.name, "cat": "rpc.exec",
+                "ts": us(span.start), "dur": us(eend - span.start),
+                "pid": epid, "tid": etid,
+                "args": {"thread_id": span.thread_id,
+                         "call_number": span.call_number,
+                         "callers": span.callers,
+                         "group_complete": span.group_complete,
+                         "outcome": span.outcome}})
+        for event in self._returns:
+            pid, tid = lane(event.host, event.proc)
+            trace_events.append({
+                "ph": "i", "name": "return", "cat": "rpc", "ts": us(event.t),
+                "pid": pid, "tid": tid, "s": "t",
+                "args": {"recipients": event.recipients,
+                         "call_number": event.call_number}})
+        trace_events.sort(key=lambda e: (e.get("ts", -1.0), e["pid"],
+                                         e["tid"]))
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms",
+                "otherData": {"clock": "virtual",
+                              "source": "repro.obs.trace"}}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_chrome(), indent=indent, sort_keys=False)
+
+
+@contextmanager
+def trace_calls(sim):
+    """Context manager: trace every replicated call while the body runs."""
+    tracer = CallTracer(sim)
+    try:
+        yield tracer
+    finally:
+        tracer.close()

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.host.process import OsProcess
 from repro.net.addresses import ProcessAddress
+from repro.obs import events as obs_events
 from repro.pairedmsg import segments as seg
 from repro.pairedmsg.segments import (
     MSG_CALL,
@@ -151,6 +152,11 @@ class _OutgoingTransfer:
 
     def fail(self) -> None:
         if not self.done.fired:
+            sim = self.endpoint.sim
+            if sim.bus.active:
+                sim.bus.emit(obs_events.TransferTimedOut(
+                    t=sim.now, endpoint=self.endpoint.addr, peer=self.peer,
+                    call_number=self.call_number))
             self.done.fire("timeout")
 
 
@@ -234,6 +240,11 @@ class PairedEndpoint:
                                  self.config.max_segment_data)
         transfer = _OutgoingTransfer(self, peer, msg_type, call_number, segs)
         self._sends[key] = transfer
+        if self.sim.bus.active:
+            self.sim.bus.emit(obs_events.MessageSent(
+                t=self.sim.now, endpoint=self.addr, peer=peer,
+                msg_type=msg_type, call_number=call_number,
+                segments=len(segs), size=len(data)))
         # Protocol processing in user mode, then a timestamp and the
         # retransmission timer (the setitimer traffic of Table 4.3).
         yield from self.process.compute(self.config.user_cost_send)
@@ -257,7 +268,15 @@ class PairedEndpoint:
         for segment in transfer.segments[:-1]:
             marked = dataclasses.replace(segment, please_ack=True)
             retries = 0
+            sent_once = False
             while segment.segment_number in transfer.unacked:
+                if sent_once and self.sim.bus.active:
+                    self.sim.bus.emit(obs_events.SegmentRetransmitted(
+                        t=self.sim.now, endpoint=self.addr,
+                        peer=transfer.peer, msg_type=transfer.msg_type,
+                        call_number=transfer.call_number,
+                        segment=segment.segment_number))
+                sent_once = True
                 yield from self.process.sendmsg(self.sock, marked.encode(),
                                                 transfer.peer)
                 index, _ = yield AnyOf(transfer.progress, transfer.done,
@@ -294,6 +313,11 @@ class PairedEndpoint:
                                          list(segs))
             self._sends[key] = transfer
             transfers.append(transfer)
+            if self.sim.bus.active:
+                self.sim.bus.emit(obs_events.MessageSent(
+                    t=self.sim.now, endpoint=self.addr, peer=peer,
+                    msg_type=msg_type, call_number=call_number,
+                    segments=len(segs), size=len(data)))
         yield from self.process.compute(self.config.user_cost_send)
         yield from self.process.syscall("setitimer")
         for segment in segs:
@@ -343,6 +367,12 @@ class PairedEndpoint:
             yield from self.process.sigblock()
             for segment in outstanding:
                 retry = dataclasses.replace(segment, please_ack=True)
+                if self.sim.bus.active:
+                    self.sim.bus.emit(obs_events.SegmentRetransmitted(
+                        t=self.sim.now, endpoint=self.addr,
+                        peer=transfer.peer, msg_type=transfer.msg_type,
+                        call_number=transfer.call_number,
+                        segment=segment.segment_number))
                 yield from self.process.sendmsg(self.sock, retry.encode(),
                                                 transfer.peer)
             yield from self.process.sigsetmask()
@@ -382,9 +412,17 @@ class PairedEndpoint:
             silence = self.sim.now - self._last_heard.get(peer, started)
             if silence >= config.crash_timeout:
                 self._return_waiters.pop(key, None)
+                if self.sim.bus.active:
+                    self.sim.bus.emit(obs_events.PeerCrashDeclared(
+                        t=self.sim.now, endpoint=self.addr, peer=peer,
+                        silence=silence))
                 raise PeerCrashed(peer)
             if silence >= config.probe_interval:
                 probe = seg.make_probe(call_number)
+                if self.sim.bus.active:
+                    self.sim.bus.emit(obs_events.ProbeSent(
+                        t=self.sim.now, endpoint=self.addr, peer=peer,
+                        call_number=call_number))
                 yield from self.process.sendmsg(self.sock, probe.encode(), peer)
 
     def call(self, peer: ProcessAddress, call_number: int, data: bytes):
@@ -407,6 +445,10 @@ class PairedEndpoint:
         self._require_open()
         sent_at = self.sim.now
         probe = seg.make_probe(0)
+        if self.sim.bus.active:
+            self.sim.bus.emit(obs_events.ProbeSent(
+                t=self.sim.now, endpoint=self.addr, peer=peer,
+                call_number=0))
         yield from self.process.sendmsg(self.sock, probe.encode(), peer)
         deadline = sent_at + timeout
         while self.sim.now < deadline:
@@ -461,6 +503,12 @@ class PairedEndpoint:
     def _handle_explicit_ack(self, src: ProcessAddress, segment: Segment) -> None:
         transfer = self._sends.get((src, segment.msg_type, segment.call_number))
         if transfer is not None:
+            if self.sim.bus.active:
+                self.sim.bus.emit(obs_events.ExplicitAckReceived(
+                    t=self.sim.now, endpoint=self.addr, peer=src,
+                    msg_type=segment.msg_type,
+                    call_number=segment.call_number,
+                    ack_number=segment.segment_number))
             transfer.ack_through(segment.segment_number)
 
     def _handle_data_segment(self, src: ProcessAddress, segment: Segment) -> None:
@@ -468,15 +516,28 @@ class PairedEndpoint:
         if segment.msg_type == MSG_RETURN:
             call_xfer = self._sends.get((src, MSG_CALL, segment.call_number))
             if call_xfer is not None:
+                if not call_xfer.done.fired and self.sim.bus.active:
+                    self.sim.bus.emit(obs_events.ImplicitAck(
+                        t=self.sim.now, endpoint=self.addr, peer=src,
+                        call_number=segment.call_number, by="return"))
                 call_xfer.complete()
         elif segment.msg_type == MSG_CALL:
             for key, transfer in list(self._sends.items()):
                 if (key[0] == src and key[1] == MSG_RETURN
                         and key[2] < segment.call_number):
+                    if not transfer.done.fired and self.sim.bus.active:
+                        self.sim.bus.emit(obs_events.ImplicitAck(
+                            t=self.sim.now, endpoint=self.addr, peer=src,
+                            call_number=key[2], by="call"))
                     transfer.complete()
 
         # Duplicate suppression for messages already delivered upward.
         if self._already_delivered(src, segment):
+            if self.sim.bus.active:
+                self.sim.bus.emit(obs_events.DuplicateSuppressed(
+                    t=self.sim.now, endpoint=self.addr, peer=src,
+                    msg_type=segment.msg_type,
+                    call_number=segment.call_number))
             self._queue_control(
                 seg.make_ack(segment.msg_type, segment.call_number,
                              segment.total_segments, segment.total_segments),
@@ -514,6 +575,12 @@ class PairedEndpoint:
     def _deliver(self, assembly: _IncomingAssembly, requested_ack: bool) -> None:
         src = assembly.peer
         key = (src, assembly.msg_type, assembly.call_number)
+        if self.sim.bus.active:
+            self.sim.bus.emit(obs_events.MessageDelivered(
+                t=self.sim.now, endpoint=self.addr, peer=src,
+                msg_type=assembly.msg_type,
+                call_number=assembly.call_number,
+                size=sum(len(d) for d in assembly.received.values())))
         if assembly.msg_type == MSG_CALL:
             self._remember_delivery(self._delivered_calls, src,
                                     assembly.call_number)

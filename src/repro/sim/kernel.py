@@ -23,6 +23,9 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
+from repro.obs import events as obs_events
+from repro.obs.bus import EventBus
+
 
 class SimulationError(Exception):
     """An error raised by the simulation kernel itself."""
@@ -171,6 +174,10 @@ class Process:
         self.result = result
         self.exception = exception
         self.killed = killed
+        if self.sim.bus.active:
+            self.sim.bus.emit(obs_events.ProcessExited(
+                t=self.sim.now, name=self.name, killed=killed,
+                failed=exception is not None and not killed))
         joiners, self._joiners = self._joiners, []
         for joiner, resume in joiners:
             if exception is not None and not killed:
@@ -288,6 +295,9 @@ class Simulator:
         self._processes: List[Process] = []
         self._failures: List[Tuple[Process, BaseException]] = []
         self._proc_names = itertools.count()
+        #: the observability event bus for this simulation world; every
+        #: layer built on this simulator emits its events here.
+        self.bus = EventBus()
 
     # -- scheduling --------------------------------------------------------
 
@@ -315,6 +325,9 @@ class Simulator:
         proc.daemon = daemon
         self._processes.append(proc)
         self._schedule_now(proc._step_send, None)
+        if self.bus.active:
+            self.bus.emit(obs_events.ProcessSpawned(
+                t=self.now, name=name, daemon=daemon))
         return proc
 
     def _record_failure(self, proc: Process, exc: BaseException) -> None:

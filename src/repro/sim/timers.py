@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional
 
+from repro.obs import events as obs_events
 from repro.sim.kernel import Simulator
 
 
@@ -115,6 +116,8 @@ class TimerService:
         self._alarm_deadline = None
         now = self.sim.now
         due = [t for t in self._timers if t.deadline <= now]
+        if due and self.sim.bus.active:
+            self.sim.bus.emit(obs_events.TimerFired(t=now, due=len(due)))
         for timer in due:
             timer.active = False
             self._timers.remove(timer)

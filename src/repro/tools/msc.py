@@ -6,6 +6,12 @@ one).  :func:`render_msc` draws the recording as a message sequence chart
 with one lane per host — the pictures in the paper's Figures 4.3/4.4,
 generated from a live run.
 
+The trace is an ordinary subscriber of the observability event bus
+(:mod:`repro.obs`): it listens for ``net.send`` events, which are emitted
+once per destination at the moment a datagram is handed to the wire —
+before any loss or crash decision, so dropped packets appear in the chart
+exactly as they would on a promiscuous Ethernet tap.
+
     with trace_network(world.net) as trace:
         world.run(body())
     print(render_msc(trace, hosts=["client", "s1", "s2"]))
@@ -17,7 +23,8 @@ import dataclasses
 from contextlib import contextmanager
 from typing import List, Optional, Sequence
 
-from repro.net.network import Datagram, Network
+from repro.net.network import Network
+from repro.obs import events as obs_events
 from repro.pairedmsg import segments as seg
 
 
@@ -30,15 +37,36 @@ class TracedPacket:
 
 
 class PacketTrace:
-    """A recording of every datagram handed to the wire."""
+    """A recording of every datagram handed to the wire.
 
-    def __init__(self):
+    Construct with a network to subscribe to its simulator's bus, or with
+    no arguments and feed :meth:`record` yourself.  Call :meth:`close`
+    (or use :func:`trace_network`) to detach.
+    """
+
+    def __init__(self, network: Optional[Network] = None):
         self.packets: List[TracedPacket] = []
+        self._bus = None
+        self._sub = None
+        if network is not None:
+            self._bus = network.sim.bus
+            self._sub = self._bus.subscribe(self._on_send,
+                                            kinds=(obs_events.PacketSent.kind,))
 
-    def record(self, time: float, datagram: Datagram) -> None:
+    def _on_send(self, event: obs_events.PacketSent) -> None:
+        self.packets.append(TracedPacket(
+            event.t, event.src.host, event.dst.host,
+            _summarize(event.payload)))
+
+    def record(self, time: float, datagram) -> None:
         self.packets.append(TracedPacket(
             time, datagram.src.host, datagram.dst.host,
             _summarize(datagram.payload)))
+
+    def close(self) -> None:
+        if self._bus is not None and self._sub is not None:
+            self._bus.unsubscribe(self._sub)
+            self._sub = None
 
     def between(self, start: float, end: float) -> List[TracedPacket]:
         return [p for p in self.packets if start <= p.time <= end]
@@ -69,18 +97,11 @@ def _summarize(payload: bytes) -> str:
 @contextmanager
 def trace_network(network: Network):
     """Context manager: record all transmissions while the body runs."""
-    trace = PacketTrace()
-    original = network._transmit
-
-    def spy(datagram: Datagram) -> None:
-        trace.record(network.sim.now, datagram)
-        original(datagram)
-
-    network._transmit = spy
+    trace = PacketTrace(network)
     try:
         yield trace
     finally:
-        network._transmit = original
+        trace.close()
 
 
 def render_msc(trace: PacketTrace,

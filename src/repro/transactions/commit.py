@@ -35,6 +35,7 @@ from repro.core.runtime import (
 )
 from repro.core.troupe import TroupeDescriptor
 from repro.net.addresses import ModuleAddress
+from repro.obs import events as obs_events
 from repro.rpc.messages import RemoteError
 from repro.transactions.lightweight import (
     Transaction,
@@ -90,12 +91,23 @@ class CommitCoordinator:
         return self.module_addr.module
 
     def _ready_to_commit(self, ctx: CallContext, args_by_peer) -> bytes:
+        sim = self.runtime.sim
+        process = self.runtime.process
         votes = []
         for peer, raw in args_by_peer.items():
-            _serial, ready = decode_vote(raw)
+            serial, ready = decode_vote(raw)
             votes.append(ready)
+            if sim.bus.active:
+                sim.bus.emit(obs_events.CommitVote(
+                    t=sim.now, host=process.host, proc=process.name,
+                    peer=peer, serial=serial, ready=ready))
         ok = ctx.group_complete and all(votes)
         self.decisions["commit" if ok else "abort"] += 1
+        if sim.bus.active:
+            sim.bus.emit(obs_events.CommitOutcome(
+                t=sim.now, host=process.host, proc=process.name,
+                decision="commit" if ok else "abort", votes=len(votes),
+                group_complete=ctx.group_complete))
         return VOTE_COMMIT if ok else VOTE_ABORT
 
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Set
 
+from repro.obs import events as obs_events
 from repro.sim.kernel import Simulator, Sleep
 
 
@@ -117,6 +118,10 @@ class DeadlockDetector:
             return None
         victim = max(cycle, key=self.age_fn)
         self.deadlocks_broken += 1
+        if self.sim.bus.active:
+            self.sim.bus.emit(obs_events.DeadlockDetected(
+                t=self.sim.now, cycle=tuple(str(n) for n in cycle),
+                victim=str(victim)))
         self.abort_fn(victim)
         return victim
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Hashable, List, Optional, Set
 
+from repro.obs import events as obs_events
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 
@@ -84,7 +85,16 @@ class LockTable:
         if mode not in (SHARED, EXCLUSIVE):
             raise ValueError("unknown lock mode: %r" % mode)
         lock = self._locks.setdefault(key, _ObjectLock(key))
+        wait_started = None
         while not self._grantable(lock, txn, mode):
+            if wait_started is None:
+                wait_started = self.sim.now
+                if self.sim.bus.active:
+                    self.sim.bus.emit(obs_events.LockWait(
+                        t=self.sim.now, txn=str(txn), key=repr(key),
+                        mode=mode,
+                        holders=tuple(sorted(str(h)
+                                             for h in lock.holders))))
             waiter = _Waiter(txn, mode, Event(self.sim, "lock-%r" % (key,)))
             lock.queue.append(waiter)
             for listener in self.block_listeners:
@@ -94,6 +104,10 @@ class LockTable:
                 raise TransactionAborted(txn, "aborted while waiting for %r"
                                          % (key,))
         self._grant(lock, txn, mode)
+        if wait_started is not None and self.sim.bus.active:
+            self.sim.bus.emit(obs_events.LockGranted(
+                t=self.sim.now, txn=str(txn), key=repr(key), mode=mode,
+                waited=self.sim.now - wait_started))
 
     def try_acquire(self, txn, key: Hashable, mode: str) -> bool:
         """Non-blocking acquire; True on success."""

@@ -1,0 +1,136 @@
+"""Tests for the observability event bus (repro.obs.bus)."""
+
+import dataclasses
+
+from repro.core import ExportedModule
+from repro.harness import World
+from repro.obs import EventBus, events
+
+
+def _event(kind_cls, **kw):
+    kw.setdefault("t", 0.0)
+    return kind_cls(**kw)
+
+
+def test_inactive_until_subscribed():
+    bus = EventBus()
+    assert not bus.active
+    assert bus.subscriber_count() == 0
+    sub = bus.subscribe(lambda e: None)
+    assert bus.active
+    assert bus.subscriber_count() == 1
+    bus.unsubscribe(sub)
+    assert not bus.active
+    assert bus.subscriber_count() == 0
+
+
+def test_unsubscribe_is_idempotent():
+    bus = EventBus()
+    sub = bus.subscribe(lambda e: None)
+    bus.unsubscribe(sub)
+    bus.unsubscribe(sub)          # second detach is a no-op
+    assert not bus.active
+
+
+def test_emit_without_subscribers_is_a_no_op():
+    bus = EventBus()
+    bus.emit(_event(events.TimerFired, due=1))   # must not raise
+
+
+def test_subscribe_all_receives_everything():
+    bus = EventBus()
+    got = []
+    bus.subscribe(got.append)
+    e1 = _event(events.TimerFired, due=1)
+    e2 = _event(events.ProcessSpawned, name="p", daemon=False)
+    bus.emit(e1)
+    bus.emit(e2)
+    assert got == [e1, e2]
+
+
+def test_kind_prefix_filtering():
+    bus = EventBus()
+    sim_only, exact, multi = [], [], []
+    bus.subscribe(sim_only.append, kinds="sim.")
+    bus.subscribe(exact.append, kinds="sim.timer")
+    bus.subscribe(multi.append, kinds=("sim.spawn", "net."))
+    timer = _event(events.TimerFired, due=1)
+    spawn = _event(events.ProcessSpawned, name="p", daemon=False)
+    drop = _event(events.PacketDropped, src="a", dst="b", reason="loss")
+    for e in (timer, spawn, drop):
+        bus.emit(e)
+    assert sim_only == [timer, spawn]
+    assert exact == [timer]
+    assert multi == [spawn, drop]
+
+
+def test_handlers_run_in_subscription_order():
+    bus = EventBus()
+    order = []
+    bus.subscribe(lambda e: order.append("first"))
+    bus.subscribe(lambda e: order.append("second"))
+    bus.emit(_event(events.TimerFired, due=1))
+    assert order == ["first", "second"]
+
+
+def test_handler_may_unsubscribe_during_emit():
+    bus = EventBus()
+    got = []
+    sub = bus.subscribe(lambda e: (got.append(e), bus.unsubscribe(sub)))
+    bus.emit(_event(events.TimerFired, due=1))
+    bus.emit(_event(events.TimerFired, due=2))
+    assert len(got) == 1
+    assert not bus.active
+
+
+def test_events_are_dataclasses_with_kind_and_time():
+    for kind, cls in events.ALL_EVENTS.items():
+        assert cls.kind == kind
+        fields = {f.name for f in dataclasses.fields(cls)}
+        assert "t" in fields
+
+
+def _echo_module():
+    def echo(ctx, args):
+        yield from ctx.compute(1.0)
+        return b"echo:" + args
+    return ExportedModule("echo", {0: echo})
+
+
+def _one_call_world():
+    world = World(machines=3, seed=11)
+    troupe, _ = world.make_troupe("echo", _echo_module, degree=2)
+    client = world.make_client()
+
+    def body():
+        yield from client.call_troupe(troupe, 0, 0, b"hi")
+
+    return world, body
+
+
+def test_full_stack_run_with_no_subscribers_emits_nothing(monkeypatch):
+    world, body = _one_call_world()
+    emitted = []
+    original = EventBus.emit
+    monkeypatch.setattr(
+        EventBus, "emit",
+        lambda self, e: (emitted.append(e), original(self, e)))
+    assert not world.sim.bus.active
+    world.run(body())
+    # Every emission site checks bus.active first, so an unobserved run
+    # never constructs a single event object.
+    assert emitted == []
+
+
+def test_full_stack_run_publishes_every_layer():
+    world, body = _one_call_world()
+    kinds = set()
+    world.sim.bus.subscribe(lambda e: kinds.add(e.kind))
+    world.run(body())
+    # One replicated call exercises the kernel, the wire, the paired
+    # message protocol and the RPC layer.
+    for expected in ("sim.spawn", "net.send", "net.deliver", "pm.send",
+                     "pm.deliver", "rpc.call_start", "rpc.exec_start",
+                     "rpc.exec_end", "rpc.result", "rpc.collate",
+                     "rpc.call_end", "rpc.return", "rpc.gather"):
+        assert expected in kinds, expected

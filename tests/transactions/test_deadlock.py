@@ -1,5 +1,6 @@
 """Tests for deadlock detection."""
 
+import networkx as nx
 from hypothesis import given, strategies as st
 
 from repro.sim import Simulator, Sleep
@@ -47,8 +48,10 @@ def test_cycle_order_is_a_real_cycle():
 def test_property_find_cycle_returns_valid_cycle_or_none(graph):
     cycle = find_cycle(graph)
     if cycle is None:
-        # Verify acyclicity with a topological sort.
-        import networkx as nx
+        # Verify acyclicity with a topological sort.  networkx is
+        # imported at module scope: paying its one-time import cost
+        # inside the test body trips the hypothesis deadline on loaded
+        # machines (flaky full-suite failures on the empty graph).
         g = nx.DiGraph()
         for node, succs in graph.items():
             for succ in succs:
