@@ -143,13 +143,13 @@ class RingmasterMember:
                 name=name, found=found))
 
     def _emit_member(self, op: str, name: str, new_id: TroupeId,
-                     members: int) -> None:
+                     members: int, old_id: TroupeId = 0) -> None:
         sim = self.runtime.sim
         if sim.bus.active:
             process = self.runtime.process
             sim.bus.emit(obs_events.MembershipChanged(
                 t=sim.now, host=process.host, proc=process.name, op=op,
-                name=name, new_id=new_id, members=members))
+                name=name, new_id=new_id, members=members, old_id=old_id))
 
     # -- procedures ---------------------------------------------------------
 
@@ -185,7 +185,8 @@ class RingmasterMember:
         del self.by_id[old_id]
         self.by_name[name] = (new_id, new_members)
         self.by_id[new_id] = name
-        self._emit_member("add", name, new_id, len(new_members))
+        self._emit_member("add", name, new_id, len(new_members),
+                          old_id=old_id)
         # Figure 6.2: membership and troupe ID change together, and every
         # member (including the new one) learns the new ID.
         yield from self._set_troupe_id_at(name, new_id, new_members, ctx)
@@ -203,7 +204,8 @@ class RingmasterMember:
         new_members = [m for m in members if m != member]
         new_id = self._new_troupe_id()
         del self.by_id[old_id]
-        self._emit_member("remove", name, new_id, len(new_members))
+        self._emit_member("remove", name, new_id, len(new_members),
+                          old_id=old_id)
         if not new_members:
             del self.by_name[name]
             return wire.encode_u64(new_id)

@@ -217,10 +217,47 @@ def _scenario_circus(iterations: int):
     return world, body
 
 
+def _scenario_lossy():
+    """A 3-member troupe under a lossy, duplicating wire plus a machine
+    crash mid-run: every recovery path (retransmission, duplicate
+    suppression, crash declaration) exercises under the monitors.  The
+    seed is fixed so the run — and its silence — is reproducible."""
+    from repro.core import TroupeFailure
+    from repro.harness import World
+    from repro.net.network import NetworkConfig
+
+    world = World(machines=5, seed=1234,
+                  net_config=NetworkConfig(loss_probability=0.05,
+                                           duplicate_probability=0.02))
+    troupe, _ = world.make_troupe("echo", _echo_module, degree=3)
+    client = world.make_client()
+
+    def body():
+        for i in range(10):
+            yield from client.call_troupe(troupe, 0, 0, b"lossy %d" % i)
+        world.machine(troupe.members[0].process.host).crash()
+        try:
+            for i in range(5):
+                yield from client.call_troupe(troupe, 0, 0, b"after %d" % i)
+        except TroupeFailure:
+            pass
+
+    return world, body
+
+
 #: target name -> scenario factory (callable of no args).
 TRACE_SCENARIOS = {
     "quickstart": _scenario_quickstart,
     "protocol_trace": _scenario_protocol_trace,
+}
+
+#: scenarios ``repro check`` can monitor; the circus and lossy shapes
+#: join the traceable ones.
+CHECK_SCENARIOS = {
+    "quickstart": _scenario_quickstart,
+    "protocol_trace": _scenario_protocol_trace,
+    "circus": None,          # parameterized by --iterations
+    "lossy": _scenario_lossy,
 }
 
 
@@ -256,7 +293,8 @@ def cmd_trace(args) -> None:
           % (len(payload["traceEvents"]), out))
 
 
-def cmd_metrics(args) -> None:
+def cmd_metrics(args) -> int:
+    from repro.bench.report import Table
     from repro.obs import MetricsCollector
 
     bench = args.bench
@@ -267,7 +305,83 @@ def cmd_metrics(args) -> None:
         world, body = factory()
     with MetricsCollector(world.sim.bus) as collector:
         world.run(body())
-    print(collector.registry.render())
+    if getattr(args, "json", False):
+        # The same {"tables": [...]} shape --bench-json writes, so CI can
+        # diff metrics snapshots with the same tooling as benchmarks.
+        table = Table("metrics: %s" % bench, ["metric", "value"])
+        for key, value in collector.registry.snapshot().items():
+            table.add_row(key, value)
+        print(json.dumps({"tables": [table.to_dict()]}, indent=2,
+                         sort_keys=False))
+    else:
+        print(collector.registry.render())
+    return 0
+
+
+def _check_one(name: str, iterations: int, dump_dir: str) -> int:
+    """Run one scenario under the monitor suite; dump + report on any
+    violation or crash.  Returns the number of violations found."""
+    import os
+
+    from repro.obs.monitor import watch
+    from repro.obs.recorder import render_postmortem
+
+    if name == "circus":
+        world, body = _scenario_circus(iterations)
+    else:
+        world, body = CHECK_SCENARIOS[name]()
+    crashed = None
+    with watch(world.sim, trace=True) as probe:
+        try:
+            world.run(body())
+        except Exception as exc:   # recorded by watch() via re-raise path
+            probe.recorder.record_crash(exc, t=world.sim.now)
+            crashed = exc
+    violations = probe.violations
+    if not violations and crashed is None:
+        print("check %-16s ok (%d events stamped, %d monitors silent)"
+              % (name, probe.clocks.stamped, len(probe.suite.monitors)))
+        return 0
+    os.makedirs(dump_dir, exist_ok=True)
+    path = os.path.join(dump_dir, "%s_postmortem.json" % name)
+    report = probe.dump(path)
+    print(render_postmortem(report))
+    print("check %-16s FAILED: %d violation(s)%s -> %s"
+          % (name, len(violations),
+             ", crashed: %r" % crashed if crashed is not None else "",
+             path))
+    return max(len(violations), 1)
+
+
+def cmd_check(args) -> int:
+    names = sorted(CHECK_SCENARIOS) if args.scenario == "all" \
+        else [_check_scenario_name(args.scenario)]
+    failures = 0
+    for name in names:
+        failures += _check_one(name, args.iterations, args.dump_dir)
+    return 1 if failures else 0
+
+
+def _check_scenario_name(target: str) -> str:
+    name = target.replace("\\", "/").rstrip("/")
+    if name.endswith(".py"):
+        name = name[:-3]
+    if "/" in name:
+        name = name.rsplit("/", 1)[1]
+    if name not in CHECK_SCENARIOS:
+        raise SystemExit(
+            "unknown scenario %r (choose from: all, %s)"
+            % (target, ", ".join(sorted(CHECK_SCENARIOS))))
+    return name
+
+
+def cmd_postmortem(args) -> int:
+    from repro.obs.recorder import render_postmortem
+
+    with open(args.dump) as fh:
+        report = json.load(fh)
+    print(render_postmortem(report))
+    return 1 if (report.get("violations") or report.get("crash")) else 0
 
 
 COMMANDS = {
@@ -310,11 +424,32 @@ def main(argv=None) -> int:
     metrics_cmd.add_argument("--iterations", type=int, default=30,
                              help="calls for the circus workload "
                                   "(default 30)")
+    metrics_cmd.add_argument("--json", action="store_true",
+                             help="emit the snapshot as --bench-json-style "
+                                  "{\"tables\": [...]} JSON")
+    check_cmd = sub.add_parser(
+        "check", help="run a scenario under the invariant monitors; exit "
+                      "nonzero (with a post-mortem dump) on any violation")
+    check_cmd.add_argument(
+        "scenario", help="scenario: %s, or all"
+                         % ", ".join(sorted(CHECK_SCENARIOS)))
+    check_cmd.add_argument("--iterations", type=int, default=30,
+                           help="calls for the circus scenario (default 30)")
+    check_cmd.add_argument("--dump-dir", default=".",
+                           help="where post-mortem dumps go (default .)")
+    pm_cmd = sub.add_parser(
+        "postmortem", help="render a post-mortem dump written by "
+                           "'repro check'")
+    pm_cmd.add_argument("dump", help="path to a *_postmortem.json file")
     args = parser.parse_args(argv)
     if args.command == "trace":
         cmd_trace(args)
     elif args.command == "metrics":
-        cmd_metrics(args)
+        return cmd_metrics(args)
+    elif args.command == "check":
+        return cmd_check(args)
+    elif args.command == "postmortem":
+        return cmd_postmortem(args)
     elif args.command == "all":
         for name in sorted(COMMANDS):
             COMMANDS[name](args)

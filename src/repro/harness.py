@@ -36,8 +36,9 @@ class World:
                  net_config: Optional[NetworkConfig] = None,
                  runtime_config: Optional[RuntimeConfig] = None,
                  cost_model: Optional[SyscallCostModel] = None,
-                 machine_names: Optional[List[str]] = None):
-        self.sim = Simulator()
+                 machine_names: Optional[List[str]] = None,
+                 monitors=None):
+        self.sim = Simulator(monitors=monitors)
         self.net = Network(self.sim, seed=seed, config=net_config)
         self.runtime_config = runtime_config or RuntimeConfig()
         if machine_names is None:
@@ -176,3 +177,18 @@ class World:
 
     def spawn(self, gen, name: Optional[str] = None):
         return self.sim.spawn(gen, name=name)
+
+    # -- monitoring -----------------------------------------------------
+
+    def watch(self, monitors=None, capacity: int = 2048,
+              trace: bool = False):
+        """Invariant-monitor this world for a ``with`` block — see
+        :func:`repro.obs.monitor.watch`::
+
+            with world.watch() as probe:
+                world.run(body())
+            assert not probe.violations
+        """
+        from repro.obs.monitor import watch
+        return watch(self.sim, monitors=monitors, capacity=capacity,
+                     trace=trace)

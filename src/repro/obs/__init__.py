@@ -1,9 +1,9 @@
-"""Unified observability: event bus, virtual-time metrics, call tracing.
+"""Unified observability: event bus, metrics, tracing, invariants.
 
 Every :class:`~repro.sim.kernel.Simulator` owns an :class:`EventBus`
 (``sim.bus``); every protocol layer emits typed events
 (:mod:`repro.obs.events`) to it when — and only when — a subscriber is
-attached.  On top of the bus sit two standard observers:
+attached.  On top of the bus sit the standard observers:
 
 * :class:`MetricsCollector` — aggregates events into a
   :class:`MetricsRegistry` of counters, gauges and virtual-time
@@ -11,21 +11,41 @@ attached.  On top of the bus sit two standard observers:
 * :class:`CallTracer` — reconstructs replicated calls as span trees
   (client call → per-replica execution → collation) and exports Chrome
   ``trace_event`` JSON keyed by virtual time.
+* :class:`MonitorSuite` / :func:`watch` — online invariant monitors
+  checking the paper's correctness claims over the live event stream,
+  with every event stamped by Lamport + dynamic vector clocks
+  (:class:`ClockDomain`) so violations carry their causal cut.
+* :class:`FlightRecorder` — a bounded ring of recent events that dumps
+  a causally ordered post-mortem on violation or crash.
 
-See ``docs/OBSERVABILITY.md`` for the event taxonomy, metric names and
-trace format, and ``repro trace`` / ``repro metrics`` on the CLI.
+See ``docs/OBSERVABILITY.md`` for the event taxonomy, metric names,
+trace format and the invariant catalog, and ``repro trace`` /
+``repro metrics`` / ``repro check`` / ``repro postmortem`` on the CLI.
 """
 
 from repro.obs import events
 from repro.obs.bus import EventBus, Subscription
+from repro.obs.clocks import (ClockDomain, concurrent, happens_before,
+                              vc_leq, vc_merge)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsCollector,
                                MetricsRegistry)
+from repro.obs.monitor import (DEFAULT_MONITORS, CollationMonitor,
+                               CommitMonitor, CrashSilenceMonitor,
+                               ExactlyOnceMonitor, IncarnationMonitor,
+                               InvariantMonitor, MonitorSuite,
+                               TroupeDeterminismMonitor, watch)
+from repro.obs.recorder import FlightRecorder, render_postmortem
 from repro.obs.trace import CallTracer, trace_calls
 
 __all__ = [
     "events",
     "EventBus",
     "Subscription",
+    "ClockDomain",
+    "vc_leq",
+    "vc_merge",
+    "happens_before",
+    "concurrent",
     "Counter",
     "Gauge",
     "Histogram",
@@ -33,4 +53,16 @@ __all__ = [
     "MetricsRegistry",
     "CallTracer",
     "trace_calls",
+    "InvariantMonitor",
+    "ExactlyOnceMonitor",
+    "TroupeDeterminismMonitor",
+    "CollationMonitor",
+    "CommitMonitor",
+    "CrashSilenceMonitor",
+    "IncarnationMonitor",
+    "DEFAULT_MONITORS",
+    "MonitorSuite",
+    "watch",
+    "FlightRecorder",
+    "render_postmortem",
 ]

@@ -61,7 +61,7 @@ class EventBus:
     exactly one kind, and ``None`` everything.
     """
 
-    __slots__ = ("active", "_subs")
+    __slots__ = ("active", "_subs", "stamper")
 
     def __init__(self):
         #: True iff at least one subscriber is attached.  Emission sites
@@ -69,6 +69,11 @@ class EventBus:
         #: no-subscriber fast path.
         self.active = False
         self._subs: List[Subscription] = []
+        #: Optional causal-clock stamper (repro.obs.clocks.ClockDomain):
+        #: ``stamper.stamp(event)`` runs once per emitted event, before
+        #: dispatch, but only past the no-subscriber fast path — with
+        #: nothing attached, no clock is ever touched.
+        self.stamper = None
 
     def subscribe(self, handler: Handler,
                   kinds: Union[None, str, Iterable[str]] = None
@@ -95,13 +100,36 @@ class EventBus:
 
     def emit(self, event) -> None:
         """Deliver ``event`` (anything with a ``kind`` attribute) to every
-        matching subscriber, synchronously, in subscription order."""
+        matching subscriber, synchronously, in subscription order.
+
+        A raising handler must not unwind into the emitting protocol
+        code — that would abort the simulation over an observer bug.
+        The exception is contained and republished as a
+        :class:`~repro.obs.events.MonitorError` event (except when the
+        failing delivery *was* a ``mon.error``, which is dropped rather
+        than allowed to recurse).
+        """
         if not self._subs:
             return
+        if self.stamper is not None:
+            self.stamper.stamp(event)
         kind = event.kind
+        failures = None
         for sub in tuple(self._subs):
             if sub.matches(kind):
-                sub.handler(event)
+                try:
+                    sub.handler(event)
+                except Exception as exc:   # noqa: BLE001 — isolation
+                    if failures is None:
+                        failures = []
+                    failures.append((sub, exc))
+        if failures and kind != "mon.error":
+            from repro.obs import events as _events
+            t = getattr(event, "t", 0.0)
+            for sub, exc in failures:
+                self.emit(_events.MonitorError(
+                    t=t, handler=repr(sub.handler), event_kind=kind,
+                    error="%s: %s" % (type(exc).__name__, exc)))
 
     def subscriber_count(self) -> int:
         return len(self._subs)

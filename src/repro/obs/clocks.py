@@ -1,0 +1,293 @@
+"""Causal clocks: Lamport and dynamic vector stamps on every bus event.
+
+Every event emitted while a :class:`ClockDomain` is installed on the bus
+is stamped, *at emission time*, with three extra attributes:
+
+``event.node``
+    the logical node the event occurred on — ``"host/proc"`` for
+    protocol events, ``"kernel"`` for simulator events, ``"wire:host"``
+    for packets whose owning process is not yet known;
+``event.lamport``
+    the node's Lamport clock after the event;
+``event.vc``
+    a copy of the node's vector clock after the event (a plain
+    ``{node: count}`` dict).
+
+The vector clocks are *dynamic*: there is no fixed process count, and a
+node's entry appears in other clocks only once it has emitted an event
+that causally reaches them — so the clocks grow as troupe members are
+added via ``add_troupe_member``, exactly the situation a static
+N-process vector cannot handle (the dynamic vector-clock scheme).
+
+Happens-before edges are threaded through the protocol layers' existing
+emission sites:
+
+- same node: every stamped event ticks its node's clocks, so events of
+  one simulated process are totally ordered;
+- paired messages: ``pm.send`` (and each ``pm.retransmit``) records the
+  sender's stamp under the message identity ``(sender, msg_type,
+  call_number, receiver)``; the matching ``pm.deliver`` merges it — the
+  exact §4.2 message edge;
+- replicated calls: ``rpc.call_start`` records under the propagated
+  trace context ``(thread_id, call_number, troupe_id)`` and every
+  member's ``rpc.exec_start`` merges it; ``rpc.return`` records under
+  ``(thread_id, call_number)`` and the client's ``rpc.result`` merges
+  the members' return frontier;
+- violations: a ``mon.violation`` event merges the stamps of its
+  evidence events, so its vector clock *is* the causal frontier of the
+  violation — the flight recorder cuts the ring buffer with it.
+
+Control traffic (explicit acks, probe replies) carries no recorded
+edge: it only confirms reception of data segments whose edge already
+exists.  Wire-level events are stamped on the sending/receiving node
+but create no edge of their own — the first layer with a reliable
+message identity is the paired message protocol.
+
+Zero overhead when unobserved: the stamper runs inside
+:meth:`EventBus.emit`, *after* the no-subscriber fast path, so with
+monitors detached no clock is ever touched.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Dict, Optional, Tuple
+
+#: A vector clock: node name -> event count.  Plain dicts keep stamping
+#: cheap; use the module helpers to compare.
+VC = Dict[str, int]
+
+
+# ---------------------------------------------------------------------------
+# Vector clock algebra
+# ---------------------------------------------------------------------------
+
+def vc_leq(a: VC, b: VC) -> bool:
+    """True iff ``a`` <= ``b`` pointwise (``a`` is in ``b``'s causal past
+    or equal to it); absent entries count as zero."""
+    for node, count in a.items():
+        if count > b.get(node, 0):
+            return False
+    return True
+
+
+def vc_merge(into: VC, other: VC) -> VC:
+    """Pointwise max, in place; returns ``into``."""
+    for node, count in other.items():
+        if into.get(node, 0) < count:
+            into[node] = count
+    return into
+
+
+def happens_before(a: VC, b: VC) -> bool:
+    """Strict happens-before: ``a`` <= ``b`` and ``a`` != ``b``."""
+    return vc_leq(a, b) and a != b
+
+
+def concurrent(a: VC, b: VC) -> bool:
+    """Neither happens before the other."""
+    return not vc_leq(a, b) and not vc_leq(b, a)
+
+
+class _Bounded(collections.OrderedDict):
+    """An insertion-ordered dict that evicts its oldest entry past a cap
+    (in-flight edge tables must not grow with run length)."""
+
+    def __init__(self, cap: int):
+        super().__init__()
+        self.cap = cap
+
+    def put(self, key, value) -> None:
+        if key in self:
+            del self[key]
+        self[key] = value
+        while len(self) > self.cap:
+            self.popitem(last=False)
+
+
+#: An edge payload: (vector clock snapshot, lamport value).
+Stamp = Tuple[VC, int]
+
+
+def _host_of(addr) -> str:
+    """The host part of a ProcessAddress (or an ``"host:port"`` string —
+    synthetic events in tests carry plain strings)."""
+    host = getattr(addr, "host", None)
+    if host is not None:
+        return host
+    return str(addr).split(":", 1)[0]
+
+
+class ClockDomain:
+    """Per-simulation clock state; install on a bus with :meth:`install`.
+
+    One domain serves one simulation world.  Nodes (and their vector
+    clock entries) are created lazily the first time they emit.
+    """
+
+    def __init__(self, inflight_cap: int = 8192):
+        #: node -> its current vector clock (shared, mutated in place;
+        #: events get copies).
+        self._vc: Dict[str, VC] = {}
+        self._lamport: Dict[str, int] = {}
+        #: endpoint address string -> node, learned from pm.* events so
+        #: wire events can be attributed to the owning process.
+        self._addr_node: Dict[str, str] = {}
+        self._pm_edges = _Bounded(inflight_cap)
+        self._call_edges = _Bounded(inflight_cap)
+        self._return_edges = _Bounded(inflight_cap)
+        self.stamped = 0
+        self._bus = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def install(self, bus) -> "ClockDomain":
+        """Become the bus's stamper (one stamper per bus)."""
+        bus.stamper = self
+        self._bus = bus
+        return self
+
+    def uninstall(self) -> None:
+        if self._bus is not None and self._bus.stamper is self:
+            self._bus.stamper = None
+        self._bus = None
+
+    def nodes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._vc))
+
+    def clock_of(self, node: str) -> VC:
+        return dict(self._vc.get(node, {}))
+
+    # -- stamping ----------------------------------------------------------
+
+    def stamp(self, event) -> None:
+        """Attach ``node`` / ``lamport`` / ``vc`` to ``event``, merging
+        any incoming happens-before edge and recording outgoing ones."""
+        kind = event.kind
+        node = self._node_of(event, kind)
+        vc = self._vc.get(node)
+        if vc is None:
+            vc = self._vc[node] = {}
+        lamport = self._lamport.get(node, 0)
+        incoming = self._incoming(event, kind)
+        if incoming is not None:
+            src_vc, src_lamport = incoming
+            vc_merge(vc, src_vc)
+            if src_lamport > lamport:
+                lamport = src_lamport
+        vc[node] = vc.get(node, 0) + 1
+        lamport += 1
+        self._lamport[node] = lamport
+        event.node = node
+        event.lamport = lamport
+        event.vc = dict(vc)
+        self.stamped += 1
+        self._outgoing(event, kind, vc, lamport)
+
+    # -- node attribution --------------------------------------------------
+
+    def _node_of(self, event, kind: str) -> str:
+        if kind.startswith("pm."):
+            endpoint = event.endpoint
+            proc = getattr(event, "proc", "")
+            if proc:
+                node = "%s/%s" % (_host_of(endpoint), proc)
+            else:
+                node = str(endpoint)
+            self._addr_node[str(endpoint)] = node
+            return node
+        if kind.startswith(("rpc.", "txn.")):
+            return "%s/%s" % (event.host, event.proc)
+        if kind.startswith("bind."):
+            host = getattr(event, "host", "")
+            if host:
+                return "%s/%s" % (host, event.proc)
+            return "ringmaster"
+        if kind.startswith("net."):
+            if kind in ("net.deliver", "net.dup"):
+                addr = event.dst
+            else:
+                addr = event.src
+            mapped = self._addr_node.get(str(addr))
+            if mapped is not None:
+                return mapped
+            return "wire:%s" % (_host_of(addr) if addr is not None else "?")
+        if kind.startswith("sim."):
+            return "kernel"
+        if kind == "mon.violation":
+            return "monitor:%s" % event.monitor
+        if kind.startswith("mon."):
+            return "monitor"
+        return "world"
+
+    # -- happens-before edges ---------------------------------------------
+
+    def _incoming(self, event, kind: str) -> Optional[Stamp]:
+        if kind == "pm.deliver":
+            # The sender recorded under its own (endpoint, peer) roles;
+            # swap them to look the edge up from the receiving side.
+            return self._pm_edges.pop(
+                (str(event.peer), event.msg_type, event.call_number,
+                 str(event.endpoint)), None)
+        if kind == "rpc.exec_start":
+            return self._call_edges.get(
+                (event.thread_id, event.call_number, event.troupe_id))
+        if kind == "rpc.result":
+            return self._return_edges.get(
+                (event.thread_id, event.call_number))
+        if kind == "mon.violation":
+            frontier: VC = {}
+            lamport = 0
+            for cause in getattr(event, "evidence", ()):
+                cause_vc = getattr(cause, "vc", None)
+                if cause_vc:
+                    vc_merge(frontier, cause_vc)
+                lamport = max(lamport, getattr(cause, "lamport", 0))
+            if frontier:
+                return frontier, lamport
+        return None
+
+    def _outgoing(self, event, kind: str, vc: VC, lamport: int) -> None:
+        if kind in ("pm.send", "pm.retransmit"):
+            # A retransmission refreshes the edge: the delivery that
+            # finally completes the message has seen the latest segment.
+            self._pm_edges.put(
+                (str(event.endpoint), event.msg_type, event.call_number,
+                 str(event.peer)),
+                (dict(vc), lamport))
+        elif kind == "rpc.call_start":
+            key = (event.thread_id, event.call_number, event.troupe_id)
+            prior = self._call_edges.get(key)
+            stamp = (dict(vc), lamport)
+            if prior is not None:
+                # Many-to-many: every client troupe member records; the
+                # execution depends on the whole calling frontier.
+                stamp = (vc_merge(prior[0], stamp[0]),
+                         max(prior[1], lamport))
+            self._call_edges.put(key, stamp)
+        elif kind == "rpc.return":
+            key = (event.thread_id, event.call_number)
+            prior = self._return_edges.get(key)
+            stamp = (dict(vc), lamport)
+            if prior is not None:
+                stamp = (vc_merge(prior[0], stamp[0]),
+                         max(prior[1], lamport))
+            self._return_edges.put(key, stamp)
+
+
+def stamp_of(event) -> Optional[Stamp]:
+    """The (vc, lamport) stamp of an event, or None if never stamped."""
+    vc = getattr(event, "vc", None)
+    if vc is None:
+        return None
+    return vc, getattr(event, "lamport", 0)
+
+
+def causal_sort_key(event) -> Tuple[int, float, int]:
+    """Sort key yielding a causally consistent linear order for stamped
+    events: Lamport clocks respect happens-before, virtual time and the
+    vector-clock magnitude break ties deterministically."""
+    vc = getattr(event, "vc", None)
+    return (getattr(event, "lamport", 0),
+            getattr(event, "t", 0.0),
+            sum(vc.values()) if vc else 0)

@@ -121,6 +121,7 @@ class MessageSent(ObsEvent):
     call_number: int = 0
     segments: int = 0
     size: int = 0
+    proc: str = ""           # owning process name (causal attribution)
 
 
 @dataclasses.dataclass
@@ -131,6 +132,7 @@ class SegmentRetransmitted(ObsEvent):
     msg_type: int = 0
     call_number: int = 0
     segment: int = 0
+    proc: str = ""
 
 
 @dataclasses.dataclass
@@ -142,6 +144,7 @@ class DuplicateSuppressed(ObsEvent):
     peer: Any = None
     msg_type: int = 0
     call_number: int = 0
+    proc: str = ""
 
 
 @dataclasses.dataclass
@@ -152,6 +155,7 @@ class ExplicitAckReceived(ObsEvent):
     msg_type: int = 0
     call_number: int = 0
     ack_number: int = 0
+    proc: str = ""
 
 
 @dataclasses.dataclass
@@ -164,6 +168,7 @@ class ImplicitAck(ObsEvent):
     peer: Any = None
     call_number: int = 0
     by: str = "return"       # 'return' | 'call'
+    proc: str = ""
 
 
 @dataclasses.dataclass
@@ -172,6 +177,7 @@ class ProbeSent(ObsEvent):
     endpoint: Any = None
     peer: Any = None
     call_number: int = 0
+    proc: str = ""
 
 
 @dataclasses.dataclass
@@ -180,6 +186,8 @@ class PeerCrashDeclared(ObsEvent):
     endpoint: Any = None
     peer: Any = None
     silence: float = 0.0     # ms since last heard
+    call_number: int = 0     # the transfer whose silence triggered it
+    proc: str = ""
 
 
 @dataclasses.dataclass
@@ -188,6 +196,7 @@ class TransferTimedOut(ObsEvent):
     endpoint: Any = None
     peer: Any = None
     call_number: int = 0
+    proc: str = ""
 
 
 @dataclasses.dataclass
@@ -200,6 +209,7 @@ class MessageDelivered(ObsEvent):
     msg_type: int = 0
     call_number: int = 0
     size: int = 0
+    proc: str = ""
 
 
 # ---------------------------------------------------------------------------
@@ -384,6 +394,7 @@ class CommitOutcome(ObsEvent):
     decision: str = "commit"     # 'commit' | 'abort'
     votes: int = 0
     group_complete: bool = True
+    serials: Tuple[int, ...] = ()   # per-peer serials, vote order
 
 
 # ---------------------------------------------------------------------------
@@ -409,6 +420,7 @@ class MembershipChanged(ObsEvent):
     name: str = ""
     new_id: int = 0
     members: int = 0
+    old_id: int = 0          # incarnation being replaced (0: fresh)
 
 
 @dataclasses.dataclass
@@ -432,6 +444,38 @@ class StateTransferred(ObsEvent):
     size: int = 0
 
 
+# ---------------------------------------------------------------------------
+# mon.* — the invariant monitors (repro.obs.monitor)
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class InvariantViolation(ObsEvent):
+    """An online monitor caught the protocol breaking one of the paper's
+    correctness claims.  ``evidence`` holds the bus events (in emission
+    order) whose combination violates the predicate; when causal clocks
+    are installed the violation's own vector clock is the merge of the
+    evidence clocks — the causal frontier the flight recorder cuts at."""
+
+    kind: ClassVar[str] = "mon.violation"
+    monitor: str = ""        # monitor class name
+    invariant: str = ""      # short invariant slug, e.g. 'exactly-once'
+    section: str = ""        # paper section the claim comes from
+    message: str = ""
+    subject: str = ""        # the entity that violated (call, troupe, …)
+    evidence: Tuple[Any, ...] = ()
+
+
+@dataclasses.dataclass
+class MonitorError(ObsEvent):
+    """A bus subscriber raised; the exception was contained by the bus
+    instead of unwinding into (and killing) the emitting protocol code."""
+
+    kind: ClassVar[str] = "mon.error"
+    handler: str = ""        # repr of the failing handler
+    event_kind: str = ""     # kind of the event being delivered
+    error: str = ""          # repr of the exception
+
+
 #: every event class, keyed by kind — for documentation and validation.
 ALL_EVENTS = {
     cls.kind: cls
@@ -447,5 +491,6 @@ ALL_EVENTS = {
         LockWait, LockGranted, DeadlockDetected, CommitVote, CommitOutcome,
         BindingLookup, MembershipChanged, StaleBindingInvalidated,
         StateTransferred,
+        InvariantViolation, MonitorError,
     )
 }

@@ -1,0 +1,247 @@
+"""The flight recorder: a bounded ring of recent bus events that turns
+into a causally ordered post-mortem when something goes wrong.
+
+The recorder subscribes to *everything* and keeps the last ``capacity``
+events.  When an :class:`~repro.obs.events.InvariantViolation` arrives
+(or the monitored block raises — see
+:func:`repro.obs.monitor.watch`), the ring is sliced along the
+violation's vector clock: every retained event whose stamp satisfies
+``vc_leq(event.vc, violation.vc)`` is in the violation's causal past and
+belongs to the *causal cut*; the cut is linearized by Lamport clock (a
+causally consistent order) and attached to the report together with the
+vector-clock frontier and, when a
+:class:`~repro.obs.trace.CallTracer` is watching, the call spans the
+offending events belong to.
+
+Reports serialize to JSON (``dump``) and render to text
+(:func:`render_postmortem`); the ``repro postmortem`` CLI subcommand
+re-renders a dumped report.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import json
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.obs import events as obs_events
+from repro.obs.clocks import causal_sort_key, vc_leq
+
+
+def event_to_dict(event) -> Dict[str, Any]:
+    """A JSON-ready view of any bus event: kind, virtual time, causal
+    stamp (when present) and the dataclass payload with addresses
+    stringified, payload bytes reduced to sizes, and evidence events
+    summarized one level deep."""
+    out: Dict[str, Any] = {"kind": event.kind, "t": event.t}
+    node = getattr(event, "node", None)
+    if node is not None:
+        out["node"] = node
+        out["lamport"] = getattr(event, "lamport", 0)
+        out["vc"] = dict(getattr(event, "vc", {}) or {})
+    for field in dataclasses.fields(event):
+        if field.name == "t":
+            continue
+        value = getattr(event, field.name)
+        if isinstance(value, bytes):
+            out[field.name + "_size"] = len(value)
+        elif field.name == "evidence":
+            out["evidence"] = [event_to_dict(e) for e in value]
+        elif isinstance(value, (str, int, float, bool)) or value is None:
+            out[field.name] = value
+        elif isinstance(value, (list, tuple)):
+            out[field.name] = [str(v) if not isinstance(
+                v, (str, int, float, bool)) else v for v in value]
+        else:
+            out[field.name] = str(value)
+    return out
+
+
+class FlightRecorder:
+    """Keep the last ``capacity`` bus events; cut and dump on demand."""
+
+    def __init__(self, bus, capacity: int = 2048):
+        self.bus = bus
+        self.capacity = capacity
+        self.ring: collections.deque = collections.deque(maxlen=capacity)
+        self.dropped = 0
+        self.violations: List[obs_events.InvariantViolation] = []
+        self.monitor_errors: List[obs_events.MonitorError] = []
+        self.crash: Optional[Dict[str, Any]] = None
+        self._sub = bus.subscribe(self._record)
+
+    def detach(self) -> None:
+        if self._sub is not None:
+            self.bus.unsubscribe(self._sub)
+            self._sub = None
+
+    def _record(self, event) -> None:
+        if len(self.ring) == self.capacity:
+            self.dropped += 1
+        self.ring.append(event)
+        kind = event.kind
+        if kind == "mon.violation":
+            self.violations.append(event)
+        elif kind == "mon.error":
+            self.monitor_errors.append(event)
+
+    def record_crash(self, exc: BaseException, t: float = 0.0) -> None:
+        """Note an unexpected simulation crash (an exception escaping
+        the watched block) so the post-mortem reports it."""
+        self.crash = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "t": t,
+        }
+
+    # -- the causal cut ----------------------------------------------------
+
+    def causal_cut(self, violation) -> List[Any]:
+        """Every retained event in the violation's causal past (its own
+        evidence included), linearized causally.  Without clocks the cut
+        degrades to everything recorded up to the violation, in
+        emission order."""
+        frontier = getattr(violation, "vc", None)
+        if frontier:
+            cut = [e for e in self.ring
+                   if getattr(e, "vc", None)
+                   and e is not violation
+                   and vc_leq(e.vc, frontier)]
+            cut.sort(key=causal_sort_key)
+            return cut
+        cut = []
+        for e in self.ring:
+            if e is violation:
+                break
+            cut.append(e)
+        return cut
+
+    # -- reports -----------------------------------------------------------
+
+    def postmortem(self, tracer=None) -> Dict[str, Any]:
+        """The full post-mortem report as a JSON-ready dictionary."""
+        report: Dict[str, Any] = {
+            "format": "repro.postmortem/1",
+            "recorded": len(self.ring),
+            "dropped": self.dropped,
+            "violations": [self._violation_dict(v, tracer)
+                           for v in self.violations],
+            "monitor_errors": [event_to_dict(e)
+                               for e in self.monitor_errors],
+            "crash": self.crash,
+        }
+        if self.crash is not None:
+            # No violation frontier to cut at: give the investigator the
+            # causally linearized tail of the ring instead.
+            tail = sorted(self.ring, key=causal_sort_key)
+            report["tail"] = [event_to_dict(e) for e in tail[-64:]]
+        return report
+
+    def _violation_dict(self, violation, tracer) -> Dict[str, Any]:
+        out = event_to_dict(violation)
+        cut = self.causal_cut(violation)
+        out["causal_cut"] = [event_to_dict(e) for e in cut]
+        out["frontier"] = dict(getattr(violation, "vc", {}) or {})
+        if tracer is not None:
+            out["spans"] = self._involved_spans(violation, tracer)
+        return out
+
+    def _involved_spans(self, violation, tracer) -> List[Dict[str, Any]]:
+        """Call spans whose trace context appears in the evidence."""
+        contexts: Set[Tuple[str, int]] = set()
+        for e in violation.evidence:
+            thread_id = getattr(e, "thread_id", None)
+            call_number = getattr(e, "call_number", None)
+            if thread_id is not None and call_number is not None:
+                contexts.add((thread_id, call_number))
+        spans = []
+        for span in tracer.calls:
+            if (span.thread_id, span.call_number) in contexts:
+                spans.append(tracer._call_dict(span))
+        return spans
+
+    def dump(self, path, tracer=None) -> Dict[str, Any]:
+        """Write the post-mortem to ``path`` as JSON; returns it."""
+        report = self.postmortem(tracer=tracer)
+        with open(path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        return report
+
+
+# ---------------------------------------------------------------------------
+# Human-readable rendering
+# ---------------------------------------------------------------------------
+
+def _fmt_vc(vc: Dict[str, int]) -> str:
+    if not vc:
+        return "{}"
+    return "{%s}" % ", ".join(
+        "%s:%d" % (node, vc[node]) for node in sorted(vc))
+
+_STAMP_FIELDS = ("kind", "t", "node", "lamport", "vc", "evidence",
+                 "causal_cut", "frontier", "spans")
+
+
+def _fmt_event(e: Dict[str, Any]) -> str:
+    payload = ", ".join(
+        "%s=%s" % (k, v) for k, v in e.items() if k not in _STAMP_FIELDS)
+    line = "[L%-4s t=%-8g] %-16s %s" % (
+        e.get("lamport", "?"), e.get("t", 0.0), e.get("kind", "?"), payload)
+    node = e.get("node")
+    if node:
+        line += "   @%s" % node
+    return line
+
+
+def render_postmortem(report: Dict[str, Any]) -> str:
+    """Render a dumped post-mortem report for humans."""
+    lines: List[str] = []
+    push = lines.append
+    push("=== post-mortem (%s) ===" % report.get("format", "?"))
+    push("ring: %d events retained, %d dropped" % (
+        report.get("recorded", 0), report.get("dropped", 0)))
+    crash = report.get("crash")
+    if crash:
+        push("CRASH: %s: %s (t=%g)" % (
+            crash.get("type"), crash.get("message"), crash.get("t", 0.0)))
+    violations = report.get("violations", [])
+    push("%d violation(s)" % len(violations))
+    for i, v in enumerate(violations):
+        push("")
+        push("--- violation %d: %s [%s, §%s] ---" % (
+            i + 1, v.get("invariant"), v.get("monitor"), v.get("section")))
+        push("  subject: %s" % v.get("subject"))
+        push("  %s" % v.get("message"))
+        if v.get("frontier"):
+            push("  frontier: %s" % _fmt_vc(v["frontier"]))
+        evidence = v.get("evidence", [])
+        if evidence:
+            push("  offending events:")
+            for e in evidence:
+                push("    " + _fmt_event(e))
+        cut = v.get("causal_cut", [])
+        if cut:
+            push("  causal past (%d events, causal order):" % len(cut))
+            for e in cut:
+                push("    " + _fmt_event(e))
+        for span in v.get("spans", []) or []:
+            push("  involved span: %s by %s (call#%s, %s)" % (
+                span.get("name"), span.get("client"),
+                span.get("call_number"), span.get("outcome")))
+    errors = report.get("monitor_errors", [])
+    if errors:
+        push("")
+        push("%d monitor error(s) contained by the bus:" % len(errors))
+        for e in errors:
+            push("  %s during %s: %s" % (
+                e.get("handler"), e.get("event_kind"), e.get("error")))
+    tail = report.get("tail", [])
+    if tail:
+        push("")
+        push("last %d events before the crash (causal order):" % len(tail))
+        for e in tail:
+            push("  " + _fmt_event(e))
+    push("")
+    return "\n".join(lines)

@@ -156,8 +156,17 @@ class _OutgoingTransfer:
             if sim.bus.active:
                 sim.bus.emit(obs_events.TransferTimedOut(
                     t=sim.now, endpoint=self.endpoint.addr, peer=self.peer,
-                    call_number=self.call_number))
+                    call_number=self.call_number,
+                    proc=self.endpoint.process.name))
             self.done.fire("timeout")
+
+    def cancel(self) -> None:
+        """Abandon silently: the peer was declared crashed (§4.2.3), so
+        the transfer ends with neither an ack nor a timeout — and, above
+        all, no further retransmission."""
+        self.unacked = {}
+        if not self.done.fired:
+            self.done.fire("crashed")
 
 
 class _IncomingAssembly:
@@ -244,7 +253,8 @@ class PairedEndpoint:
             self.sim.bus.emit(obs_events.MessageSent(
                 t=self.sim.now, endpoint=self.addr, peer=peer,
                 msg_type=msg_type, call_number=call_number,
-                segments=len(segs), size=len(data)))
+                segments=len(segs), size=len(data),
+                proc=self.process.name))
         # Protocol processing in user mode, then a timestamp and the
         # retransmission timer (the setitimer traffic of Table 4.3).
         yield from self.process.compute(self.config.user_cost_send)
@@ -275,7 +285,8 @@ class PairedEndpoint:
                         t=self.sim.now, endpoint=self.addr,
                         peer=transfer.peer, msg_type=transfer.msg_type,
                         call_number=transfer.call_number,
-                        segment=segment.segment_number))
+                        segment=segment.segment_number,
+                        proc=self.process.name))
                 sent_once = True
                 yield from self.process.sendmsg(self.sock, marked.encode(),
                                                 transfer.peer)
@@ -317,7 +328,8 @@ class PairedEndpoint:
                 self.sim.bus.emit(obs_events.MessageSent(
                     t=self.sim.now, endpoint=self.addr, peer=peer,
                     msg_type=msg_type, call_number=call_number,
-                    segments=len(segs), size=len(data)))
+                    segments=len(segs), size=len(data),
+                    proc=self.process.name))
         yield from self.process.compute(self.config.user_cost_send)
         yield from self.process.syscall("setitimer")
         for segment in segs:
@@ -328,6 +340,15 @@ class PairedEndpoint:
             self.process.spawn(self._retransmit_loop(transfer),
                                name="pm-rexmit-%d" % call_number, daemon=True)
         return transfers
+
+    def _abandon_peer(self, peer: ProcessAddress) -> None:
+        """§4.2.3: a peer declared crashed gets silence — cancel every
+        outstanding transfer addressed to it so the retransmission loops
+        stop.  New calls may still be sent later (the peer may restart);
+        only in-flight exchanges are abandoned."""
+        for key, transfer in list(self._sends.items()):
+            if key[0] == peer and not transfer.done.fired:
+                transfer.cancel()
 
     def forget_return(self, peer: ProcessAddress, call_number: int) -> None:
         """Discard a return message nobody will wait for (a first-come
@@ -372,7 +393,8 @@ class PairedEndpoint:
                         t=self.sim.now, endpoint=self.addr,
                         peer=transfer.peer, msg_type=transfer.msg_type,
                         call_number=transfer.call_number,
-                        segment=segment.segment_number))
+                        segment=segment.segment_number,
+                        proc=self.process.name))
                 yield from self.process.sendmsg(self.sock, retry.encode(),
                                                 transfer.peer)
             yield from self.process.sigsetmask()
@@ -415,14 +437,16 @@ class PairedEndpoint:
                 if self.sim.bus.active:
                     self.sim.bus.emit(obs_events.PeerCrashDeclared(
                         t=self.sim.now, endpoint=self.addr, peer=peer,
-                        silence=silence))
+                        silence=silence, call_number=call_number,
+                        proc=self.process.name))
+                self._abandon_peer(peer)
                 raise PeerCrashed(peer)
             if silence >= config.probe_interval:
                 probe = seg.make_probe(call_number)
                 if self.sim.bus.active:
                     self.sim.bus.emit(obs_events.ProbeSent(
                         t=self.sim.now, endpoint=self.addr, peer=peer,
-                        call_number=call_number))
+                        call_number=call_number, proc=self.process.name))
                 yield from self.process.sendmsg(self.sock, probe.encode(), peer)
 
     def call(self, peer: ProcessAddress, call_number: int, data: bytes):
@@ -448,7 +472,7 @@ class PairedEndpoint:
         if self.sim.bus.active:
             self.sim.bus.emit(obs_events.ProbeSent(
                 t=self.sim.now, endpoint=self.addr, peer=peer,
-                call_number=0))
+                call_number=0, proc=self.process.name))
         yield from self.process.sendmsg(self.sock, probe.encode(), peer)
         deadline = sent_at + timeout
         while self.sim.now < deadline:
@@ -508,7 +532,8 @@ class PairedEndpoint:
                     t=self.sim.now, endpoint=self.addr, peer=src,
                     msg_type=segment.msg_type,
                     call_number=segment.call_number,
-                    ack_number=segment.segment_number))
+                    ack_number=segment.segment_number,
+                    proc=self.process.name))
             transfer.ack_through(segment.segment_number)
 
     def _handle_data_segment(self, src: ProcessAddress, segment: Segment) -> None:
@@ -519,7 +544,8 @@ class PairedEndpoint:
                 if not call_xfer.done.fired and self.sim.bus.active:
                     self.sim.bus.emit(obs_events.ImplicitAck(
                         t=self.sim.now, endpoint=self.addr, peer=src,
-                        call_number=segment.call_number, by="return"))
+                        call_number=segment.call_number, by="return",
+                        proc=self.process.name))
                 call_xfer.complete()
         elif segment.msg_type == MSG_CALL:
             for key, transfer in list(self._sends.items()):
@@ -528,7 +554,8 @@ class PairedEndpoint:
                     if not transfer.done.fired and self.sim.bus.active:
                         self.sim.bus.emit(obs_events.ImplicitAck(
                             t=self.sim.now, endpoint=self.addr, peer=src,
-                            call_number=key[2], by="call"))
+                            call_number=key[2], by="call",
+                            proc=self.process.name))
                     transfer.complete()
 
         # Duplicate suppression for messages already delivered upward.
@@ -537,7 +564,8 @@ class PairedEndpoint:
                 self.sim.bus.emit(obs_events.DuplicateSuppressed(
                     t=self.sim.now, endpoint=self.addr, peer=src,
                     msg_type=segment.msg_type,
-                    call_number=segment.call_number))
+                    call_number=segment.call_number,
+                    proc=self.process.name))
             self._queue_control(
                 seg.make_ack(segment.msg_type, segment.call_number,
                              segment.total_segments, segment.total_segments),
@@ -580,7 +608,8 @@ class PairedEndpoint:
                 t=self.sim.now, endpoint=self.addr, peer=src,
                 msg_type=assembly.msg_type,
                 call_number=assembly.call_number,
-                size=sum(len(d) for d in assembly.received.values())))
+                size=sum(len(d) for d in assembly.received.values()),
+                proc=self.process.name))
         if assembly.msg_type == MSG_CALL:
             self._remember_delivery(self._delivered_calls, src,
                                     assembly.call_number)

@@ -288,7 +288,7 @@ class Process:
 class Simulator:
     """The event loop: a virtual clock and a priority queue of callbacks."""
 
-    def __init__(self):
+    def __init__(self, monitors=None):
         self.now: float = 0.0
         self._queue: List[_ScheduledCall] = []
         self._seq = itertools.count()
@@ -298,6 +298,15 @@ class Simulator:
         #: the observability event bus for this simulation world; every
         #: layer built on this simulator emits its events here.
         self.bus = EventBus()
+        #: invariant monitoring (repro.obs.monitor).  ``monitors=True``
+        #: attaches the default suite; a sequence attaches those
+        #: monitors.  Imported lazily: most simulations run unobserved
+        #: and never pay for the observability machinery.
+        self.monitor_suite = None
+        if monitors:
+            from repro.obs.monitor import MonitorSuite
+            self.monitor_suite = MonitorSuite(
+                self, None if monitors is True else monitors)
 
     # -- scheduling --------------------------------------------------------
 

@@ -94,9 +94,11 @@ class CommitCoordinator:
         sim = self.runtime.sim
         process = self.runtime.process
         votes = []
+        serials = []
         for peer, raw in args_by_peer.items():
             serial, ready = decode_vote(raw)
             votes.append(ready)
+            serials.append(serial)
             if sim.bus.active:
                 sim.bus.emit(obs_events.CommitVote(
                     t=sim.now, host=process.host, proc=process.name,
@@ -107,7 +109,8 @@ class CommitCoordinator:
             sim.bus.emit(obs_events.CommitOutcome(
                 t=sim.now, host=process.host, proc=process.name,
                 decision="commit" if ok else "abort", votes=len(votes),
-                group_complete=ctx.group_complete))
+                group_complete=ctx.group_complete,
+                serials=tuple(serials)))
         return VOTE_COMMIT if ok else VOTE_ABORT
 
 

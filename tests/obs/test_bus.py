@@ -83,6 +83,46 @@ def test_handler_may_unsubscribe_during_emit():
     assert not bus.active
 
 
+def test_raising_handler_does_not_abort_emission():
+    bus = EventBus()
+    before, after, errors = [], [], []
+    bus.subscribe(before.append)
+
+    def bad(event):
+        raise RuntimeError("broken probe")
+
+    bus.subscribe(bad, kinds="sim.")
+    bus.subscribe(after.append)
+    bus.subscribe(errors.append, kinds="mon.error")
+    event = _event(events.TimerFired, due=1)
+    bus.emit(event)               # must not raise
+    # Handlers after the broken one still saw the event (they also get
+    # the follow-up mon.error, being catch-all subscribers).
+    assert before[0] is event
+    assert after[0] is event
+    assert [e.kind for e in after] == ["sim.timer", "mon.error"]
+    # The failure surfaced as a mon.error event instead of an exception.
+    (error,) = errors
+    assert error.kind == "mon.error"
+    assert error.event_kind == "sim.timer"
+    assert "RuntimeError: broken probe" in error.error
+    assert "bad" in error.handler
+
+
+def test_handler_failing_on_monitor_error_does_not_recurse():
+    bus = EventBus()
+    got = []
+    bus.subscribe(got.append)
+
+    def always_bad(event):
+        raise ValueError("fails on everything, mon.error included")
+
+    bus.subscribe(always_bad)
+    bus.emit(_event(events.TimerFired, due=1))     # must terminate
+    kinds = [e.kind for e in got]
+    assert kinds == ["sim.timer", "mon.error"]
+
+
 def test_events_are_dataclasses_with_kind_and_time():
     for kind, cls in events.ALL_EVENTS.items():
         assert cls.kind == kind

@@ -1,0 +1,220 @@
+"""Tests for the causal clocks (repro.obs.clocks)."""
+
+from repro.core import ExportedModule
+from repro.harness import World
+from repro.obs import EventBus, events
+from repro.obs.clocks import (ClockDomain, causal_sort_key, concurrent,
+                              happens_before, vc_leq, vc_merge)
+
+
+# ---------------------------------------------------------------------------
+# Vector clock algebra
+# ---------------------------------------------------------------------------
+
+def test_vc_leq_pointwise():
+    assert vc_leq({}, {})
+    assert vc_leq({}, {"a": 1})
+    assert vc_leq({"a": 1}, {"a": 1})
+    assert vc_leq({"a": 1}, {"a": 2, "b": 1})
+    assert not vc_leq({"a": 2}, {"a": 1})
+    assert not vc_leq({"b": 1}, {"a": 1})
+
+
+def test_vc_merge_is_pointwise_max():
+    a = {"a": 2, "b": 1}
+    assert vc_merge(a, {"a": 1, "b": 3, "c": 1}) is a
+    assert a == {"a": 2, "b": 3, "c": 1}
+
+
+def test_happens_before_and_concurrent():
+    a = {"p": 1}
+    b = {"p": 1, "q": 1}
+    assert happens_before(a, b)
+    assert not happens_before(b, a)
+    assert not happens_before(a, a)
+    c = {"q": 1}
+    assert concurrent(a, c)
+    assert not concurrent(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Stamping on a bare bus
+# ---------------------------------------------------------------------------
+
+def _stamped_bus():
+    bus = EventBus()
+    bus.subscribe(lambda e: None)          # make the bus active
+    domain = ClockDomain().install(bus)
+    return bus, domain
+
+
+def test_kernel_events_tick_one_node():
+    bus, domain = _stamped_bus()
+    e1 = events.TimerFired(t=1.0, due=1)
+    e2 = events.TimerFired(t=2.0, due=1)
+    bus.emit(e1)
+    bus.emit(e2)
+    assert e1.node == e2.node == "kernel"
+    assert (e1.lamport, e2.lamport) == (1, 2)
+    assert e1.vc == {"kernel": 1}
+    assert e2.vc == {"kernel": 2}
+    assert happens_before(e1.vc, e2.vc)
+
+
+def test_pm_send_deliver_edge_carries_causality():
+    bus, domain = _stamped_bus()
+    send = events.MessageSent(t=1.0, endpoint="a:1", peer="b:1",
+                              msg_type=0, call_number=7, segments=1,
+                              size=10, proc="alice")
+    unrelated = events.MessageSent(t=1.0, endpoint="c:1", peer="b:1",
+                                   msg_type=0, call_number=9, segments=1,
+                                   size=10, proc="carol")
+    deliver = events.MessageDelivered(t=2.0, endpoint="b:1", peer="a:1",
+                                      msg_type=0, call_number=7, size=10,
+                                      proc="bob")
+    bus.emit(send)
+    bus.emit(unrelated)
+    bus.emit(deliver)
+    # The delivery inherits the sender's clock: strict happens-before.
+    assert happens_before(send.vc, deliver.vc)
+    assert deliver.lamport > send.lamport
+    # ... but not the unrelated sender's.
+    assert concurrent(unrelated.vc, deliver.vc)
+
+
+def test_clock_entries_appear_dynamically():
+    bus, domain = _stamped_bus()
+    assert domain.nodes() == ()
+    bus.emit(events.TimerFired(t=0.0, due=1))
+    assert domain.nodes() == ("kernel",)
+    bus.emit(events.MessageSent(t=1.0, endpoint="a:1", peer="b:1",
+                                msg_type=0, call_number=1, segments=1,
+                                size=4, proc="p"))
+    assert domain.nodes() == ("a/p", "kernel")
+    # The new node's clock has no kernel entry: no edge connects them.
+    assert domain.clock_of("a/p") == {"a/p": 1}
+
+
+def test_retransmission_refreshes_the_message_edge():
+    bus, domain = _stamped_bus()
+    send = events.MessageSent(t=1.0, endpoint="a:1", peer="b:1",
+                              msg_type=0, call_number=1, segments=1,
+                              size=4, proc="p")
+    rexmit = events.SegmentRetransmitted(t=2.0, endpoint="a:1", peer="b:1",
+                                         msg_type=0, call_number=1,
+                                         segment=1, proc="p")
+    deliver = events.MessageDelivered(t=3.0, endpoint="b:1", peer="a:1",
+                                      msg_type=0, call_number=1, size=4,
+                                      proc="q")
+    bus.emit(send)
+    bus.emit(rexmit)
+    bus.emit(deliver)
+    # The delivery saw the *latest* segment, so both sends precede it.
+    assert happens_before(send.vc, deliver.vc)
+    assert happens_before(rexmit.vc, deliver.vc)
+
+
+def test_causal_sort_key_orders_by_lamport():
+    bus, domain = _stamped_bus()
+    first = events.TimerFired(t=5.0, due=1)
+    second = events.TimerFired(t=1.0, due=1)   # later emission, earlier t
+    bus.emit(first)
+    bus.emit(second)
+    ordered = sorted([second, first], key=causal_sort_key)
+    assert ordered == [first, second]
+
+
+def test_uninstall_restores_the_bus():
+    bus, domain = _stamped_bus()
+    assert bus.stamper is domain
+    domain.uninstall()
+    assert bus.stamper is None
+    event = events.TimerFired(t=0.0, due=1)
+    bus.emit(event)
+    assert not hasattr(event, "vc")
+
+
+# ---------------------------------------------------------------------------
+# Full-stack causality
+# ---------------------------------------------------------------------------
+
+def _echo_module():
+    def echo(ctx, args):
+        yield from ctx.compute(1.0)
+        return b"echo:" + args
+    return ExportedModule("echo", {0: echo})
+
+
+def test_full_stack_run_is_causally_consistent():
+    world = World(machines=5, seed=3)
+    troupe, _ = world.make_troupe("echo", _echo_module, degree=3)
+    client = world.make_client()
+    seen = []
+    world.sim.bus.subscribe(seen.append)
+    domain = ClockDomain().install(world.sim.bus)
+
+    def body():
+        yield from client.call_troupe(troupe, 0, 0, b"hi")
+
+    world.run(body())
+    stamped = [e for e in seen if hasattr(e, "vc")]
+    assert stamped == seen                      # everything got a stamp
+    calls = [e for e in seen if e.kind == "rpc.call_start"]
+    execs = [e for e in seen if e.kind == "rpc.exec_start"]
+    results = [e for e in seen if e.kind == "rpc.result"]
+    returns = [e for e in seen if e.kind == "rpc.return"]
+    assert calls and len(execs) == 3 and len(results) == 3
+    # The client's call precedes every replica execution, which precedes
+    # its return, which precedes the result's arrival back at the client.
+    for exec_event in execs:
+        assert happens_before(calls[0].vc, exec_event.vc)
+    for result in results:
+        assert happens_before(calls[0].vc, result.vc)
+        assert any(happens_before(r.vc, result.vc) for r in returns)
+    # Executions on distinct replicas are causally concurrent.
+    assert concurrent(execs[0].vc, execs[1].vc)
+    # Lamport clocks respect the happens-before order everywhere.
+    for e in seen:
+        assert e.lamport >= 1
+    for exec_event in execs:
+        assert exec_event.lamport > calls[0].lamport
+
+
+def test_clocks_grow_as_members_are_added():
+    """Dynamic vector clocks: each simulated process contributes a clock
+    entry only once it emits — later troupe members extend the vector
+    without any re-dimensioning of existing clocks."""
+    world = World(machines=6, seed=4)
+    troupe, _ = world.make_troupe("echo", _echo_module, degree=2)
+    client = world.make_client()
+    domain = ClockDomain().install(world.sim.bus)
+    world.sim.bus.subscribe(lambda e: None)
+
+    def call_once():
+        yield from client.call_troupe(troupe, 0, 0, b"x")
+
+    world.run(call_once())
+    nodes_before = set(domain.nodes())
+    # Grow the troupe: a third member on a fresh machine joins under the
+    # same troupe ID (the add_troupe_member shape, without a Ringmaster).
+    from repro.core.runtime import TroupeRuntime
+    from repro.core.troupe import TroupeDescriptor
+    machine = world.machines[-1]
+    process = machine.spawn_process("echo")
+    runtime = TroupeRuntime(process, config=world.runtime_config,
+                            resolver=world.resolver,
+                            troupe_id=troupe.troupe_id)
+    member_addr = runtime.export(_echo_module())
+    runtime.start_server()
+    merged = TroupeDescriptor(troupe.name, troupe.troupe_id,
+                              tuple(troupe.members) + (member_addr,))
+    world.register(merged)
+
+    def call_again():
+        yield from client.call_troupe(merged, 0, 0, b"y")
+
+    world.run(call_again())
+    nodes_after = set(domain.nodes())
+    assert nodes_before < nodes_after           # strictly grew
+    new_nodes = nodes_after - nodes_before
+    assert any("echo" in n for n in new_nodes)

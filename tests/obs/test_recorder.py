@@ -1,0 +1,156 @@
+"""Tests for the flight recorder (repro.obs.recorder)."""
+
+import json
+
+from repro.obs import EventBus, events
+from repro.obs.clocks import ClockDomain
+from repro.obs.monitor import ExactlyOnceMonitor
+from repro.obs.recorder import (FlightRecorder, event_to_dict,
+                                render_postmortem)
+
+
+def _bus():
+    bus = EventBus()
+    ClockDomain().install(bus)
+    return bus
+
+
+def _tick(bus, t):
+    event = events.TimerFired(t=t, due=int(t))
+    bus.emit(event)
+    return event
+
+
+# ---------------------------------------------------------------------------
+# The ring
+# ---------------------------------------------------------------------------
+
+def test_ring_is_bounded_and_counts_drops():
+    bus = _bus()
+    recorder = FlightRecorder(bus, capacity=4)
+    emitted = [_tick(bus, float(i)) for i in range(10)]
+    assert len(recorder.ring) == 4
+    assert recorder.dropped == 6
+    assert list(recorder.ring) == emitted[-4:]
+
+
+def test_detach_stops_recording():
+    bus = _bus()
+    recorder = FlightRecorder(bus, capacity=4)
+    _tick(bus, 1.0)
+    recorder.detach()
+    bus.subscribe(lambda e: None)       # keep the bus active
+    _tick(bus, 2.0)
+    assert len(recorder.ring) == 1
+
+
+# ---------------------------------------------------------------------------
+# Causal cuts
+# ---------------------------------------------------------------------------
+
+def _seed_violation(bus, recorder):
+    """Drive a duplicate execution through a real monitor; return the
+    violation it emitted."""
+    monitor = ExactlyOnceMonitor()
+    monitor.attach(bus)
+    for t in (1.0, 2.0):
+        bus.emit(events.ExecutionStarted(
+            t=t, host="h1", proc="echo", thread_id="th", call_number=1,
+            troupe_id=9, module=0, procedure=0, callers=1,
+            group_complete=True))
+    (violation,) = recorder.violations
+    return violation
+
+
+def test_causal_cut_contains_only_the_causal_past():
+    bus = _bus()
+    recorder = FlightRecorder(bus, capacity=64)
+    # Kernel events are on an unrelated node: concurrent with the
+    # replica's executions, so outside the violation's causal past.
+    _tick(bus, 0.5)
+    violation = _seed_violation(bus, recorder)
+    _tick(bus, 9.0)
+    cut = recorder.causal_cut(violation)
+    assert [e.kind for e in cut] == ["rpc.exec_start", "rpc.exec_start"]
+    lamports = [e.lamport for e in cut]
+    assert lamports == sorted(lamports)
+    assert violation not in cut
+
+
+def test_causal_cut_without_clocks_degrades_to_prefix():
+    bus = EventBus()                    # no stamper installed
+    recorder = FlightRecorder(bus, capacity=64)
+    before = events.TimerFired(t=1.0, due=1)
+    bus.emit(before)
+    violation = events.InvariantViolation(t=2.0, monitor="m",
+                                          invariant="i")
+    bus.emit(violation)
+    after = events.TimerFired(t=3.0, due=3)
+    bus.emit(after)
+    assert recorder.causal_cut(violation) == [before]
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+def test_event_to_dict_reduces_payload_bytes_to_sizes():
+    event = events.MessageSent(t=1.0, endpoint="a:1", peer="b:1",
+                               msg_type=0, call_number=1, segments=1,
+                               size=12, proc="p")
+    out = event_to_dict(event)
+    assert out["kind"] == "pm.send"
+    assert out["endpoint"] == "a:1"
+    assert "node" not in out            # never stamped
+
+
+def test_postmortem_dump_round_trips_as_json(tmp_path):
+    bus = _bus()
+    recorder = FlightRecorder(bus, capacity=64)
+    _seed_violation(bus, recorder)
+    path = tmp_path / "dump.json"
+    report = recorder.dump(str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded == report
+    assert loaded["format"] == "repro.postmortem/1"
+    assert loaded["dropped"] == 0
+    (vdict,) = loaded["violations"]
+    assert vdict["invariant"] == "exactly-once"
+    assert len(vdict["causal_cut"]) == 2
+    assert vdict["frontier"]
+    # The whole report survived JSON: no stray objects anywhere.
+    json.dumps(loaded)
+
+
+def test_crash_report_includes_causally_ordered_tail():
+    bus = _bus()
+    recorder = FlightRecorder(bus, capacity=64)
+    for t in (1.0, 2.0, 3.0):
+        _tick(bus, t)
+    recorder.record_crash(ValueError("boom"), t=3.5)
+    report = recorder.postmortem()
+    assert report["crash"] == {"type": "ValueError", "message": "boom",
+                               "t": 3.5}
+    tail = report["tail"]
+    assert len(tail) == 3
+    assert [e["lamport"] for e in tail] == [1, 2, 3]
+
+
+def test_render_postmortem_is_human_readable():
+    bus = _bus()
+    recorder = FlightRecorder(bus, capacity=64)
+    _seed_violation(bus, recorder)
+    text = render_postmortem(recorder.postmortem())
+    assert "=== post-mortem (repro.postmortem/1) ===" in text
+    assert "1 violation(s)" in text
+    assert "exactly-once" in text
+    assert "ExactlyOnceMonitor" in text
+    assert "offending events:" in text
+    assert "causal past (2 events, causal order):" in text
+    assert "rpc.exec_start" in text
+
+
+def test_render_postmortem_reports_clean_runs():
+    recorder = FlightRecorder(EventBus(), capacity=8)
+    text = render_postmortem(recorder.postmortem())
+    assert "0 violation(s)" in text

@@ -53,3 +53,82 @@ def test_table43_small(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["nonsense"])
+
+
+def test_check_quickstart_is_clean(capsys, tmp_path):
+    assert main(["check", "quickstart", "--dump-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "check quickstart" in out
+    assert "ok (" in out and "monitors silent" in out
+    assert list(tmp_path.iterdir()) == []    # no dump on a clean run
+
+
+def test_check_circus_is_clean(capsys, tmp_path):
+    assert main(["check", "circus", "--iterations", "5",
+                 "--dump-dir", str(tmp_path)]) == 0
+    assert "ok (" in capsys.readouterr().out
+
+
+def test_check_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["check", "nonsense"])
+
+
+def _violating_scenario():
+    """A scenario seeded with a duplicate execution: the exactly-once
+    monitor must fire and `repro check` must dump a post-mortem."""
+    from repro.harness import World
+    from repro.obs import events
+
+    world = World(machines=1, seed=1)
+
+    def body():
+        for t in (1.0, 2.0):
+            world.sim.bus.emit(events.ExecutionStarted(
+                t=t, host="h1", proc="echo", thread_id="th",
+                call_number=1, troupe_id=9, module=0, procedure=0,
+                callers=1, group_complete=True))
+        yield from ()
+
+    return world, body
+
+
+def test_check_dumps_postmortem_on_seeded_violation(capsys, tmp_path,
+                                                    monkeypatch):
+    import repro.cli as cli
+    monkeypatch.setitem(cli.CHECK_SCENARIOS, "seeded", _violating_scenario)
+    assert main(["check", "seeded", "--dump-dir", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "FAILED: 1 violation(s)" in out
+    assert "exactly-once" in out
+    dump = tmp_path / "seeded_postmortem.json"
+    assert dump.exists()
+    # The dump re-renders through the postmortem subcommand, which also
+    # exits nonzero because it holds a violation.
+    assert main(["postmortem", str(dump)]) == 1
+    rendered = capsys.readouterr().out
+    assert "=== post-mortem" in rendered
+    assert "exactly-once" in rendered
+    assert "causal past" in rendered
+
+
+def test_postmortem_of_clean_dump_exits_zero(capsys, tmp_path):
+    import json
+    dump = tmp_path / "clean.json"
+    dump.write_text(json.dumps({"format": "repro.postmortem/1",
+                                "recorded": 0, "dropped": 0,
+                                "violations": [], "monitor_errors": [],
+                                "crash": None}))
+    assert main(["postmortem", str(dump)]) == 0
+    assert "0 violation(s)" in capsys.readouterr().out
+
+
+def test_metrics_json_emits_bench_json_tables(capsys):
+    import json
+    assert main(["metrics", "circus", "--iterations", "3", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    (table,) = payload["tables"]
+    assert table["title"] == "metrics: circus"
+    assert table["columns"] == ["metric", "value"]
+    metrics = {row[0] for row in table["rows"]}
+    assert any(m.startswith("rpc.") for m in metrics)
