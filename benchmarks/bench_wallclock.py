@@ -1,0 +1,109 @@
+"""Wall-clock throughput of the simulator itself (not virtual time).
+
+Every other benchmark in this suite reports *virtual-time* results —
+the paper's milliseconds, identical on every machine.  This one measures
+how fast the simulator's wall clock spins: kernel events/sec, paired
+message packets/sec, end-to-end replicated calls/sec, and the cost of
+attaching the invariant monitors.
+
+Wall-clock rows are machine-dependent and are **never** compared against
+a committed baseline.  The CI gate uses the deterministic proxy table
+instead (kernel callbacks + handle allocations per replicated call —
+identical on every machine), compared against ``BENCH_PERF.json``:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_wallclock.py -q \
+        --bench-json perf_results.json
+    PYTHONPATH=src python benchmarks/compare.py perf_results.json \
+        --baseline BENCH_PERF.json --threshold 5 --require-all
+"""
+
+import pytest
+
+from repro.bench import perf
+from repro.bench.report import Table, register_table
+
+
+def test_proxy_metric_is_deterministic_and_gated():
+    """The CI-gated table: kernel work per replicated call.
+
+    The seed row is frozen data from the unoptimized kernel, so the
+    table itself documents the optimization trajectory; the live row is
+    what ``BENCH_PERF.json`` gates at 5%.
+    """
+    metrics = perf.proxy_metrics(iterations=200)
+    again = perf.proxy_metrics(iterations=200)
+    assert metrics == again, "proxy metric must be deterministic"
+
+    table = Table(
+        "Kernel hot-path proxy metric (work per replicated call)",
+        ["workload", "callbacks/call", "allocs/call",
+         "proxy (callbacks+allocs)"],
+        formats=[None, "%.2f", "%.2f", "%.2f"],
+        notes="Deterministic (machine-independent); CI gates the live "
+              "row against BENCH_PERF.json at 5%.  The seed row is the "
+              "unoptimized kernel, kept as the trajectory reference.")
+    seed = perf.SEED_PROXY["circus-200"]
+    table.add_row("circus-200 (seed)", seed["callbacks_per_call"],
+                  seed["allocs_per_call"], seed["proxy"])
+    table.add_row("circus-200", metrics["callbacks_per_call"],
+                  metrics["allocs_per_call"], metrics["proxy"])
+    register_table(table)
+
+    # The callback count is pinned by determinism: the optimization pass
+    # must not change *what* the kernel executes, only what it costs.
+    assert metrics["callbacks_per_call"] == seed["callbacks_per_call"]
+    # The acceptance criterion for the hot-path pass: >= 20% less kernel
+    # work per call than the seed (the freelist alone removes ~50%).
+    assert metrics["proxy"] <= 0.8 * seed["proxy"]
+
+
+def test_kernel_events_per_sec():
+    """Raw kernel throughput on the three canonical waitable shapes."""
+    table = Table(
+        "Wall-clock: kernel events/sec (machine-dependent, not gated)",
+        ["workload", "events/sec", "allocs", "callbacks"],
+        formats=[None, "%.0f", None, None],
+        notes="timer = Sleep wake-ups; pingpong = queue put/get pairs; "
+              "select = AnyOf(event, timeout) with a cancelled branch "
+              "per round.  Best of 3 runs.")
+    for kind in ("timer", "pingpong", "select"):
+        rate, snapshot = perf.kernel_events_per_sec(
+            kind, procs=100, steps=500)
+        table.add_row(kind, rate, snapshot.get("calls_allocated", 0),
+                      snapshot.get("callbacks_run", 0))
+        assert rate > 0
+    register_table(table)
+
+
+def test_paired_message_packets_per_sec():
+    rate = perf.paired_message_packets_per_sec(transfers=100)
+    table = Table(
+        "Wall-clock: paired-message packets/sec (machine-dependent)",
+        ["workload", "packets/sec"], formats=[None, "%.0f"],
+        notes="2 KB calls through the segmented paired-message protocol "
+              "(acks, windowing, retransmission timers armed and "
+              "cancelled per transfer).")
+    table.add_row("pm-2KB", rate)
+    register_table(table)
+    assert rate > 0
+
+
+def test_replicated_calls_and_monitor_overhead():
+    plain, watched, ratio = perf.monitor_overhead_ratio(iterations=60)
+    table = Table(
+        "Wall-clock: replicated calls/sec (machine-dependent)",
+        ["configuration", "calls/sec", "overhead ratio"],
+        formats=[None, "%.0f", "%.2f"],
+        notes="Circus(3) echo troupe.  The ratio is unobserved time "
+              "over monitored time spent per call: what the full "
+              "invariant-monitor suite costs when attached.")
+    table.add_row("unobserved", plain, 1.0)
+    table.add_row("with-monitors", watched, ratio)
+    register_table(table)
+    assert plain > 0 and watched > 0
+    # Monitors cost something but must stay within an order of magnitude.
+    assert ratio < 10.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

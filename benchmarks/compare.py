@@ -39,14 +39,20 @@ def percent_delta(base, new):
     return (new - base) / abs(base) * 100.0
 
 
-def compare(baseline, results, threshold):
+def compare(baseline, results, threshold, require_all=False):
     """Yield (table, row, column, base, new, delta%) for every shared
-    numeric cell; collect regressions past the threshold."""
+    numeric cell; collect regressions past the threshold.
+
+    With ``require_all``, a baseline table or row missing from the
+    results is itself a regression (the perf gate uses this so a deleted
+    benchmark cannot silently pass)."""
     regressions = []
     lines = []
     for title, (columns, base_rows) in sorted(baseline.items()):
         if title not in results:
             lines.append("MISSING table in results: %s" % title)
+            if require_all:
+                regressions.append((title, None, None, None, None, None))
             continue
         _new_columns, new_rows = results[title]
         header_shown = False
@@ -54,6 +60,9 @@ def compare(baseline, results, threshold):
             new_row = new_rows.get(label)
             if new_row is None:
                 lines.append("  MISSING row %r in %s" % (label, title))
+                if require_all:
+                    regressions.append((title, label, None, None, None,
+                                        None))
                 continue
             for i, (b, n) in enumerate(zip(base_row, new_row)):
                 if i == 0 or not isinstance(b, (int, float)) \
@@ -88,17 +97,21 @@ def main(argv=None) -> int:
     parser.add_argument("--threshold", type=float, default=0.0,
                         help="fail when any |delta| exceeds this percent "
                              "(default 0: report only)")
+    parser.add_argument("--require-all", action="store_true",
+                        help="also fail when a baseline table or row is "
+                             "missing from the results")
     args = parser.parse_args(argv)
     baseline = load_tables(args.baseline)
     results = load_tables(args.results)
-    lines, regressions = compare(baseline, results, args.threshold)
+    lines, regressions = compare(baseline, results, args.threshold,
+                                 require_all=args.require_all)
     if lines:
         print("\n".join(lines))
     else:
         print("no deltas: results match the baseline exactly")
     if regressions:
-        print("\n%d cell(s) moved more than %.0f%% against %s"
-              % (len(regressions), args.threshold, args.baseline))
+        print("\n%d regression(s) against %s (threshold %.0f%%)"
+              % (len(regressions), args.baseline, args.threshold))
         return 1
     return 0
 

@@ -375,6 +375,73 @@ def _check_scenario_name(target: str) -> str:
     return name
 
 
+def cmd_perf(args) -> int:
+    """Wall-clock throughput plus the deterministic proxy metric.
+
+    ``--profile PATH`` additionally runs the circus workload under
+    cProfile and writes a pstats dump for ``snakeviz``/``pstats``.
+    """
+    from repro.bench import perf
+
+    tables = []
+
+    metrics = perf.proxy_metrics(iterations=args.iterations)
+    seed = perf.SEED_PROXY["circus-200"]
+    proxy_table = Table(
+        "Kernel hot-path proxy metric (work per replicated call)",
+        ["workload", "callbacks/call", "allocs/call",
+         "proxy (callbacks+allocs)"],
+        formats=[None, "%.2f", "%.2f", "%.2f"],
+        notes="Deterministic; the CI gate compares the circus row "
+              "against BENCH_PERF.json.")
+    proxy_table.add_row("circus-200 (seed)", seed["callbacks_per_call"],
+                        seed["allocs_per_call"], seed["proxy"])
+    proxy_table.add_row("circus-%d" % args.iterations,
+                        metrics["callbacks_per_call"],
+                        metrics["allocs_per_call"], metrics["proxy"])
+    tables.append(proxy_table)
+
+    kernel_table = Table(
+        "Wall-clock: kernel events/sec (this machine)",
+        ["workload", "events/sec"], formats=[None, "%.0f"])
+    for kind in ("timer", "pingpong", "select"):
+        rate, _snapshot = perf.kernel_events_per_sec(kind)
+        kernel_table.add_row(kind, rate)
+    tables.append(kernel_table)
+
+    plain, watched, ratio = perf.monitor_overhead_ratio(
+        iterations=min(args.iterations, 100))
+    calls_table = Table(
+        "Wall-clock: replicated calls/sec (this machine)",
+        ["configuration", "calls/sec", "overhead ratio"],
+        formats=[None, "%.0f", "%.2f"])
+    calls_table.add_row("unobserved", plain, 1.0)
+    calls_table.add_row("with-monitors", watched, ratio)
+    tables.append(calls_table)
+
+    if getattr(args, "json", False):
+        print(json.dumps({"tables": [t.to_dict() for t in tables]},
+                         indent=2))
+    else:
+        for table in tables:
+            print(table.render())
+
+    if args.profile:
+        import cProfile
+
+        from repro.cli import _scenario_circus
+        world, body = _scenario_circus(args.iterations)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        world.run(body())
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        print("\ncProfile of circus-%d written to %s "
+              "(inspect with `python -m pstats %s`)"
+              % (args.iterations, args.profile, args.profile))
+    return 0
+
+
 def cmd_postmortem(args) -> int:
     from repro.obs.recorder import render_postmortem
 
@@ -441,6 +508,17 @@ def main(argv=None) -> int:
         "postmortem", help="render a post-mortem dump written by "
                            "'repro check'")
     pm_cmd.add_argument("dump", help="path to a *_postmortem.json file")
+    perf_cmd = sub.add_parser(
+        "perf", help="measure simulator throughput: wall-clock events/sec "
+                     "and the deterministic proxy metric")
+    perf_cmd.add_argument("--iterations", type=int, default=200,
+                          help="circus calls for the proxy metric "
+                               "(default 200, the gated row)")
+    perf_cmd.add_argument("--json", action="store_true",
+                          help="emit {\"tables\": [...]} JSON")
+    perf_cmd.add_argument("--profile", default=None, metavar="PATH",
+                          help="also cProfile the circus workload; write "
+                               "a pstats dump to PATH")
     args = parser.parse_args(argv)
     if args.command == "trace":
         cmd_trace(args)
@@ -450,6 +528,8 @@ def main(argv=None) -> int:
         return cmd_check(args)
     elif args.command == "postmortem":
         return cmd_postmortem(args)
+    elif args.command == "perf":
+        return cmd_perf(args)
     elif args.command == "all":
         for name in sorted(COMMANDS):
             COMMANDS[name](args)

@@ -61,7 +61,7 @@ class EventBus:
     exactly one kind, and ``None`` everything.
     """
 
-    __slots__ = ("active", "_subs", "stamper")
+    __slots__ = ("active", "_subs", "stamper", "_by_kind")
 
     def __init__(self):
         #: True iff at least one subscriber is attached.  Emission sites
@@ -74,6 +74,12 @@ class EventBus:
         #: dispatch, but only past the no-subscriber fast path — with
         #: nothing attached, no clock is ever touched.
         self.stamper = None
+        #: kind -> [matching subscriptions, in subscription order]; built
+        #: lazily per kind on first emit, invalidated on (un)subscribe.
+        #: Event kinds are a small fixed vocabulary, so this stays tiny
+        #: while emit() stops copying and prefix-scanning the full
+        #: subscriber list for every event.
+        self._by_kind: dict = {}
 
     def subscribe(self, handler: Handler,
                   kinds: Union[None, str, Iterable[str]] = None
@@ -87,6 +93,7 @@ class EventBus:
             prefixes = tuple(kinds)
         sub = Subscription(handler, prefixes)
         self._subs.append(sub)
+        self._by_kind = {}
         self.active = True
         return sub
 
@@ -96,6 +103,7 @@ class EventBus:
             self._subs.remove(subscription)
         except ValueError:
             pass
+        self._by_kind = {}
         self.active = bool(self._subs)
 
     def emit(self, event) -> None:
@@ -114,15 +122,23 @@ class EventBus:
         if self.stamper is not None:
             self.stamper.stamp(event)
         kind = event.kind
+        by_kind = self._by_kind
+        matched = by_kind.get(kind)
+        if matched is None:
+            matched = [s for s in self._subs if s.matches(kind)]
+            by_kind[kind] = matched
         failures = None
-        for sub in tuple(self._subs):
-            if sub.matches(kind):
-                try:
-                    sub.handler(event)
-                except Exception as exc:   # noqa: BLE001 — isolation
-                    if failures is None:
-                        failures = []
-                    failures.append((sub, exc))
+        # ``matched`` is a stable snapshot: a handler that (un)subscribes
+        # mid-emit replaces the index, and this delivery finishes against
+        # the membership that existed when the event was emitted (the same
+        # semantics the previous per-emit list copy gave).
+        for sub in matched:
+            try:
+                sub.handler(event)
+            except Exception as exc:   # noqa: BLE001 — isolation
+                if failures is None:
+                    failures = []
+                failures.append((sub, exc))
         if failures and kind != "mon.error":
             from repro.obs import events as _events
             t = getattr(event, "t", 0.0)

@@ -7,6 +7,15 @@ All of these are *waitables*: a process suspends on one with ``yield``.
 - :class:`Condition` — reusable broadcast signal (the paper's protocol code
   awaits ``troupe.status_change``; this is that construct).
 - :class:`Queue` — unbounded FIFO with blocking ``get``.
+
+Hot-path design: waiter cancellation is O(1).  A subscription is a
+:class:`_Waiter` cell; cancelling it nulls the cell in place (a
+*tombstone*) instead of an O(n) ``list.remove``.  Wake-ups skip
+tombstones, and a primitive that accumulates cancelled cells without
+ever waking (e.g. a transfer-done event polled by a retransmission loop)
+compacts its waiter list once tombstones dominate — so repeated
+subscribe/cancel cycles cannot grow memory, and wake order over live
+waiters is exactly subscription order, as before.
 """
 
 from __future__ import annotations
@@ -15,6 +24,29 @@ import collections
 from typing import Any, Callable, Deque, List
 
 from repro.sim.kernel import Simulator
+
+#: tombstones tolerated in a waiter list before an in-place compaction.
+_COMPACT_MIN_DEAD = 8
+
+
+class _Waiter:
+    """One waiter cell: ``resume`` is nulled on cancellation or consumption.
+
+    This object is also the cancellation handle the kernel holds while
+    the process is suspended (the ``cancel()`` protocol)."""
+
+    __slots__ = ("resume", "owner")
+
+    def __init__(self, owner: Any, resume: Callable[[Any], None]):
+        self.owner = owner
+        self.resume = resume
+
+    def cancel(self) -> None:
+        if self.resume is not None:
+            self.resume = None
+            owner = self.owner
+            self.owner = None
+            owner._waiter_cancelled()
 
 
 class Event:
@@ -25,12 +57,15 @@ class Event:
     means one shot.
     """
 
+    __slots__ = ("sim", "name", "fired", "value", "_waiters", "_dead")
+
     def __init__(self, sim: Simulator, name: str = "event"):
         self.sim = sim
         self.name = name
         self.fired = False
         self.value: Any = None
-        self._waiters: List[Callable[[Any], None]] = []
+        self._waiters: List[_Waiter] = []
+        self._dead = 0
 
     def __repr__(self) -> str:
         state = "fired" if self.fired else "pending"
@@ -41,21 +76,31 @@ class Event:
             raise RuntimeError("event %s fired twice" % self.name)
         self.fired = True
         self.value = value
-        waiters, self._waiters = self._waiters, []
-        for resume in waiters:
-            self.sim._schedule_now(resume, value)
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            self._dead = 0
+            schedule_now = self.sim._schedule_now
+            for waiter in waiters:
+                resume = waiter.resume
+                if resume is not None:
+                    waiter.resume = None
+                    waiter.owner = None
+                    schedule_now(resume, value)
 
-    def _subscribe(self, resume: Callable[[Any], None]) -> Callable[[], None]:
+    def _subscribe(self, resume: Callable[[Any], None]):
         if self.fired:
-            handle = self.sim._schedule_now(resume, self.value)
-            return handle.cancel
-        self._waiters.append(resume)
+            return self.sim._schedule_now(resume, self.value)
+        waiter = _Waiter(self, resume)
+        self._waiters.append(waiter)
+        return waiter
 
-        def cancel() -> None:
-            if resume in self._waiters:
-                self._waiters.remove(resume)
-
-        return cancel
+    def _waiter_cancelled(self) -> None:
+        self._dead += 1
+        if self._dead > _COMPACT_MIN_DEAD \
+                and self._dead * 2 >= len(self._waiters):
+            self._waiters = [w for w in self._waiters if w.resume is not None]
+            self._dead = 0
 
 
 class Condition:
@@ -67,27 +112,42 @@ class Condition:
     in a loop.
     """
 
+    __slots__ = ("sim", "name", "_waiters", "_dead")
+
     def __init__(self, sim: Simulator, name: str = "condition"):
         self.sim = sim
         self.name = name
-        self._waiters: List[Callable[[Any], None]] = []
+        self._waiters: List[_Waiter] = []
+        self._dead = 0
 
     def __repr__(self) -> str:
-        return "<Condition %s (%d waiting)>" % (self.name, len(self._waiters))
+        return "<Condition %s (%d waiting)>" % (
+            self.name, len(self._waiters) - self._dead)
 
     def signal(self, value: Any = None) -> None:
-        waiters, self._waiters = self._waiters, []
-        for resume in waiters:
-            self.sim._schedule_now(resume, value)
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            self._dead = 0
+            schedule_now = self.sim._schedule_now
+            for waiter in waiters:
+                resume = waiter.resume
+                if resume is not None:
+                    waiter.resume = None
+                    waiter.owner = None
+                    schedule_now(resume, value)
 
-    def _subscribe(self, resume: Callable[[Any], None]) -> Callable[[], None]:
-        self._waiters.append(resume)
+    def _subscribe(self, resume: Callable[[Any], None]):
+        waiter = _Waiter(self, resume)
+        self._waiters.append(waiter)
+        return waiter
 
-        def cancel() -> None:
-            if resume in self._waiters:
-                self._waiters.remove(resume)
-
-        return cancel
+    def _waiter_cancelled(self) -> None:
+        self._dead += 1
+        if self._dead > _COMPACT_MIN_DEAD \
+                and self._dead * 2 >= len(self._waiters):
+            self._waiters = [w for w in self._waiters if w.resume is not None]
+            self._dead = 0
 
 
 class QueueClosed(Exception):
@@ -102,7 +162,7 @@ class _QueueGet:
     def __init__(self, queue: "Queue"):
         self.queue = queue
 
-    def _subscribe(self, resume: Callable[[Any], None]) -> Callable[[], None]:
+    def _subscribe(self, resume: Callable[[Any], None]):
         return self.queue._subscribe_get(resume)
 
 
@@ -114,37 +174,60 @@ class Queue:
     order of both items and getters.
     """
 
+    __slots__ = ("sim", "name", "_items", "_getters", "_dead", "closed",
+                 "_get_waitable")
+
     def __init__(self, sim: Simulator, name: str = "queue"):
         self.sim = sim
         self.name = name
         self._items: Deque[Any] = collections.deque()
-        self._getters: Deque[Callable[[Any], None]] = collections.deque()
+        self._getters: Deque[_Waiter] = collections.deque()
+        self._dead = 0
         self.closed = False
+        # _QueueGet is stateless (it only forwards _subscribe to this
+        # queue), so one shared instance serves every get() call.
+        self._get_waitable = _QueueGet(self)
 
     def __len__(self) -> int:
         return len(self._items)
 
     def __repr__(self) -> str:
         return "<Queue %s (%d items, %d getters)>" % (
-            self.name, len(self._items), len(self._getters))
+            self.name, len(self._items), len(self._getters) - self._dead)
+
+    def _pop_live_getter(self):
+        """The oldest live getter, discarding tombstones — or None."""
+        getters = self._getters
+        while getters:
+            waiter = getters.popleft()
+            resume = waiter.resume
+            if resume is None:
+                self._dead -= 1
+                continue
+            waiter.resume = None
+            waiter.owner = None
+            return resume
+        return None
 
     def put(self, item: Any) -> None:
         if self.closed:
             raise QueueClosed("put on closed queue %s" % self.name)
-        if self._getters:
-            resume = self._getters.popleft()
+        resume = self._pop_live_getter()
+        if resume is not None:
             self.sim._schedule_now(resume, item)
         else:
             self._items.append(item)
 
     def get(self) -> _QueueGet:
-        return _QueueGet(self)
+        return self._get_waitable
 
     def push_front(self, item: Any) -> None:
         """Put an item back at the head of the queue (used by select-style
         peeking that must not consume data)."""
-        if self._getters:
-            resume = self._getters.popleft()
+        if self.closed:
+            raise QueueClosed("push_front on closed queue %s" % self.name)
+        resume = self._pop_live_getter()
+        if resume is not None:
             self.sim._schedule_now(resume, item)
         else:
             self._items.appendleft(item)
@@ -158,25 +241,30 @@ class Queue:
     def close(self) -> None:
         """Close the queue: pending getters receive QueueClosed markers."""
         self.closed = True
-        while self._getters:
-            resume = self._getters.popleft()
+        while True:
+            resume = self._pop_live_getter()
+            if resume is None:
+                break
             self.sim._schedule_now(resume, _CLOSED)
 
-    def _subscribe_get(self, resume: Callable[[Any], None]) -> Callable[[], None]:
+    def _subscribe_get(self, resume: Callable[[Any], None]):
         if self._items:
             item = self._items.popleft()
-            handle = self.sim._schedule_now(resume, item)
-            return handle.cancel
+            return self.sim._schedule_now(resume, item)
         if self.closed:
-            handle = self.sim._schedule_now(resume, _CLOSED)
-            return handle.cancel
-        self._getters.append(resume)
+            return self.sim._schedule_now(resume, _CLOSED)
+        waiter = _Waiter(self, resume)
+        self._getters.append(waiter)
+        return waiter
 
-        def cancel() -> None:
-            if resume in self._getters:
-                self._getters.remove(resume)
-
-        return cancel
+    def _waiter_cancelled(self) -> None:
+        self._dead += 1
+        if self._dead > _COMPACT_MIN_DEAD \
+                and self._dead * 2 >= len(self._getters):
+            live = [w for w in self._getters if w.resume is not None]
+            self._getters.clear()
+            self._getters.extend(live)
+            self._dead = 0
 
 
 class _ClosedMarker:

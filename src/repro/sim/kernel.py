@@ -15,16 +15,46 @@ generator can be called from any process.
 
 Time is a float in milliseconds by convention (the paper reports
 milliseconds per call), although nothing in the kernel depends on the unit.
+
+Hot-path design (see docs/PERFORMANCE.md)
+-----------------------------------------
+
+The event queue holds ``(time, seq, call)`` tuples so heap comparisons
+run entirely in C (``seq`` is unique, so the ``call`` object is never
+compared).  :class:`_ScheduledCall` handles are pooled on a freelist and
+recycled as soon as their callback has run, which makes steady-state
+scheduling allocation-free.  Two invariants follow:
+
+1. A handle returned by :meth:`Simulator.schedule` may be cancelled *at
+   most once*, and **never after its callback has run** — by then the
+   handle may already be re-armed for an unrelated callback.  Every
+   holder in this repository either drops or nulls its reference when
+   the callback fires.
+2. Cancellation is O(1) (a flag) and lazily reclaimed; the kernel
+   compacts the heap when dead entries outnumber live ones, so
+   lazily-cancelled timers cannot bloat the queue.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from heapq import heappush as heappush
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.obs import events as obs_events
 from repro.obs.bus import EventBus
+
+#: shared args tuple for timer resumes — every Sleep wake-up is
+#: ``resume(None)``, so the hot path never builds a fresh tuple.
+_RESUME_NONE = (None,)
+
+#: recycled-handle pool bound: enough for any realistic concurrency
+#: plateau while keeping a pathological burst from pinning memory.
+_FREELIST_MAX = 4096
+
+#: compaction trigger: dead heap entries tolerated before a rebuild.
+_COMPACT_MIN_DEAD = 64
 
 
 class SimulationError(Exception):
@@ -65,6 +95,8 @@ class AnyOf:
     are left undisturbed (event subscriptions are cancelled).
     """
 
+    __slots__ = ("waitables",)
+
     def __init__(self, *waitables: Any):
         if not waitables:
             raise ValueError("AnyOf requires at least one waitable")
@@ -75,22 +107,103 @@ class AnyOf:
 
 
 class _ScheduledCall:
-    """A cancellable entry in the simulator's event queue."""
+    """A cancellable entry in the simulator's event queue.
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    The heap orders ``(time, seq, call)`` tuples, so this object carries
+    no ordering state of its own — it is purely the cancellation handle
+    and the callback payload, which lets the simulator recycle instances
+    through a freelist (see the module docstring for the invariant).
+    """
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
-        self.time = time
-        self.seq = seq
+    __slots__ = ("fn", "args", "cancelled", "sim")
+
+    def __init__(self, fn: Callable, args: tuple, sim: "Simulator"):
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self.sim
+            sim._live -= 1
+            sim._dead += 1
+            # Compact when the dead outnumber the live entries actually
+            # in the heap (len(queue) is ground truth; the _live counter
+            # can read transiently high inside a run() slice).
+            if sim._dead > _COMPACT_MIN_DEAD \
+                    and sim._dead * 2 > len(sim._queue):
+                sim._compact()
 
-    def __lt__(self, other: "_ScheduledCall") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+
+class _JoinWait:
+    """A joiner entry on a process: tombstoned in place on cancellation."""
+
+    __slots__ = ("joiner", "resume")
+
+    def __init__(self, joiner: "Process", resume: Callable[[Any], None]):
+        self.joiner = joiner
+        self.resume = resume
+
+    def cancel(self) -> None:
+        self.joiner = None
+        self.resume = None
+
+
+class _AnyOfWait:
+    """Live state for a multi-waitable AnyOf: first fire wins, cancels
+    the losers, and resumes the process with ``(index, value)``."""
+
+    __slots__ = ("resume", "cancels", "done")
+
+    def __init__(self, resume: Callable[[Any], None]):
+        self.resume = resume
+        self.cancels: List[Any] = []
+        self.done = False
+
+    def _fire(self, index: int, value: Any) -> None:
+        if self.done:
+            return
+        self.done = True
+        cancels = self.cancels
+        for i in range(len(cancels)):
+            if i != index:
+                cancels[i].cancel()
+        self.resume((index, value))
+
+    def cancel(self) -> None:
+        if self.done:
+            return
+        self.done = True
+        for canceller in self.cancels:
+            canceller.cancel()
+
+
+class _AnyOfBranch:
+    """The resume callback for one branch of an AnyOf (no closures)."""
+
+    __slots__ = ("wait", "index")
+
+    def __init__(self, wait: _AnyOfWait, index: int):
+        self.wait = wait
+        self.index = index
+
+    def __call__(self, value: Any) -> None:
+        self.wait._fire(self.index, value)
+
+
+class _IndexZero:
+    """Resume wrapper for the single-waitable AnyOf fast path: delivers
+    ``(0, value)`` without allocating the full _AnyOfWait machinery."""
+
+    __slots__ = ("resume",)
+
+    def __init__(self, resume: Callable[[Any], None]):
+        self.resume = resume
+
+    def __call__(self, value: Any) -> None:
+        self.resume((0, value))
 
 
 class Process:
@@ -101,6 +214,10 @@ class Process:
     :attr:`exception`), or when it is killed.
     """
 
+    __slots__ = ("sim", "gen", "name", "alive", "result", "exception",
+                 "killed", "daemon", "observed", "_joiners", "_wait_cancel",
+                 "_step", "_stop_on_exit")
+
     def __init__(self, sim: "Simulator", gen: Generator, name: str):
         self.sim = sim
         self.gen = gen
@@ -109,15 +226,21 @@ class Process:
         self.result: Any = None
         self.exception: Optional[BaseException] = None
         self.killed = False
-        # Each joiner entry is (process, resume_callback): the callback
-        # receives the result, so joins compose with AnyOf; exceptions are
-        # thrown into the joining process directly.
-        self._joiners: List[Tuple["Process", Callable[[Any], None]]] = []
-        # The cancel hooks for whatever this process is currently waiting on.
-        self._wait_cancels: List[Callable[[], None]] = []
+        # Joiner entries (_JoinWait); lazily allocated — most processes
+        # are never joined.
+        self._joiners: Optional[List[_JoinWait]] = None
+        # The cancel handle for whatever this process is waiting on (a
+        # process waits on exactly one waitable at a time; AnyOf manages
+        # its branches internally).
+        self._wait_cancel: Any = None
         self.daemon = False
         # Set by run_process: failures are re-raised there, not by run().
         self.observed = False
+        #: run_process sets this so _finish can stop the event loop
+        #: without a per-callback stop_when() poll.
+        self._stop_on_exit = False
+        # One bound method for every resume, instead of one per wait.
+        self._step = self._step_send
 
     def __repr__(self) -> str:
         state = "alive" if self.alive else "dead"
@@ -164,35 +287,45 @@ class Process:
     # -- internals ---------------------------------------------------------
 
     def _cancel_waits(self) -> None:
-        for cancel in self._wait_cancels:
-            cancel()
-        self._wait_cancels = []
+        canceller = self._wait_cancel
+        if canceller is not None:
+            self._wait_cancel = None
+            canceller.cancel()
 
     def _finish(self, result: Any, exception: Optional[BaseException],
                 killed: bool = False) -> None:
+        sim = self.sim
         self.alive = False
         self.result = result
         self.exception = exception
         self.killed = killed
-        if self.sim.bus.active:
-            self.sim.bus.emit(obs_events.ProcessExited(
-                t=self.sim.now, name=self.name, killed=killed,
+        if sim.bus.active:
+            sim.bus.emit(obs_events.ProcessExited(
+                t=sim.now, name=self.name, killed=killed,
                 failed=exception is not None and not killed))
-        joiners, self._joiners = self._joiners, []
-        for joiner, resume in joiners:
-            if exception is not None and not killed:
-                joiner._cancel_waits()
-                self.sim._schedule_now(joiner._step_throw, exception)
-            else:
-                self.sim._schedule_now(resume, result)
-        if exception is not None and not killed and not joiners:
+        if self._stop_on_exit:
+            sim._stop = True
+        joiners, self._joiners = self._joiners, None
+        delivered = 0
+        if joiners:
+            for entry in joiners:
+                joiner = entry.joiner
+                if joiner is None:
+                    continue
+                delivered += 1
+                if exception is not None and not killed:
+                    joiner._cancel_waits()
+                    sim._schedule_now(joiner._step_throw, exception)
+                else:
+                    sim._schedule_now(entry.resume, result)
+        if exception is not None and not killed and not delivered:
             if not self.daemon and not self.observed:
-                self.sim._record_failure(self, exception)
+                sim._record_failure(self, exception)
 
     def _step_send(self, value: Any) -> None:
         if not self.alive:
             return
-        self._wait_cancels = []
+        self._wait_cancel = None
         try:
             waitable = self.gen.send(value)
         except StopIteration as stop:
@@ -201,12 +334,31 @@ class Process:
         except BaseException as exc:
             self._finish(result=None, exception=exc)
             return
-        self._wait_on(waitable)
+        # Inlined Sleep fast path (the most common wait by far): arm a
+        # pooled timer directly, skipping the _arm/schedule call frames.
+        # Sleep.__init__ already validated delay >= 0.
+        if waitable.__class__ is Sleep:
+            sim = self.sim
+            free = sim._free
+            if free:
+                call = free.pop()
+                call.fn = self._step
+                call.args = _RESUME_NONE
+                call.cancelled = False
+            else:
+                sim.calls_allocated += 1
+                call = _ScheduledCall(self._step, _RESUME_NONE, sim)
+            heappush(sim._queue,
+                     (sim.now + waitable.delay, next(sim._seq), call))
+            sim._live += 1
+            self._wait_cancel = call
+            return
+        self._wait_cancel = self._arm(waitable, self._step)
 
     def _step_throw(self, exc: BaseException) -> None:
         if not self.alive:
             return
-        self._wait_cancels = []
+        self._wait_cancel = None
         try:
             waitable = self.gen.throw(exc)
         except StopIteration as stop:
@@ -215,74 +367,50 @@ class Process:
         except BaseException as raised:
             self._finish(result=None, exception=raised)
             return
-        self._wait_on(waitable)
+        self._wait_cancel = self._arm(waitable, self._step)
 
-    def _wait_on(self, waitable: Any) -> None:
-        cancel = self._subscribe(waitable, self._step_send)
-        self._wait_cancels.append(cancel)
-
-    def _subscribe(self, waitable: Any,
-                   resume: Callable[[Any], None]) -> Callable[[], None]:
-        """Arrange for ``resume(value)`` when ``waitable`` fires."""
+    def _arm(self, waitable: Any, resume: Callable[[Any], None]):
+        """Arrange for ``resume(value)`` when ``waitable`` fires; returns
+        a cancellation handle (anything with a ``cancel()`` method)."""
         if isinstance(waitable, Sleep):
-            handle = self.sim.schedule(waitable.delay, resume, None)
-            return handle.cancel
-        if isinstance(waitable, AnyOf):
-            return self._subscribe_any(waitable, resume)
-        if isinstance(waitable, Process):
-            return self._subscribe_process(waitable, resume)
-        # Events and conditions provide the subscription protocol.
+            # The fast path: a timer is one pooled heap entry, nothing else.
+            return self.sim.schedule(waitable.delay, resume, None)
         subscribe = getattr(waitable, "_subscribe", None)
-        if subscribe is None:
-            raise SimulationError(
-                "process %s yielded a non-waitable: %r" % (self.name, waitable))
-        return subscribe(resume)
+        if subscribe is not None:
+            # Events, conditions and queue-gets provide the subscription
+            # protocol; they are the next most common waitables.
+            return subscribe(resume)
+        if isinstance(waitable, AnyOf):
+            return self._arm_any(waitable, resume)
+        if isinstance(waitable, Process):
+            return self._arm_process(waitable, resume)
+        raise SimulationError(
+            "process %s yielded a non-waitable: %r" % (self.name, waitable))
 
-    def _subscribe_any(self, anyof: AnyOf,
-                       resume: Callable[[Any], None]) -> Callable[[], None]:
-        cancels: List[Callable[[], None]] = []
-        done = [False]
+    def _arm_any(self, anyof: AnyOf, resume: Callable[[Any], None]):
+        waitables = anyof.waitables
+        if len(waitables) == 1:
+            # Degenerate AnyOf: subscribe the sole waitable directly with
+            # an index-tagging resume; its own handle is the canceller.
+            return self._arm(waitables[0], _IndexZero(resume))
+        wait = _AnyOfWait(resume)
+        cancels = wait.cancels
+        for i, sub in enumerate(waitables):
+            cancels.append(self._arm(sub, _AnyOfBranch(wait, i)))
+        return wait
 
-        def fire(index: int, value: Any) -> None:
-            if done[0]:
-                return
-            done[0] = True
-            for i, cancel in enumerate(cancels):
-                if i != index:
-                    cancel()
-            resume((index, value))
-
-        for i, sub in enumerate(anyof.waitables):
-            def make(index: int) -> Callable[[Any], None]:
-                return lambda value: fire(index, value)
-            cancels.append(self._subscribe(sub, make(i)))
-            if done[0]:
-                break
-
-        def cancel_all() -> None:
-            done[0] = True
-            for cancel in cancels:
-                cancel()
-
-        return cancel_all
-
-    def _subscribe_process(self, proc: "Process",
-                           resume: Callable[[Any], None]) -> Callable[[], None]:
+    def _arm_process(self, proc: "Process",
+                           resume: Callable[[Any], None]):
         if not proc.alive:
             if proc.exception is not None and not proc.killed:
-                handle = self.sim.schedule(
-                    0.0, self._step_throw, proc.exception)
-            else:
-                handle = self.sim.schedule(0.0, resume, proc.result)
-            return handle.cancel
-        entry = (self, resume)
-        proc._joiners.append(entry)
-
-        def cancel() -> None:
-            if entry in proc._joiners:
-                proc._joiners.remove(entry)
-
-        return cancel
+                return self.sim.schedule(0.0, self._step_throw, proc.exception)
+            return self.sim.schedule(0.0, resume, proc.result)
+        entry = _JoinWait(self, resume)
+        if proc._joiners is None:
+            proc._joiners = [entry]
+        else:
+            proc._joiners.append(entry)
+        return entry
 
 
 class Simulator:
@@ -290,11 +418,28 @@ class Simulator:
 
     def __init__(self, monitors=None):
         self.now: float = 0.0
-        self._queue: List[_ScheduledCall] = []
+        #: the heap holds (time, seq, call) tuples so every comparison is
+        #: a C-level tuple comparison (seq is unique; call never compares).
+        self._queue: List[Tuple[float, int, _ScheduledCall]] = []
         self._seq = itertools.count()
         self._processes: List[Process] = []
         self._failures: List[Tuple[Process, BaseException]] = []
         self._proc_names = itertools.count()
+        #: recycled _ScheduledCall handles (see module docstring).
+        self._free: List[_ScheduledCall] = []
+        #: non-cancelled entries in the heap (pending_events is O(1)).
+        self._live = 0
+        #: cancelled entries still awaiting lazy removal from the heap.
+        self._dead = 0
+        #: set by Process._finish for run_process; checked by run().
+        self._stop = False
+        # -- machine-independent perf counters (benchmarks/bench_wallclock
+        # and `repro perf` read these; they are deterministic because the
+        # simulation is).
+        #: callbacks executed by run() over this simulator's lifetime.
+        self.callbacks_run = 0
+        #: _ScheduledCall objects constructed (freelist misses).
+        self.calls_allocated = 0
         #: the observability event bus for this simulation world; every
         #: layer built on this simulator emits its events here.
         self.bus = EventBus()
@@ -311,15 +456,61 @@ class Simulator:
     # -- scheduling --------------------------------------------------------
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> _ScheduledCall:
-        """Run ``fn(*args)`` after ``delay`` units of virtual time."""
+        """Run ``fn(*args)`` after ``delay`` units of virtual time.
+
+        The returned handle may be cancelled at most once, and never
+        after the callback has run (handles are pooled and recycled)."""
         if delay < 0:
             raise ValueError("cannot schedule in the past (delay=%r)" % delay)
-        call = _ScheduledCall(self.now + delay, next(self._seq), fn, args)
-        heapq.heappush(self._queue, call)
+        free = self._free
+        if free:
+            call = free.pop()
+            call.fn = fn
+            call.args = args
+            call.cancelled = False
+        else:
+            self.calls_allocated += 1
+            call = _ScheduledCall(fn, args, self)
+        heappush(self._queue, (self.now + delay, next(self._seq), call))
+        self._live += 1
         return call
 
     def _schedule_now(self, fn: Callable, *args: Any) -> _ScheduledCall:
-        return self.schedule(0.0, fn, *args)
+        # schedule(0.0, ...) without the delay validation — the kernel's
+        # own resume path, hot enough to skip one call frame.
+        free = self._free
+        if free:
+            call = free.pop()
+            call.fn = fn
+            call.args = args
+            call.cancelled = False
+        else:
+            self.calls_allocated += 1
+            call = _ScheduledCall(fn, args, self)
+        heappush(self._queue, (self.now, next(self._seq), call))
+        self._live += 1
+        return call
+
+    def _compact(self) -> None:
+        """Drop lazily-cancelled entries and re-heapify (in place, so run()
+        loops holding a reference to the queue list stay valid).  Pop
+        order is unchanged: (time, seq) is a total order over the
+        survivors and heapify preserves it."""
+        queue = self._queue
+        free = self._free
+        live = []
+        append = live.append
+        for entry in queue:
+            call = entry[2]
+            if call.cancelled:
+                if len(free) < _FREELIST_MAX:
+                    call.fn = call.args = None
+                    free.append(call)
+            else:
+                append(entry)
+        self._dead = 0
+        queue[:] = live
+        heapq.heapify(queue)
 
     def spawn(self, gen: Generator, name: Optional[str] = None,
               daemon: bool = False) -> Process:
@@ -355,31 +546,83 @@ class Simulator:
         nobody joined it, the first such exception is re-raised here: errors
         never pass silently.
         """
+        queue = self._queue
+        free = self._free
+        failures = self._failures
+        pop = heapq.heappop
+        self._stop = False
         count = 0
-        while self._queue:
-            call = self._queue[0]
-            if until is not None and call.time > until:
-                self.now = until
-                break
-            heapq.heappop(self._queue)
-            if call.cancelled:
-                continue
-            self.now = call.time
-            call.fn(*call.args)
-            count += 1
-            if self._failures:
-                proc, exc = self._failures[0]
-                self._failures = []
-                raise SimulationError(
-                    "process %s died: %r" % (proc.name, exc)) from exc
-            if max_events is not None and count >= max_events:
-                break
-            if stop_when is not None and stop_when():
-                break
-        else:
-            if until is not None and until > self.now:
-                self.now = until
-        return self.now
+        try:
+            if until is None and max_events is None and stop_when is None:
+                # The hot path: no bound checks, no stop_when() polling —
+                # run_process stops the loop via the _stop flag instead.
+                # The _live counter is settled once in the finally block
+                # (count executed == live entries consumed), not per event.
+                while queue:
+                    time, _seq, call = pop(queue)
+                    if call.cancelled:
+                        self._dead -= 1
+                        if len(free) < _FREELIST_MAX:
+                            call.fn = call.args = None
+                            free.append(call)
+                        continue
+                    self.now = time
+                    fn = call.fn
+                    args = call.args
+                    if len(free) < _FREELIST_MAX:
+                        free.append(call)
+                    fn(*args)
+                    count += 1
+                    if failures:
+                        proc, exc = failures[0]
+                        del failures[:]
+                        raise SimulationError(
+                            "process %s died: %r" % (proc.name, exc)) from exc
+                    if self._stop:
+                        break
+                return self.now
+            while queue:
+                entry = queue[0]
+                if until is not None and entry[0] > until:
+                    self.now = until
+                    break
+                pop(queue)
+                call = entry[2]
+                if call.cancelled:
+                    self._dead -= 1
+                    if len(free) < _FREELIST_MAX:
+                        call.fn = call.args = None
+                        free.append(call)
+                    continue
+                self.now = entry[0]
+                fn = call.fn
+                args = call.args
+                if len(free) < _FREELIST_MAX:
+                    free.append(call)
+                fn(*args)
+                count += 1
+                if failures:
+                    proc, exc = failures[0]
+                    del failures[:]
+                    raise SimulationError(
+                        "process %s died: %r" % (proc.name, exc)) from exc
+                if max_events is not None and count >= max_events:
+                    break
+                if stop_when is not None and stop_when():
+                    break
+                if self._stop:
+                    break
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+            return self.now
+        finally:
+            self.callbacks_run += count
+            # Each executed callback consumed one live heap entry; settling
+            # the counter here keeps the per-event loop free of it.  (The
+            # compaction heuristic reading a transiently-high _live mid-run
+            # merely compacts a little later — it is only a heuristic.)
+            self._live -= count
 
     def run_process(self, gen: Generator, name: Optional[str] = None,
                     until: Optional[float] = None) -> Any:
@@ -393,7 +636,8 @@ class Simulator:
         SimulationError)."""
         proc = self.spawn(gen, name=name)
         proc.observed = True
-        self.run(until=until, stop_when=lambda: not proc.alive)
+        proc._stop_on_exit = True
+        self.run(until=until)
         if proc.alive:
             raise SimulationError(
                 "process %s did not finish by t=%r" % (proc.name, self.now))
@@ -404,7 +648,18 @@ class Simulator:
     # -- introspection -----------------------------------------------------
 
     def pending_events(self) -> int:
-        return sum(1 for call in self._queue if not call.cancelled)
+        """Live (non-cancelled) entries in the event queue — O(1)."""
+        return self._live
 
     def live_processes(self) -> List[Process]:
         return [p for p in self._processes if p.alive]
+
+    def perf_snapshot(self) -> dict:
+        """Machine-independent kernel work counters (deterministic)."""
+        return {
+            "callbacks_run": self.callbacks_run,
+            "calls_allocated": self.calls_allocated,
+            "pending_live": self._live,
+            "pending_dead": self._dead,
+            "freelist": len(self._free),
+        }

@@ -57,7 +57,7 @@ def test_threshold_gate_fails_on_large_drift(tmp_path, capsys):
                          "--threshold", "25"]) == 1
     out = capsys.readouterr().out
     assert "exceeds 25%" in out
-    assert "1 cell(s) moved more than 25%" in out
+    assert "1 regression(s)" in out
 
 
 def test_small_drift_passes_under_threshold(tmp_path):
@@ -76,6 +76,30 @@ def test_missing_and_new_tables_are_flagged(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "MISSING table in results: demo table" in out
     assert "NEW table (not in baseline): renamed table" in out
+
+
+def test_require_all_fails_on_missing_table(tmp_path, capsys):
+    base = _write(tmp_path / "base.json", _payload(1.0))
+    other = dict(_payload(1.0))
+    other["tables"] = [dict(other["tables"][0], title="renamed table")]
+    new = _write(tmp_path / "new.json", other)
+    assert compare.main([new, "--baseline", base, "--require-all"]) == 1
+    assert "MISSING table" in capsys.readouterr().out
+
+
+def test_require_all_fails_on_missing_row(tmp_path):
+    base = _write(tmp_path / "base.json", _payload(1.0))
+    other = _payload(1.0)
+    other["tables"][0]["rows"] = [["beta", 2.0, 20]]      # alpha dropped
+    new = _write(tmp_path / "new.json", other)
+    assert compare.main([new, "--baseline", base, "--require-all"]) == 1
+
+
+def test_committed_perf_baseline_matches_itself(capsys):
+    baseline = os.path.join(REPO_ROOT, "BENCH_PERF.json")
+    assert compare.main([baseline, "--baseline", baseline,
+                         "--threshold", "5", "--require-all"]) == 0
+    assert "no deltas" in capsys.readouterr().out
 
 
 def test_percent_delta_edge_cases():
