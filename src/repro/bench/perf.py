@@ -34,6 +34,26 @@ SEED_PROXY = {
     },
 }
 
+#: Frozen message-path counters from the seed protocol stack (measured
+#: once with the same workloads before the encode-once / scheduler
+#: pass): segment encodes, endpoint helper daemons spawned, and packets
+#: per replicated circus call.  ``msg_proxy`` is encodes + daemons —
+#: the deterministic work-per-call number the CI perf job gates.
+SEED_MESSAGE_PATH = {
+    "circus-200": {
+        "encodes_per_call": 11.990,
+        "daemons_per_call": 6.020,
+        "packets_per_call": 11.990,
+        "msg_proxy": 18.010,
+    },
+    #: the deterministic lossy paired-message exchange (seed 11, 15%
+    #: loss, 13-segment calls) the delayed-ack rows run on.
+    "pm-loss15": {
+        "packets_per_transfer": 23.125,
+        "ms_per_transfer": 226.52244269964925,
+    },
+}
+
 
 # ---------------------------------------------------------------------------
 # Kernel microbenchmarks (pure Simulator, no protocol stack)
@@ -203,6 +223,76 @@ def monitor_overhead_ratio(iterations: int = 100) -> Tuple[float, float, float]:
     watched = replicated_calls_per_sec(iterations, monitors=True)
     ratio = plain / watched if watched > 0 else float("inf")
     return plain, watched, ratio
+
+
+def message_path_metrics(iterations: int = 200) -> Dict[str, float]:
+    """Deterministic work counters for the message path on the circus
+    workload: segment encodes, endpoint helper daemons spawned, and
+    packets per replicated call.  ``msg_proxy`` (encodes + daemons) is
+    the CI-gated number; ``packets_per_call`` must match the seed row
+    exactly — the optimizations may not change what goes on the wire.
+    """
+    from repro.cli import _scenario_circus
+
+    world, body = _scenario_circus(iterations)
+    world.run(body())
+    totals = world.endpoint_stats()
+    encodes = totals["segment_encodes"] / iterations
+    daemons = totals["daemons_spawned"] / iterations
+    packets = world.net.packets_sent / iterations
+    return {
+        "encodes_per_call": encodes,
+        "daemons_per_call": daemons,
+        "packets_per_call": packets,
+        "msg_proxy": encodes + daemons,
+    }
+
+
+def lossy_transfer_metrics(delayed_acks: bool = False, transfers: int = 8,
+                           loss: float = 0.15,
+                           seed: int = 11) -> Dict[str, float]:
+    """The deterministic lossy paired-message exchange (13-segment call
+    messages, seeded loss) with or without ack coalescing — the
+    benchmark row for ``PairedMessageConfig.delayed_acks``."""
+    from repro.harness import World
+    from repro.net.network import NetworkConfig
+    from repro.pairedmsg import PairedEndpoint, PairedMessageConfig
+
+    message = bytes(range(256)) * 24          # 6144 bytes -> 13 segments
+    world = World(machines=2, seed=seed,
+                  net_config=NetworkConfig(loss_probability=loss))
+    config = PairedMessageConfig(max_segment_data=512,
+                                 retransmit_interval=30.0,
+                                 delayed_acks=delayed_acks)
+    client_proc = world.machines[0].spawn_process("pm-client")
+    server_proc = world.machines[1].spawn_process("pm-server")
+    client = PairedEndpoint(client_proc, config=config)
+    server = PairedEndpoint(server_proc, port=600, config=config)
+
+    def server_loop():
+        while True:
+            msg = yield from server.next_call()
+            yield from server.send_return(msg.peer, msg.call_number, b"ok")
+
+    server_proc.spawn(server_loop(), daemon=True)
+
+    def body():
+        start = world.sim.now
+        for number in range(1, transfers + 1):
+            yield from client.call(server.addr, number, message)
+        return (world.sim.now - start) / transfers
+
+    latency = world.run(body())
+    acks_sent = (client.counters["acks_sent"]
+                 + server.counters["acks_sent"])
+    acks_coalesced = (client.counters["acks_coalesced"]
+                      + server.counters["acks_coalesced"])
+    return {
+        "ms_per_transfer": latency,
+        "packets_per_transfer": world.net.packets_sent / transfers,
+        "acks_per_transfer": acks_sent / transfers,
+        "acks_coalesced_per_transfer": acks_coalesced / transfers,
+    }
 
 
 def proxy_metrics(iterations: int = 200) -> Dict[str, float]:

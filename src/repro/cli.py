@@ -401,6 +401,27 @@ def cmd_perf(args) -> int:
                         metrics["allocs_per_call"], metrics["proxy"])
     tables.append(proxy_table)
 
+    path_metrics = perf.message_path_metrics(iterations=args.iterations)
+    path_seed = perf.SEED_MESSAGE_PATH["circus-200"]
+    path_table = Table(
+        "Message-path proxy metric (work per replicated call)",
+        ["workload", "encodes/call", "daemons/call", "packets/call",
+         "msg proxy (encodes+daemons)"],
+        formats=[None, "%.2f", "%.2f", "%.2f", "%.2f"],
+        notes="Deterministic; the CI gate compares the circus row "
+              "against BENCH_PERF.json.  packets/call is pinned to the "
+              "seed: the optimizations change per-packet work, not what "
+              "goes on the wire.")
+    path_table.add_row("circus-200 (seed)", path_seed["encodes_per_call"],
+                       path_seed["daemons_per_call"],
+                       path_seed["packets_per_call"], path_seed["msg_proxy"])
+    path_table.add_row("circus-%d" % args.iterations,
+                       path_metrics["encodes_per_call"],
+                       path_metrics["daemons_per_call"],
+                       path_metrics["packets_per_call"],
+                       path_metrics["msg_proxy"])
+    tables.append(path_table)
+
     kernel_table = Table(
         "Wall-clock: kernel events/sec (this machine)",
         ["workload", "events/sec"], formats=[None, "%.0f"])

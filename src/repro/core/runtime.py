@@ -645,14 +645,17 @@ class TroupeRuntime:
                 self._await_one(member, call_number),
                 name="await-%s" % (member,), daemon=True)
         pending = dict(waiters)
+        #: deterministic wake order, sorted once — removing the fired
+        #: member keeps the remainder sorted, so each round avoids the
+        #: old per-iteration re-sort.
+        order = sorted(pending.keys())
         crashed = []
         responses = 0
         decided = False
         result = None
         while pending:
-            order = sorted(pending.keys())
             index, value = yield AnyOf(*[pending[m] for m in order])
-            member = order[index]
+            member = order.pop(index)
             del pending[member]
             status, data = value
             if bus.active:

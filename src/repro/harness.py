@@ -49,6 +49,9 @@ class World:
         self._machine_by_name = {m.name: m for m in self.machines}
         #: troupe_id -> list of member process addresses (the resolver's map)
         self.registry: Dict[TroupeId, List[ProcessAddress]] = {}
+        #: every runtime this world created, so benchmarks can aggregate
+        #: per-endpoint counters (see :meth:`endpoint_stats`).
+        self.runtimes: List[TroupeRuntime] = []
         self._next_host = 0
 
     # -- machines -----------------------------------------------------------
@@ -119,6 +122,7 @@ class World:
             member_addr = runtime.export(module)
             runtime.start_server()
             runtimes.append(runtime)
+            self.runtimes.append(runtime)
             members.append(member_addr)
         descriptor = TroupeDescriptor(name, troupe_id, tuple(members))
         self.register(descriptor)
@@ -135,10 +139,12 @@ class World:
         else:
             machine = self._machine_by_name[machine_name]
         process = machine.spawn_process("client")
-        return TroupeRuntime(process,
-                             config=runtime_config or self.runtime_config,
-                             resolver=self.resolver, troupe_id=troupe_id,
-                             thread_id=thread_id)
+        runtime = TroupeRuntime(process,
+                                config=runtime_config or self.runtime_config,
+                                resolver=self.resolver, troupe_id=troupe_id,
+                                thread_id=thread_id)
+        self.runtimes.append(runtime)
+        return runtime
 
     def make_client_troupe(self, name: str, degree: int,
                            on_machines: Optional[List[str]] = None,
@@ -161,12 +167,22 @@ class World:
                 resolver=self.resolver, troupe_id=troupe_id,
                 thread_id=thread_id)
             runtimes.append(runtime)
+            self.runtimes.append(runtime)
             members.append(runtime.addr)
         self.registry[troupe_id] = members
         from repro.net.addresses import ModuleAddress
         descriptor = TroupeDescriptor(
             name, troupe_id, tuple(ModuleAddress(a, 0) for a in members))
         return descriptor, runtimes
+
+    def endpoint_stats(self) -> Dict[str, float]:
+        """Sum the paired-endpoint stats/counters across every runtime
+        this world created (the message-path proxy metrics)."""
+        totals: Dict[str, float] = {}
+        for runtime in self.runtimes:
+            for key, value in runtime.endpoint.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     # -- running --------------------------------------------------------
 

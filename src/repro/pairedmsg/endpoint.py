@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import collections
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.host.process import OsProcess
 from repro.net.addresses import ProcessAddress
@@ -71,6 +71,14 @@ class PairedMessageConfig:
     #: network."  True trades extra packets for fewer retransmission
     #: rounds on very lossy links.
     retransmit_all: bool = False
+    #: opt-in ack coalescing: instead of transmitting every explicit
+    #: acknowledgment immediately, hold the highest cumulative ack per
+    #: (peer, message) and flush them in one batch per flush interval.
+    #: Off by default — coalescing trades ack latency (and therefore
+    #: some extra retransmissions on lossy links) for fewer control
+    #: packets, so the paper-faithful tables keep it disabled.
+    delayed_acks: bool = False
+    ack_flush_interval: float = 10.0
     probe_interval: float = 150.0   # silence before probing a peer
     crash_timeout: float = 800.0    # silence before declaring a crash
     delivered_memory: int = 128     # completed call numbers kept per peer
@@ -112,15 +120,23 @@ class _OutgoingTransfer:
     """Sender-side state for one message (§4.2.2's queue of unacked segments)."""
 
     def __init__(self, endpoint: "PairedEndpoint", peer: ProcessAddress,
-                 msg_type: int, call_number: int, segs: List[Segment]):
+                 msg_type: int, call_number: int, segs: Sequence[Segment]):
         self.endpoint = endpoint
         self.peer = peer
         self.msg_type = msg_type
         self.call_number = call_number
+        #: may be shared between the per-peer transfers of one multicast
+        #: send — per-transfer state lives in ``unacked``, not here.
         self.segments = segs
         self.unacked: Dict[int, Segment] = {s.segment_number: s for s in segs}
         self.done = Event(endpoint.sim, "xfer-done")
         self.retries = 0
+        #: virtual time of the next retransmission round, maintained by
+        #: the endpoint's retransmit scheduler.
+        self.next_due = 0.0
+        #: True while an ephemeral worker process owns this transfer's
+        #: current retransmission round.
+        self.worker_active = False
         #: signalled whenever the acknowledged prefix advances (used by
         #: the stop-and-wait sender).
         self.progress = Condition(endpoint.sim, "xfer-progress")
@@ -149,6 +165,7 @@ class _OutgoingTransfer:
         self.unacked = {}
         if not self.done.fired:
             self.done.fire("acked")
+            self.endpoint._transfer_finished()
 
     def fail(self) -> None:
         if not self.done.fired:
@@ -159,6 +176,7 @@ class _OutgoingTransfer:
                     call_number=self.call_number,
                     proc=self.endpoint.process.name))
             self.done.fire("timeout")
+            self.endpoint._transfer_finished()
 
     def cancel(self) -> None:
         """Abandon silently: the peer was declared crashed (§4.2.3), so
@@ -167,6 +185,7 @@ class _OutgoingTransfer:
         self.unacked = {}
         if not self.done.fired:
             self.done.fire("crashed")
+            self.endpoint._transfer_finished()
 
 
 class _IncomingAssembly:
@@ -218,7 +237,31 @@ class PairedEndpoint:
         self._discarded_returns: set = set()
         self._last_heard: Dict[ProcessAddress, float] = {}
         self._pending_control: List[Tuple[Segment, ProcessAddress]] = []
+        #: deterministic message-path work counters, surfaced by
+        #: :meth:`stats` and aggregated by ``repro.bench.perf``.
+        self.counters: Dict[str, int] = {
+            "segment_encodes": 0,    # full header-pack + payload copies
+            "wire_patches": 0,       # marked wires spliced from a cache
+            "wire_cache_hits": 0,    # transmissions served from a cache
+            "packets_sent": 0,       # datagrams handed to sendmsg
+            "daemons_spawned": 0,    # helper processes this endpoint made
+            "retransmit_rounds": 0,
+            "acks_queued": 0,
+            "acks_sent": 0,
+            "acks_coalesced": 0,
+        }
+        #: transfers under watch by the per-endpoint retransmit scheduler.
+        self._watched: Dict[Tuple[ProcessAddress, int, int],
+                            _OutgoingTransfer] = {}
+        self._sched_wake = Condition(self.sim, "pm-sched-wake")
+        self._scheduler = None
+        #: coalesced explicit acks (config.delayed_acks): the highest
+        #: cumulative ack per (peer, msg_type, call_number), flushed in
+        #: one batch per ack_flush_interval by the scheduler.
+        self._held_acks: Dict[Tuple[ProcessAddress, int, int], Segment] = {}
+        self._ack_flush_at: Optional[float] = None
         self.closed = False
+        self.counters["daemons_spawned"] += 1
         self._receiver = process.spawn(self._receive_loop(), name="pm-recv",
                                        daemon=True)
 
@@ -228,6 +271,37 @@ class PairedEndpoint:
 
     def __repr__(self) -> str:
         return "<PairedEndpoint %s>" % (self.addr,)
+
+    # ------------------------------------------------------------------
+    # Wire encoding (encode-once) and transmission accounting
+    # ------------------------------------------------------------------
+
+    def _wire(self, segment: Segment) -> bytes:
+        """The segment's datagram, encoding at most once per segment."""
+        if segment._wire is None:
+            self.counters["segment_encodes"] += 1
+        else:
+            self.counters["wire_cache_hits"] += 1
+        return segment.wire()
+
+    def _wire_marked(self, segment: Segment) -> bytes:
+        """The *please ack* retransmission datagram: spliced from the
+        cached plain wire (one control byte) rather than re-encoded."""
+        if segment._wire_marked is not None:
+            self.counters["wire_cache_hits"] += 1
+        else:
+            if segment._wire is None:
+                self.counters["segment_encodes"] += 1
+            self.counters["wire_patches"] += 1
+        return segment.wire_marked()
+
+    def _transmit(self, wire: bytes, dst: ProcessAddress):
+        self.counters["packets_sent"] += 1
+        yield from self.process.sendmsg(self.sock, wire, dst)
+
+    def _spawn_helper(self, gen, name: str):
+        self.counters["daemons_spawned"] += 1
+        return self.process.spawn(gen, name=name, daemon=True)
 
     # ------------------------------------------------------------------
     # Sending
@@ -263,11 +337,9 @@ class PairedEndpoint:
             yield from self._send_stop_and_wait(transfer)
         else:
             for segment in segs:
-                yield from self.process.sendmsg(self.sock, segment.encode(),
-                                                peer)
+                yield from self._transmit(self._wire(segment), peer)
         yield from self.process.syscall("gettimeofday")
-        self.process.spawn(self._retransmit_loop(transfer),
-                           name="pm-rexmit-%d" % call_number, daemon=True)
+        self._watch(transfer)
         return transfer
 
     def _send_stop_and_wait(self, transfer: _OutgoingTransfer):
@@ -276,7 +348,9 @@ class PairedEndpoint:
         sent — one segment's worth of buffering, twice the segments."""
         config = self.config
         for segment in transfer.segments[:-1]:
-            marked = dataclasses.replace(segment, please_ack=True)
+            # Encoded once per segment: the marked wire is spliced from
+            # the cached plain encoding and reused by every retry below.
+            marked_wire = self._wire_marked(segment)
             retries = 0
             sent_once = False
             while segment.segment_number in transfer.unacked:
@@ -288,8 +362,7 @@ class PairedEndpoint:
                         segment=segment.segment_number,
                         proc=self.process.name))
                 sent_once = True
-                yield from self.process.sendmsg(self.sock, marked.encode(),
-                                                transfer.peer)
+                yield from self._transmit(marked_wire, transfer.peer)
                 index, _ = yield AnyOf(transfer.progress, transfer.done,
                                        Sleep(config.retransmit_interval))
                 if index == 1:
@@ -300,8 +373,7 @@ class PairedEndpoint:
                         transfer.fail()
                         return
         last = transfer.segments[-1]
-        yield from self.process.sendmsg(self.sock, last.encode(),
-                                        transfer.peer)
+        yield from self._transmit(self._wire(last), transfer.peer)
 
     def send_message_multicast(self, peers, msg_type: int, call_number: int,
                                data: bytes):
@@ -313,15 +385,18 @@ class PairedEndpoint:
         """
         self._require_open()
         peers = list(peers)
-        segs = seg.split_message(msg_type, call_number, data,
-                                 self.config.max_segment_data)
+        # One immutable segment tuple shared by every per-peer transfer:
+        # the segments (and their cached wire encodings) are common, only
+        # the per-transfer unacked bookkeeping is private.
+        segs = tuple(seg.split_message(msg_type, call_number, data,
+                                       self.config.max_segment_data))
         transfers = []
         for peer in peers:
             key = (peer, msg_type, call_number)
             if key in self._sends:
                 raise RuntimeError("duplicate send: %r" % (key,))
             transfer = _OutgoingTransfer(self, peer, msg_type, call_number,
-                                         list(segs))
+                                         segs)
             self._sends[key] = transfer
             transfers.append(transfer)
             if self.sim.bus.active:
@@ -333,12 +408,12 @@ class PairedEndpoint:
         yield from self.process.compute(self.config.user_cost_send)
         yield from self.process.syscall("setitimer")
         for segment in segs:
+            self.counters["packets_sent"] += 1
             yield from self.process.sendmsg_multicast(
-                self.sock, segment.encode(), peers)
+                self.sock, self._wire(segment), peers)
         yield from self.process.syscall("gettimeofday")
         for transfer in transfers:
-            self.process.spawn(self._retransmit_loop(transfer),
-                               name="pm-rexmit-%d" % call_number, daemon=True)
+            self._watch(transfer)
         return transfers
 
     def _abandon_peer(self, peer: ProcessAddress) -> None:
@@ -366,41 +441,145 @@ class PairedEndpoint:
     def send_return(self, peer: ProcessAddress, call_number: int, data: bytes):
         return (yield from self.send_message(peer, MSG_RETURN, call_number, data))
 
-    def _retransmit_loop(self, transfer: _OutgoingTransfer):
-        config = self.config
-        while not transfer.done.fired:
-            index, _ = yield AnyOf(transfer.done, Sleep(config.retransmit_interval))
-            if index == 0:
-                break
-            first = transfer.first_unacked()
-            if first is None:
-                transfer.complete()
-                break
-            transfer.retries += 1
-            if transfer.retries > config.max_retries:
-                transfer.fail()
-                break
-            if config.retransmit_all:
-                outstanding = [transfer.unacked[n]
-                               for n in sorted(transfer.unacked)]
-            else:
-                outstanding = [first]
-            yield from self.process.sigblock()
-            for segment in outstanding:
-                retry = dataclasses.replace(segment, please_ack=True)
-                if self.sim.bus.active:
-                    self.sim.bus.emit(obs_events.SegmentRetransmitted(
-                        t=self.sim.now, endpoint=self.addr,
-                        peer=transfer.peer, msg_type=transfer.msg_type,
-                        call_number=transfer.call_number,
-                        segment=segment.segment_number,
-                        proc=self.process.name))
-                yield from self.process.sendmsg(self.sock, retry.encode(),
-                                                transfer.peer)
-            yield from self.process.sigsetmask()
+    # ------------------------------------------------------------------
+    # The per-endpoint retransmit scheduler
+    # ------------------------------------------------------------------
+    #
+    # One timer-wheel process per endpoint walks the due transfers,
+    # replacing the old design of one ``pm-rexmit-%d`` daemon per call:
+    # O(calls) process spawns and kernel timer wake-ups collapse to O(1)
+    # per endpoint.  The scheduler is timing-exact with the old daemons:
+    # a round fires at the same virtual time the per-transfer timer
+    # would have, with the same syscall sequence, and the timer-cancel
+    # ``setitimer`` is still charged when a transfer finishes.  When
+    # several transfers are due (or finish) at once, ephemeral worker
+    # processes restore the old daemons' concurrency so the packet
+    # timeline is unchanged.
+
+    def _watch(self, transfer: _OutgoingTransfer) -> None:
+        """Place a transfer under the retransmit scheduler's watch."""
+        transfer.next_due = self.sim.now + self.config.retransmit_interval
+        self._watched[transfer.key] = transfer
+        self._ensure_scheduler()
+
+    def _ensure_scheduler(self) -> None:
+        if self._scheduler is None or not self._scheduler.alive:
+            self._scheduler = self._spawn_helper(self._scheduler_loop(),
+                                                 name="pm-sched")
+        else:
+            self._sched_wake.signal()
+
+    def _transfer_finished(self) -> None:
+        """A transfer's ``done`` fired: wake the scheduler so it cancels
+        the retransmission timer and drops the sender-side state at the
+        completion time, exactly as the per-transfer daemon did."""
+        if self._scheduler is not None and self._scheduler.alive:
+            self._sched_wake.signal()
+
+    def _scheduler_loop(self):
+        while True:
+            # Finished transfers first: charge the timer-cancel setitimer
+            # and drop the _sends entry (the old daemon's epilogue).
+            finished = [t for t in self._watched.values()
+                        if t.done.fired and not t.worker_active]
+            if finished:
+                for transfer in finished:
+                    del self._watched[transfer.key]
+                if len(finished) == 1:
+                    yield from self._cancel_timer(finished[0])
+                else:
+                    # Simultaneous completions (e.g. _abandon_peer) were
+                    # reaped by concurrent daemons; keep that concurrency.
+                    for transfer in finished:
+                        self._spawn_helper(self._cancel_timer(transfer),
+                                           name="pm-reap")
+                continue
+            now = self.sim.now
+            due = [t for t in self._watched.values()
+                   if not t.worker_active and not t.done.fired
+                   and t.next_due <= now]
+            if due:
+                if len(due) == 1 and len(self._watched) == 1:
+                    # The only watched transfer: nothing else can come
+                    # due mid-round, so run it inline with no spawn.
+                    yield from self._retransmit_round(due[0])
+                else:
+                    for transfer in due:
+                        transfer.worker_active = True
+                        self._spawn_helper(self._round_worker(transfer),
+                                           name="pm-rexmit")
+                continue
+            if (self._ack_flush_at is not None
+                    and self._ack_flush_at <= now):
+                yield from self._flush_held_acks()
+                continue
+            deadlines = [t.next_due for t in self._watched.values()
+                         if not t.worker_active and not t.done.fired]
+            if self._ack_flush_at is not None:
+                deadlines.append(self._ack_flush_at)
+            if not deadlines:
+                yield self._sched_wake
+                continue
+            wake = min(deadlines)
+            if wake <= now:
+                continue
+            yield AnyOf(self._sched_wake, Sleep(wake - now))
+
+    def _cancel_timer(self, transfer: _OutgoingTransfer):
         # Cancelling the retransmission timer is one more setitimer.
         yield from self.process.syscall("setitimer")
         self._sends.pop(transfer.key, None)
+
+    def _retransmit_round(self, transfer: _OutgoingTransfer):
+        """One retransmission round (§4.2.2): the body of the old
+        per-transfer loop, with the wire bytes served from the cache."""
+        config = self.config
+        if transfer.done.fired:
+            return
+        first = transfer.first_unacked()
+        if first is None:
+            transfer.complete()
+            return
+        transfer.retries += 1
+        if transfer.retries > config.max_retries:
+            transfer.fail()
+            return
+        if config.retransmit_all:
+            outstanding = [transfer.unacked[n]
+                           for n in sorted(transfer.unacked)]
+        else:
+            outstanding = [first]
+        self.counters["retransmit_rounds"] += 1
+        yield from self.process.sigblock()
+        for segment in outstanding:
+            if self.sim.bus.active:
+                self.sim.bus.emit(obs_events.SegmentRetransmitted(
+                    t=self.sim.now, endpoint=self.addr,
+                    peer=transfer.peer, msg_type=transfer.msg_type,
+                    call_number=transfer.call_number,
+                    segment=segment.segment_number,
+                    proc=self.process.name))
+            yield from self._transmit(self._wire_marked(segment),
+                                      transfer.peer)
+        yield from self.process.sigsetmask()
+        transfer.next_due = self.sim.now + config.retransmit_interval
+
+    def _round_worker(self, transfer: _OutgoingTransfer):
+        try:
+            yield from self._retransmit_round(transfer)
+        finally:
+            transfer.worker_active = False
+            self._sched_wake.signal()
+
+    def _flush_held_acks(self):
+        """Transmit the coalesced cumulative acks (config.delayed_acks)
+        in one batch — one control segment per held (peer, message)."""
+        held = self._held_acks
+        self._held_acks = {}
+        self._ack_flush_at = None
+        for (dst, _msg_type, _call_number), control in held.items():
+            self.counters["acks_sent"] += 1
+            yield from self._transmit(self._wire(control), dst)
 
     # ------------------------------------------------------------------
     # Waiting for a return message (client side)
@@ -447,7 +626,7 @@ class PairedEndpoint:
                     self.sim.bus.emit(obs_events.ProbeSent(
                         t=self.sim.now, endpoint=self.addr, peer=peer,
                         call_number=call_number, proc=self.process.name))
-                yield from self.process.sendmsg(self.sock, probe.encode(), peer)
+                yield from self._transmit(self._wire(probe), peer)
 
     def call(self, peer: ProcessAddress, call_number: int, data: bytes):
         """Generator: a complete one-to-one exchange (send call, await return).
@@ -473,7 +652,7 @@ class PairedEndpoint:
             self.sim.bus.emit(obs_events.ProbeSent(
                 t=self.sim.now, endpoint=self.addr, peer=peer,
                 call_number=0, proc=self.process.name))
-        yield from self.process.sendmsg(self.sock, probe.encode(), peer)
+        yield from self._transmit(self._wire(probe), peer)
         deadline = sent_at + timeout
         while self.sim.now < deadline:
             remaining = deadline - self.sim.now
@@ -510,7 +689,9 @@ class PairedEndpoint:
             # Flush control traffic (acks, probe replies) generated above.
             while self._pending_control:
                 control, dst = self._pending_control.pop(0)
-                yield from self.process.sendmsg(self.sock, control.encode(), dst)
+                if control.ack:
+                    self.counters["acks_sent"] += 1
+                yield from self._transmit(self._wire(control), dst)
 
     def _handle_segment(self, src: ProcessAddress, segment: Segment) -> None:
         self._last_heard[src] = self.sim.now
@@ -654,6 +835,26 @@ class PairedEndpoint:
             per_peer.popitem(last=False)
 
     def _queue_control(self, segment: Segment, dst: ProcessAddress) -> None:
+        if segment.ack:
+            self.counters["acks_queued"] += 1
+            if (self.config.delayed_acks
+                    and segment.msg_type in (MSG_CALL, MSG_RETURN)):
+                # Coalesce: keep only the highest cumulative ack per
+                # (peer, message); the scheduler flushes the batch after
+                # ack_flush_interval.  Probe replies stay immediate so
+                # crash detection is unaffected.
+                key = (dst, segment.msg_type, segment.call_number)
+                held = self._held_acks.get(key)
+                if held is not None:
+                    self.counters["acks_coalesced"] += 1
+                    if held.segment_number > segment.segment_number:
+                        segment = held
+                self._held_acks[key] = segment
+                if self._ack_flush_at is None:
+                    self._ack_flush_at = (self.sim.now
+                                          + self.config.ack_flush_interval)
+                    self._ensure_scheduler()
+                return
         self._pending_control.append((segment, dst))
 
     # ------------------------------------------------------------------
@@ -664,14 +865,18 @@ class PairedEndpoint:
     def stats(self) -> dict:
         """Protocol state occupancy — the §4.2.4 bookkeeping a
         connectionless endpoint must bound."""
-        return {
+        stats = {
             "outgoing_transfers": len(self._sends),
             "incoming_assemblies": len(self._assemblies),
             "buffered_returns": len(self._completed_returns),
             "peers_heard": len(self._last_heard),
             "delivered_call_memory": sum(
                 len(v) for v in self._delivered_calls.values()),
+            "watched_transfers": len(self._watched),
+            "held_acks": len(self._held_acks),
         }
+        stats.update(self.counters)
+        return stats
 
     def sweep_idle(self, max_age: float) -> int:
         """Discard state for peers silent longer than ``max_age`` ms
@@ -695,6 +900,13 @@ class PairedEndpoint:
         if not self.closed:
             self.closed = True
             self._receiver.kill()
+            # Tear down the retransmit scheduler so no timers outlive the
+            # endpoint (the per-transfer daemons used to keep running).
+            if self._scheduler is not None and self._scheduler.alive:
+                self._scheduler.kill()
+            self._watched.clear()
+            self._held_acks.clear()
+            self._ack_flush_at = None
             self.sock.close()
 
     def _require_open(self) -> None:

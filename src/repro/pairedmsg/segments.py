@@ -46,7 +46,14 @@ class MessageTooLarge(Exception):
 
 @dataclasses.dataclass
 class Segment:
-    """One protocol segment, decoded."""
+    """One protocol segment, decoded.
+
+    ``data`` may be any bytes-like object; :func:`split_message` passes
+    memoryview slices so a large message is never copied segment-wise.
+    The encoded datagram is cached (:meth:`wire`) so retransmissions and
+    multicast fan-out reuse one buffer instead of repacking the header
+    and recopying the payload per transmission.
+    """
 
     msg_type: int
     please_ack: bool
@@ -55,12 +62,40 @@ class Segment:
     segment_number: int
     call_number: int
     data: bytes = b""
+    #: cached encodings; ``dataclasses.replace`` resets them.
+    _wire: bytes = dataclasses.field(
+        default=None, init=False, repr=False, compare=False)
+    _wire_marked: bytes = dataclasses.field(
+        default=None, init=False, repr=False, compare=False)
 
     def encode(self) -> bytes:
         control = (PLEASE_ACK if self.please_ack else 0) | (ACK if self.ack else 0)
         header = _HEADER.pack(self.msg_type, control, self.total_segments,
                               self.segment_number, self.call_number)
-        return header + self.data
+        return header + bytes(self.data)
+
+    def wire(self) -> bytes:
+        """The encoded datagram, computed once and cached."""
+        wire = self._wire
+        if wire is None:
+            wire = self._wire = self.encode()
+        return wire
+
+    def wire_marked(self) -> bytes:
+        """The datagram with *please ack* set, as retransmissions send it
+        (§4.2.2).  Derived from the cached plain wire by splicing the
+        control byte — the header is never repacked and the payload never
+        recopied from the message — and itself cached for later rounds."""
+        wire = self._wire_marked
+        if wire is None:
+            if self.please_ack:
+                wire = self.wire()
+            else:
+                plain = bytearray(self.wire())
+                plain[1] |= PLEASE_ACK
+                wire = bytes(plain)
+            self._wire_marked = wire
+        return wire
 
     @property
     def is_control(self) -> bool:
@@ -112,7 +147,9 @@ def split_message(msg_type: int, call_number: int, data: bytes,
         raise ValueError("max_data must be at least 1")
     if not 0 <= call_number <= MAX_CALL_NUMBER:
         raise ValueError("call number out of range: %r" % call_number)
-    chunks = [data[i:i + max_data] for i in range(0, len(data), max_data)] or [b""]
+    view = memoryview(data)
+    chunks = [view[i:i + max_data]
+              for i in range(0, len(data), max_data)] or [b""]
     if len(chunks) > MAX_SEGMENTS:
         raise MessageTooLarge(
             "%d bytes needs %d segments (max %d)" % (

@@ -1,0 +1,108 @@
+"""Tests for collation short-circuiting (§4.3.4): when a first-come or
+quorum collator decides early, the runtime cancels the outstanding
+waiters and tells the endpoint to forget the stragglers' returns."""
+
+import pytest
+
+from repro.core import FirstComeCollator, QuorumCollator
+from repro.core.runtime import ExportedModule
+from repro.harness import World
+from repro.sim import Sleep
+
+
+def make_staggered_module(delays, reply=None):
+    """A module factory whose members reply after successive delays.
+    ``reply`` fixes the response (needed for agreeing quorums); by
+    default each member's reply names its delay."""
+    remaining = iter(delays)
+
+    def factory():
+        delay = next(remaining)
+
+        def proc(ctx, args):
+            yield Sleep(delay)
+            return reply if reply is not None \
+                else b"reply-after-%d" % int(delay)
+        return ExportedModule("staggered", {0: proc})
+    return factory
+
+
+def run_early_collation(collator, delays=(0.0, 400.0, 800.0), reply=None):
+    world = World(machines=4)
+    troupe, runtimes = world.make_troupe(
+        "staggered", make_staggered_module(delays, reply=reply),
+        degree=len(delays))
+    client = world.make_client()
+
+    def body():
+        reply = yield from client.call_troupe(troupe, 0, 0, b"",
+                                              collator=collator)
+        decided_at = world.sim.now
+        # Let the stragglers finish executing and send their returns.
+        yield Sleep(max(delays) + 500.0)
+        return reply, decided_at
+
+    with world.watch() as probe:
+        reply, decided_at = world.run(body())
+    return world, client, runtimes, probe, reply, decided_at
+
+
+def test_first_come_cancels_remaining_waiters():
+    world, client, runtimes, probe, reply, decided_at = run_early_collation(
+        FirstComeCollator())
+    assert reply == b"reply-after-0"
+    # Decided as soon as the fastest member answered, not after 800 ms.
+    assert decided_at < 400.0
+    # The outstanding waiters were cancelled and their returns forgotten:
+    # nothing lingers in the client endpoint waiting for stragglers.
+    stats = client.endpoint.stats()
+    assert stats["buffered_returns"] == 0
+    assert not client.endpoint._return_waiters
+    assert not any(p.alive for p in world.sim.live_processes()
+                   if p.name.startswith("await-"))
+
+
+def test_quorum_cancels_remaining_waiters():
+    world, client, runtimes, probe, reply, decided_at = run_early_collation(
+        QuorumCollator(2), delays=(0.0, 100.0, 900.0), reply=b"agreed")
+    assert reply == b"agreed"
+    # Quorum of two: decided once the second member answered.
+    assert 100.0 <= decided_at < 900.0
+    stats = client.endpoint.stats()
+    assert stats["buffered_returns"] == 0
+    assert not client.endpoint._return_waiters
+
+
+def test_exactly_once_holds_under_short_circuit():
+    """§4.3: every member still executes the call exactly once even when
+    the collator stopped listening early — and the invariant monitors
+    (including the exactly-once monitor) stay green."""
+    world, client, runtimes, probe, reply, _ = run_early_collation(
+        FirstComeCollator())
+    assert not probe.violations
+    assert [r.calls_executed for r in runtimes] == [1, 1, 1]
+
+
+def test_sequence_of_short_circuited_calls_leaves_no_state():
+    """Repeated early-deciding calls must not accumulate endpoint state
+    (forgotten returns, waiters, or watched transfers)."""
+    world = World(machines=4)
+    troupe, runtimes = world.make_troupe(
+        "staggered", make_staggered_module((0.0, 200.0, 300.0) * 5),
+        degree=3)
+    client = world.make_client()
+
+    def body():
+        for _ in range(5):
+            yield from client.call_troupe(troupe, 0, 0, b"",
+                                          collator=FirstComeCollator())
+        # The stragglers execute their queued calls serially; give the
+        # slowest member (5 x 300 ms) time to drain and reply.
+        yield Sleep(2500.0)
+
+    world.run(body())
+    stats = client.endpoint.stats()
+    assert stats["buffered_returns"] == 0
+    assert stats["watched_transfers"] == 0
+    assert not client.endpoint._return_waiters
+    assert [r.calls_executed for r in runtimes] == [5, 5, 5]

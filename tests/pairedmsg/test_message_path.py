@@ -1,0 +1,255 @@
+"""Tests for the optimized message path: encode-once segment caching,
+the per-endpoint retransmit scheduler, shared multicast segments, and
+opt-in delayed-ack coalescing."""
+
+import pytest
+
+from repro.host import Machine
+from repro.net import Network, NetworkConfig
+from repro.pairedmsg import (
+    MSG_CALL,
+    PairedEndpoint,
+    PairedMessageConfig,
+    PeerCrashed,
+)
+from repro.pairedmsg.segments import PLEASE_ACK, Segment, decode, split_message
+from repro.sim import Simulator, Sleep
+
+
+def make_world(n_machines=2, seed=0, **net_config):
+    sim = Simulator()
+    net = Network(sim, seed=seed, config=NetworkConfig(**net_config))
+    machines = [Machine(sim, net, "m%d" % i) for i in range(n_machines)]
+    procs = [m.spawn_process() for m in machines]
+    return sim, net, machines, procs
+
+
+def echo_server(endpoint):
+    def body():
+        while True:
+            msg = yield from endpoint.next_call()
+            yield from endpoint.send_return(msg.peer, msg.call_number,
+                                            b"echo:" + msg.data)
+    return body
+
+
+# ---------------------------------------------------------------------------
+# Encode-once segments
+# ---------------------------------------------------------------------------
+
+def test_split_message_slices_without_copying():
+    """Payload slices are memoryviews over the original message buffer."""
+    data = bytes(range(256)) * 4
+    segs = split_message(MSG_CALL, 7, data, max_data=100)
+    for segment in segs:
+        assert isinstance(segment.data, memoryview)
+        assert segment.data.obj is data
+    assert b"".join(bytes(s.data) for s in segs) == data
+
+
+def test_wire_is_cached_and_identical_to_encode():
+    segs = split_message(MSG_CALL, 9, b"abcdefgh", max_data=4)
+    for segment in segs:
+        wire = segment.wire()
+        assert wire == segment.encode()
+        assert segment.wire() is wire          # cached, not re-encoded
+        assert decode(wire) == segment
+
+
+def test_wire_marked_splices_control_byte_from_cached_wire():
+    segment = split_message(MSG_CALL, 3, b"payload", max_data=16)[0]
+    plain = segment.wire()
+    marked = segment.wire_marked()
+    assert segment.wire_marked() is marked      # cached too
+    assert marked[0] == plain[0]
+    assert marked[1] == plain[1] | PLEASE_ACK
+    assert marked[2:] == plain[2:]
+    assert decode(marked).please_ack
+    # An already-marked segment's marked wire is just its wire.
+    probe = Segment(MSG_CALL, True, False, 1, 1, 5, b"")
+    assert probe.wire_marked() == probe.wire()
+
+
+def test_retransmissions_reuse_cached_encoding():
+    """Under 100% loss the sender keeps retransmitting: the encode
+    counter must stay flat across retries while packets keep going out."""
+    sim, net, machines, (client_p, server_p) = make_world(
+        loss_probability=1.0)
+    config = PairedMessageConfig(max_segment_data=64,
+                                 retransmit_interval=20.0, max_retries=50)
+    client = PairedEndpoint(client_p, config=config)
+    server = PairedEndpoint(server_p, port=500, config=config)
+
+    def body():
+        yield from client.send_message(server.addr, MSG_CALL, 1, b"z" * 128)
+        encodes_after_send = client.counters["segment_encodes"]
+        packets_after_send = client.counters["packets_sent"]
+        yield Sleep(110.0)   # ~5 retransmission rounds
+        assert client.counters["packets_sent"] >= packets_after_send + 4
+        # No new encodes: one control-byte patch, then pure cache hits.
+        assert client.counters["segment_encodes"] == encodes_after_send
+        assert client.counters["wire_patches"] == 1
+        assert client.counters["wire_cache_hits"] >= 3
+
+    sim.run_process(body())
+
+
+# ---------------------------------------------------------------------------
+# The per-endpoint retransmit scheduler
+# ---------------------------------------------------------------------------
+
+def test_single_scheduler_replaces_per_call_daemons():
+    """N calls spawn O(1) helper processes per endpoint (receiver +
+    scheduler), not one retransmit daemon per transfer."""
+    sim, net, machines, (client_p, server_p) = make_world()
+    client = PairedEndpoint(client_p)
+    server = PairedEndpoint(server_p, port=500)
+    server_p.spawn(echo_server(server)(), daemon=True)
+
+    def body():
+        for number in range(1, 21):
+            yield from client.call(server.addr, number, b"m%d" % number)
+
+    sim.run_process(body())
+    assert client.counters["daemons_spawned"] == 2    # pm-recv + pm-sched
+    assert server.counters["daemons_spawned"] == 2
+    assert client.stats()["watched_transfers"] == 0
+
+
+def test_scheduler_survives_abandon_peer_and_close():
+    """Declaring a peer crashed cancels its transfers without killing the
+    scheduler; close() tears the scheduler down so no timers outlive the
+    endpoint."""
+    sim, net, machines, procs = make_world(n_machines=3,
+                                           loss_probability=1.0)
+    config = PairedMessageConfig(retransmit_interval=20.0,
+                                 probe_interval=30.0, crash_timeout=100.0)
+    client = PairedEndpoint(procs[0], config=config)
+    dead = PairedEndpoint(procs[1], port=500, config=config)
+
+    def body():
+        yield from client.send_message(dead.addr, MSG_CALL, 1, b"x")
+        with pytest.raises(PeerCrashed):
+            yield from client.wait_return(dead.addr, 1)
+        # _abandon_peer cancelled the transfer; the scheduler reaps it.
+        yield Sleep(50.0)
+        assert client.stats()["watched_transfers"] == 0
+        assert client.stats()["outgoing_transfers"] == 0
+        assert client._scheduler is not None and client._scheduler.alive
+
+        # The scheduler is reusable for later sends to other peers.
+        yield from client.send_message(dead.addr, MSG_CALL, 2, b"y")
+        assert client.stats()["watched_transfers"] == 1
+
+        client.close()
+        assert not client._scheduler.alive
+        assert client.stats()["watched_transfers"] == 0
+        # No orphaned timers: with the endpoint closed, nothing keeps
+        # transmitting.
+        packets = client.counters["packets_sent"]
+        yield Sleep(200.0)
+        assert client.counters["packets_sent"] == packets
+
+    sim.run_process(body())
+
+
+def test_retransmission_timeout_still_fires():
+    """The scheduler preserves the fail-after-max_retries behaviour."""
+    sim, net, machines, (client_p, _server_p) = make_world(
+        loss_probability=1.0)
+    config = PairedMessageConfig(retransmit_interval=10.0, max_retries=3)
+    client = PairedEndpoint(client_p, config=config)
+    peer = machines[1].spawn_process().udp_socket(700).addr
+
+    def body():
+        transfer = yield from client.send_message(peer, MSG_CALL, 1, b"x")
+        outcome = yield transfer.done
+        return outcome, sim.now
+
+    outcome, now = sim.run_process(body())
+    assert outcome == "timeout"
+    assert now < 200.0
+
+
+# ---------------------------------------------------------------------------
+# Multicast segment sharing
+# ---------------------------------------------------------------------------
+
+def test_multicast_transfers_share_segment_tuple():
+    sim, net, machines, procs = make_world(n_machines=3)
+    client = PairedEndpoint(procs[0])
+    servers = [PairedEndpoint(procs[1], port=500),
+               PairedEndpoint(procs[2], port=500)]
+    for server in servers:
+        server.process.spawn(echo_server(server)(), daemon=True)
+    data = bytes(range(256)) * 8   # multi-segment
+
+    def body():
+        transfers = yield from client.send_message_multicast(
+            [s.addr for s in servers], MSG_CALL, 1, data)
+        # One immutable tuple shared by the per-peer transfers; only the
+        # unacked bookkeeping is private.
+        assert isinstance(transfers[0].segments, tuple)
+        assert transfers[0].segments is transfers[1].segments
+        assert transfers[0].unacked is not transfers[1].unacked
+        for transfer in transfers:
+            yield transfer.done
+        return [t.done.value for t in transfers]
+
+    # Both returns implicitly acknowledge the multicast call.
+    assert sim.run_process(body()) == ["acked", "acked"]
+
+
+# ---------------------------------------------------------------------------
+# Delayed-ack coalescing (opt-in)
+# ---------------------------------------------------------------------------
+
+def test_delayed_acks_deliver_correctly_and_coalesce():
+    sim, net, machines, (client_p, server_p) = make_world(
+        seed=11, loss_probability=0.15)
+    config = PairedMessageConfig(max_segment_data=128,
+                                 retransmit_interval=30.0,
+                                 delayed_acks=True)
+    client = PairedEndpoint(client_p, config=config)
+    server = PairedEndpoint(server_p, port=500, config=config)
+    server_p.spawn(echo_server(server)(), daemon=True)
+    data = bytes(range(256)) * 4   # several segments, lossy link
+
+    def body():
+        replies = []
+        for number in range(1, 6):
+            reply = yield from client.call(server.addr, number, data)
+            replies.append(reply)
+        return replies
+
+    assert sim.run_process(body()) == [b"echo:" + data] * 5
+    totals = {key: client.counters[key] + server.counters[key]
+              for key in client.counters}
+    assert totals["acks_queued"] > 0
+    # Coalescing transmitted fewer acks than were generated.
+    assert totals["acks_sent"] < totals["acks_queued"]
+    assert totals["acks_coalesced"] > 0
+
+
+def test_delayed_acks_send_fewer_packets_than_immediate():
+    from repro.bench.perf import lossy_transfer_metrics
+
+    off = lossy_transfer_metrics(delayed_acks=False, transfers=4)
+    on = lossy_transfer_metrics(delayed_acks=True, transfers=4)
+    assert on["acks_per_transfer"] < off["acks_per_transfer"]
+    assert on["packets_per_transfer"] < off["packets_per_transfer"]
+
+
+def test_probe_replies_stay_immediate_under_delayed_acks():
+    """Crash detection must not be delayed by ack coalescing."""
+    sim, net, machines, (client_p, server_p) = make_world()
+    config = PairedMessageConfig(delayed_acks=True)
+    client = PairedEndpoint(client_p, config=config)
+    server = PairedEndpoint(server_p, port=500, config=config)
+
+    def body():
+        answered = yield from client.ping(server.addr, timeout=200.0)
+        return answered
+
+    assert sim.run_process(body()) is True
+    assert server.stats()["held_acks"] == 0
