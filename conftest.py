@@ -1,0 +1,8 @@
+"""Repository-root pytest configuration.
+
+Registers the fault-schedule explorer's plugin (the ``fuzz`` fixture and
+the ``--fuzz-artifacts`` option) for the whole test tree — see
+docs/TESTING.md.
+"""
+
+pytest_plugins = ("repro.explore.pytest_plugin",)

@@ -463,6 +463,114 @@ def cmd_perf(args) -> int:
     return 0
 
 
+def _fuzz_seeds(args):
+    if args.seed_file:
+        with open(args.seed_file) as fh:
+            data = json.load(fh)
+        seeds = data["seeds"] if isinstance(data, dict) else data
+        return [int(s) for s in seeds]
+    return list(range(args.base_seed, args.base_seed + args.seeds))
+
+
+def _fuzz_oracles(args):
+    if not args.oracles:
+        return None
+    return [name.strip() for name in args.oracles.split(",") if name.strip()]
+
+
+def cmd_fuzz(args) -> int:
+    """Seeded fault-schedule fuzzing: sweep, shrink, replay.
+
+    Everything printed under ``--json`` is deterministic — two identical
+    invocations must produce byte-identical output (the property the CI
+    smoke job checks by diffing the digests of two runs).
+    """
+    import os
+
+    from repro import explore
+    from repro.obs.recorder import render_postmortem
+
+    oracles = _fuzz_oracles(args)
+
+    if args.list_scenarios:
+        table = Table("fuzz scenarios", ["name", "machines-faulted",
+                                         "horizon", "description"])
+        for name in sorted(explore.SCENARIOS):
+            scn = explore.SCENARIOS[name]
+            table.add_row(name, "servers", scn.horizon, scn.description)
+        print(table.render())
+        return 0
+
+    if args.replay:
+        result = explore.replay_file(args.replay, budget=args.budget,
+                                     oracles=oracles)
+        print("replay %s: %s" % (args.replay, result.summary()))
+        print("digest: %s" % result.digest())
+        if not result.ok and result.postmortem is not None:
+            print(render_postmortem(result.postmortem))
+        return 0 if result.ok else 1
+
+    scenario = explore.get_scenario(args.scenario)
+    seeds = _fuzz_seeds(args)
+    results = []
+    failures = []
+    for seed in seeds:
+        result = explore.run(scenario, seed, budget=args.budget,
+                             oracles=oracles)
+        entry = {
+            "seed": seed,
+            "ok": result.ok,
+            "digest": result.digest(),
+            "actions": len(result.schedule.actions),
+            "invariants": result.invariants(),
+            "crash": result.crash,
+        }
+        if not result.ok:
+            failures.append((result, entry))
+            if not args.json:
+                print(result.summary())
+        results.append(entry)
+
+    for result, entry in failures:
+        os.makedirs(args.out_dir, exist_ok=True)
+        stem = os.path.join(args.out_dir, "%s-seed%d"
+                            % (result.scenario, result.seed))
+        schedule = result.schedule
+        if args.shrink:
+            schedule, attempts = explore.shrink_failure(
+                result, max_attempts=args.shrink_attempts)
+            entry["shrunk_actions"] = len(schedule.actions)
+            entry["shrink_attempts"] = attempts
+        entry["repro_file"] = stem + ".schedule.json"
+        schedule.save(entry["repro_file"])
+        if result.postmortem is not None:
+            with open(stem + ".postmortem.json", "w") as fh:
+                json.dump(result.postmortem, fh, indent=2)
+                fh.write("\n")
+        if not args.json:
+            print("  repro script: %s" % entry["repro_file"])
+            print("  replay with:  repro fuzz --replay %s"
+                  % entry["repro_file"])
+
+    sweep_digest = explore.digest_of([entry["digest"] for entry in results])
+    report = {
+        "format": "repro.fuzz.sweep/1",
+        "scenario": scenario.name,
+        "oracles": oracles,
+        "seeds": len(seeds),
+        "failures": len(failures),
+        "digest": sweep_digest,
+        "results": results,
+    }
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print("fuzz %-16s %d seed(s), %d failure(s)"
+              % (scenario.name, len(seeds), len(failures)))
+        print("sweep digest: %s" % sweep_digest)
+    return 1 if failures else 0
+
+
 def cmd_postmortem(args) -> int:
     from repro.obs.recorder import render_postmortem
 
@@ -529,6 +637,42 @@ def main(argv=None) -> int:
         "postmortem", help="render a post-mortem dump written by "
                            "'repro check'")
     pm_cmd.add_argument("dump", help="path to a *_postmortem.json file")
+    fuzz_cmd = sub.add_parser(
+        "fuzz", help="explore seeded fault schedules under the invariant "
+                     "monitors; shrink and dump failures as replayable "
+                     "repro scripts")
+    fuzz_cmd.add_argument("--scenario", default="echo",
+                          help="workload to fuzz (see --list; default "
+                               "echo)")
+    fuzz_cmd.add_argument("--seeds", type=int, default=50,
+                          help="number of seeds to sweep (default 50)")
+    fuzz_cmd.add_argument("--base-seed", type=int, default=0,
+                          help="first seed of the sweep (default 0)")
+    fuzz_cmd.add_argument("--seed-file", default=None, metavar="PATH",
+                          help="JSON seed corpus ([..] or {\"seeds\": "
+                               "[..]}); overrides --seeds/--base-seed")
+    fuzz_cmd.add_argument("--budget", type=float, default=None,
+                          help="virtual-time budget per run (ms; default: "
+                               "the scenario's)")
+    fuzz_cmd.add_argument("--oracles", default=None,
+                          help="comma-separated invariant slugs (default: "
+                               "the scenario's oracle set)")
+    fuzz_cmd.add_argument("--shrink", action="store_true",
+                          help="minimize failing schedules before writing "
+                               "their repro scripts")
+    fuzz_cmd.add_argument("--shrink-attempts", type=int, default=200,
+                          help="re-run budget per shrink (default 200)")
+    fuzz_cmd.add_argument("--out-dir", default="fuzz-out",
+                          help="where repro scripts and post-mortems go "
+                               "(default fuzz-out)")
+    fuzz_cmd.add_argument("--json", action="store_true",
+                          help="emit a deterministic JSON sweep report")
+    fuzz_cmd.add_argument("--replay", default=None, metavar="PATH",
+                          help="re-run one repro script instead of "
+                               "sweeping")
+    fuzz_cmd.add_argument("--list", dest="list_scenarios",
+                          action="store_true",
+                          help="list the scenario catalog and exit")
     perf_cmd = sub.add_parser(
         "perf", help="measure simulator throughput: wall-clock events/sec "
                      "and the deterministic proxy metric")
@@ -549,6 +693,8 @@ def main(argv=None) -> int:
         return cmd_check(args)
     elif args.command == "postmortem":
         return cmd_postmortem(args)
+    elif args.command == "fuzz":
+        return cmd_fuzz(args)
     elif args.command == "perf":
         return cmd_perf(args)
     elif args.command == "all":

@@ -1,0 +1,273 @@
+"""``repro.explore`` — the deterministic fault-schedule explorer.
+
+A simulation-testing subsystem in the TigerBeetle-VOPR / Jepsen mold,
+composed from parts the codebase already owns: the deterministic
+:class:`~repro.sim.kernel.Simulator`, forkable
+:class:`~repro.sim.rng.RandomStream` seeds, the
+:class:`~repro.obs.monitor.MonitorSuite` oracles, and the flight
+:class:`~repro.obs.recorder.FlightRecorder`.
+
+    from repro import explore
+
+    result = explore.run("echo", seed=7)       # one seed, full oracles
+    assert result.ok, result.violations
+
+    failures = [r for r in explore.sweep("echo", range(200)) if not r.ok]
+    small, attempts = explore.shrink_failure(failures[0])
+    small.save("echo-seed7.schedule.json")     # the repro script
+
+Surfaces: this API, the ``repro fuzz`` CLI subcommand (sweep / shrink /
+replay), and the pytest plugin (``repro.explore.pytest_plugin`` — the
+``fuzz`` fixture plus the :func:`schedules` parameterizer).  See
+docs/TESTING.md for the workflow.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.explore.driver import ScheduleDriver
+from repro.explore.schedule import (
+    ADVERSARIAL_PROFILE,
+    CRASH_ONLY_PROFILE,
+    DEFAULT_PROFILE,
+    Crash,
+    Delay,
+    Duplicate,
+    FaultAction,
+    FaultSchedule,
+    Loss,
+    Partition,
+    Profile,
+    Reorder,
+    SCHEDULE_FORMAT,
+    digest_of,
+    generate,
+)
+from repro.explore.scenarios import SCENARIOS, Scenario, get_scenario
+from repro.explore.shrink import shrink_actions
+from repro.sim.kernel import SimulationError
+
+__all__ = [
+    "ADVERSARIAL_PROFILE",
+    "CRASH_ONLY_PROFILE",
+    "DEFAULT_PROFILE",
+    "Crash",
+    "Delay",
+    "Duplicate",
+    "ExploreResult",
+    "FaultAction",
+    "FaultSchedule",
+    "Loss",
+    "Partition",
+    "Profile",
+    "Reorder",
+    "SCENARIOS",
+    "SCHEDULE_FORMAT",
+    "Scenario",
+    "ScheduleDriver",
+    "digest_of",
+    "generate",
+    "get_scenario",
+    "replay_file",
+    "run",
+    "schedules",
+    "shrink_actions",
+    "shrink_failure",
+    "sweep",
+]
+
+
+@dataclasses.dataclass
+class ExploreResult:
+    """One seed's verdict: the schedule it ran, what the workload saw,
+    and what the oracles said."""
+
+    scenario: str
+    seed: int
+    schedule: FaultSchedule
+    outcome: Any                      # workload return value, or a marker
+    crash: Optional[str]              # "Type: message" when the run died
+    violations: List[Any]             # InvariantViolation events
+    postmortem: Optional[Dict[str, Any]]
+    stats: Dict[str, Any]             # deterministic run statistics
+    _kwargs: Dict[str, Any] = dataclasses.field(default_factory=dict,
+                                                repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.crash is None
+
+    def invariants(self) -> List[str]:
+        """The violated invariant slugs, sorted and deduplicated."""
+        return sorted({v.invariant for v in self.violations})
+
+    def digest(self) -> str:
+        """A stable hash of everything deterministic about the run:
+        the schedule, the workload outcome, the oracle verdicts, and the
+        network/driver statistics.  Two runs of the same seed — in
+        different processes, on different machines — produce the same
+        digest; that is the determinism contract ``repro fuzz`` checks
+        in CI."""
+        return digest_of({
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "schedule": self.schedule.to_dict(),
+            "outcome": self.outcome,
+            "crash": self.crash,
+            "invariants": [(v.invariant, round(v.t, 6))
+                           for v in self.violations],
+            "stats": self.stats,
+        })
+
+    def summary(self) -> str:
+        if self.ok:
+            return "seed %d ok (%d actions)" % (
+                self.seed, len(self.schedule.actions))
+        what = ", ".join(self.invariants()) or "crash"
+        return "seed %d FAILED: %s (%d actions)" % (
+            self.seed, what, len(self.schedule.actions))
+
+
+def run(scenario, seed: int, *,
+        schedule: Optional[FaultSchedule] = None,
+        budget: Optional[float] = None,
+        oracles: Optional[Sequence[str]] = None,
+        monitors: Optional[Sequence] = None,
+        capacity: int = 4096) -> ExploreResult:
+    """Execute one scenario under one fault schedule, oracles watching.
+
+    ``scenario`` is a name from :data:`SCENARIOS` or a
+    :class:`Scenario`.  Without an explicit ``schedule`` the seed derives
+    one (``generate``).  ``oracles`` selects monitors by invariant slug;
+    ``monitors`` passes monitor classes/instances directly and wins over
+    ``oracles``; by default every monitor runs.  ``budget`` caps virtual
+    time — a workload still unfinished then is recorded as
+    ``"budget-exhausted"``, not a crash.
+    """
+    from repro.obs.monitor import monitors_for, watch
+
+    scn = scenario if isinstance(scenario, Scenario) \
+        else get_scenario(scenario)
+    built = scn.build(seed)
+    world = built.world
+    if schedule is None:
+        schedule = generate(seed, built.fault_machines, scn.horizon,
+                            scn.profile, scenario=scn.name)
+    if monitors is None:
+        if oracles is None:
+            oracles = scn.oracles
+        if oracles is not None:
+            monitors = monitors_for(oracles)
+    driver = ScheduleDriver(world.sim, world.machines, world.net, schedule)
+    horizon = budget if budget is not None else scn.budget
+    outcome: Any = None
+    crash: Optional[str] = None
+    with watch(world.sim, monitors=monitors, capacity=capacity) as probe:
+        # The post-mortem carries the offending schedule, so a dumped
+        # report is replayable on its own (save the "schedule" object to
+        # a file and `repro fuzz --replay` it).
+        probe.recorder.context = {
+            "scenario": scn.name,
+            "seed": seed,
+            "schedule": schedule.to_dict(),
+        }
+        driver.start()
+        try:
+            outcome = world.run(built.body(), name="explore-workload",
+                                until=horizon)
+        except SimulationError as exc:
+            if "did not finish" in str(exc):
+                outcome = "budget-exhausted"
+            else:
+                crash = "%s: %s" % (type(exc).__name__, exc)
+                probe.recorder.record_crash(exc, t=world.sim.now)
+        except Exception as exc:
+            crash = "%s: %s" % (type(exc).__name__, exc)
+            probe.recorder.record_crash(exc, t=world.sim.now)
+        driver.stop()
+        violations = probe.violations
+        stats = {
+            "virtual_end": round(world.sim.now, 6),
+            "packets_sent": world.net.packets_sent,
+            "packets_delivered": world.net.packets_delivered,
+            "packets_dropped": world.net.packets_dropped,
+            "packets_duplicated": world.net.packets_duplicated,
+            "machine_failures": driver.total_failures,
+            "machine_repairs": driver.total_repairs,
+            "faults_applied": [desc for _t, desc in driver.applied],
+        }
+        postmortem = probe.postmortem() if (violations or crash) else None
+    return ExploreResult(
+        scenario=scn.name, seed=seed, schedule=schedule, outcome=outcome,
+        crash=crash, violations=list(violations), postmortem=postmortem,
+        stats=stats,
+        _kwargs=dict(budget=budget, oracles=oracles, monitors=monitors,
+                     capacity=capacity))
+
+
+def sweep(scenario, seeds: Iterable[int], **kwargs) -> List[ExploreResult]:
+    """Run many seeds; returns every result (``.ok`` filters)."""
+    return [run(scenario, seed, **kwargs) for seed in seeds]
+
+
+def _rerun(result: ExploreResult,
+           schedule: FaultSchedule) -> ExploreResult:
+    return run(result.scenario, result.seed, schedule=schedule,
+               **result._kwargs)
+
+
+def shrink_failure(result: ExploreResult,
+                   max_attempts: int = 300,
+                   ) -> Tuple[FaultSchedule, int]:
+    """Minimize a failing result's schedule; returns ``(schedule,
+    attempts)``.  A candidate *reproduces* when it triggers at least one
+    of the original failure's invariants (or, for a crash, any crash) —
+    every accepted candidate was re-run and observed to still fail, so
+    the shrunken schedule is guaranteed violating."""
+    if result.ok:
+        raise ValueError("cannot shrink a passing result")
+    target = set(result.invariants())
+    want_crash = result.crash is not None
+
+    def reproduces(actions: List[FaultAction]) -> bool:
+        candidate = result.schedule.with_actions(actions)
+        rerun = _rerun(result, candidate)
+        if want_crash and rerun.crash is not None:
+            return True
+        return bool(target & set(rerun.invariants()))
+
+    actions, attempts = shrink_actions(result.schedule.actions, reproduces,
+                                       max_attempts=max_attempts)
+    return result.schedule.with_actions(actions), attempts
+
+
+def replay_file(path, *, budget: Optional[float] = None,
+                oracles: Optional[Sequence[str]] = None,
+                monitors: Optional[Sequence] = None) -> ExploreResult:
+    """Re-run the schedule stored in a repro file (see
+    :meth:`FaultSchedule.save`); the scenario and seed come from the
+    file itself."""
+    schedule = FaultSchedule.load(path)
+    return run(schedule.scenario, schedule.seed, schedule=schedule,
+               budget=budget, oracles=oracles, monitors=monitors)
+
+
+def schedules(n: int = 50, base: int = 0, argname: str = "fault_seed"):
+    """Parameterize a pytest test over ``n`` fuzz seeds::
+
+        @explore.schedules(n=50)
+        def test_echo_fuzz(fault_seed, fuzz):
+            fuzz.check("echo", fault_seed)
+
+    The ``fuzz`` fixture (``repro.explore.pytest_plugin``) runs the seed
+    and, on failure, writes the repro script and fails the test with the
+    ``repro fuzz --replay`` command line.
+    """
+    import pytest
+
+    def decorate(fn):
+        return pytest.mark.parametrize(argname,
+                                       list(range(base, base + n)))(fn)
+    return decorate

@@ -1,0 +1,221 @@
+"""The scenario catalog: workloads the fault explorer drives.
+
+A :class:`Scenario` bundles a workload factory with the knobs the
+explorer needs: how many machines the world has, which machines the
+fault schedule may target (the *servers* — the client stays a reliable
+observer, Jepsen-style, so verdicts are about the system, not about a
+dead tester), the schedule horizon, and the virtual-time budget after
+which a stuck run is abandoned.
+
+Every workload must terminate under arbitrary fault schedules: expected
+fault outcomes (:class:`~repro.core.TroupeFailure`,
+:class:`~repro.pairedmsg.PeerCrashed`, ...) are caught and recorded as
+outcome strings; only *unexpected* exceptions escape, and the explorer
+reports those as crashes.  Outcome strings must be deterministic and
+process-independent (no troupe IDs, no object reprs) — they feed the run
+digest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.explore.schedule import (
+    ADVERSARIAL_PROFILE,
+    DEFAULT_PROFILE,
+    Profile,
+)
+from repro.harness import World
+from repro.net.network import NetworkConfig
+from repro.sim.rng import RandomStream
+
+
+@dataclasses.dataclass
+class ScenarioRun:
+    """What a scenario factory returns: a built world, a workload
+    generator factory, and the machine names faults may target."""
+
+    world: World
+    body: Callable[[], object]
+    fault_machines: List[str]
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    name: str
+    description: str
+    horizon: float          # schedule generation window (virtual ms)
+    budget: float           # abandon the run at this virtual time
+    profile: Profile
+    factory: Callable[[int], ScenarioRun]
+    #: default oracle slugs for this scenario (None = the full suite).
+    #: Scenarios whose profiles produce partitions exclude
+    #: ``troupe-determinism`` by default: a partition can make a client
+    #: falsely declare a live member crashed (§4.2.3), after which that
+    #: member legitimately misses calls — the §4.3.5 hazard the paper
+    #: resolves by reconfiguration, which these workloads don't run.
+    #: Pass ``oracles=``/``monitors=`` to :func:`repro.explore.run` to
+    #: opt back in.
+    oracles: Optional[Tuple[str, ...]] = None
+
+    def build(self, seed: int) -> ScenarioRun:
+        return self.factory(seed)
+
+
+def _echo_module():
+    from repro.core import ExportedModule
+
+    def echo(ctx, args):
+        yield from ctx.compute(1.0)
+        return b"echo:" + args
+
+    return ExportedModule("echo", {0: echo})
+
+
+def _make_echo(seed: int, degree: int = 3,
+               net_config: Optional[NetworkConfig] = None) -> ScenarioRun:
+    """A ``degree``-member echo troupe answering a client's replicated
+    calls; the workload length and pacing are themselves seed-derived
+    (the client-workload knob of the schedule)."""
+    from repro.core import ReplicatedCallError
+
+    world = World(machines=degree + 2, seed=seed, net_config=net_config)
+    troupe, _runtimes = world.make_troupe("echo-svc", _echo_module,
+                                          degree=degree)
+    servers = sorted({m.process.host for m in troupe.members})
+    client = world.make_client()
+    rng = RandomStream(seed, "explore-workload")
+    calls = rng.randint(6, 14)
+    gaps = [round(rng.uniform(0.0, 250.0), 3) for _ in range(calls)]
+
+    def body():
+        from repro.sim.kernel import Sleep
+
+        outcomes = []
+        for i in range(calls):
+            if gaps[i] > 0:
+                yield Sleep(gaps[i])
+            payload = b"ping-%d" % i
+            try:
+                reply = yield from client.call_troupe(troupe, 0, 0, payload)
+            except ReplicatedCallError as exc:
+                outcomes.append("call-%d:%s" % (i, type(exc).__name__))
+            else:
+                ok = reply == b"echo:" + payload
+                outcomes.append("call-%d:%s" % (i, "ok" if ok else
+                                                "WRONG-REPLY"))
+        return outcomes
+
+    return ScenarioRun(world=world, body=body, fault_machines=servers)
+
+
+def _make_pairs(seed: int) -> ScenarioRun:
+    """Two paired-message endpoints exchanging seed-sized calls — the
+    §4.2 protocol fuzzed below the RPC layer."""
+    from repro.host.machine import MachineCrashed
+    from repro.pairedmsg import (
+        PairedEndpoint,
+        PairedMessageConfig,
+        PeerCrashed,
+        SendTimeout,
+    )
+
+    world = World(machines=3, seed=seed)
+    client_m, server_m = world.machines[0], world.machines[1]
+    config = PairedMessageConfig(max_segment_data=256,
+                                 retransmit_interval=25.0,
+                                 crash_timeout=600.0,
+                                 probe_interval=100.0)
+    client = PairedEndpoint(client_m.spawn_process("pm-client"),
+                            config=config)
+    server_proc = server_m.spawn_process("pm-server")
+    server = PairedEndpoint(server_proc, port=500, config=config)
+
+    def serve():
+        while True:
+            msg = yield from server.next_call()
+            yield from server.send_return(msg.peer, msg.call_number,
+                                          b"r:" + msg.data)
+
+    server_proc.spawn(serve(), daemon=True)
+    rng = RandomStream(seed, "explore-workload")
+    sizes = [rng.randint(0, 2048) for _ in range(rng.randint(3, 8))]
+
+    def body():
+        from repro.sim.kernel import Sleep
+
+        outcomes = []
+        for number, size in enumerate(sizes, start=1):
+            try:
+                reply = yield from client.call(server.addr, number,
+                                               b"p" * size)
+            except (PeerCrashed, SendTimeout, MachineCrashed) as exc:
+                outcomes.append("xfer-%d:%s" % (number, type(exc).__name__))
+            else:
+                ok = reply == b"r:" + b"p" * size
+                outcomes.append("xfer-%d:%s" % (number, "ok" if ok else
+                                                "WRONG-REPLY"))
+        yield Sleep(300.0)   # let stray duplicates drain under the oracles
+        return outcomes
+
+    # The server machine only — crashing the client machine would kill
+    # the observer, not the system under test.
+    return ScenarioRun(world=world, body=body,
+                       fault_machines=[server_m.name])
+
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def _register(scenario: Scenario) -> Scenario:
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+#: the oracles that must hold under *every* fault schedule (see
+#: :class:`Scenario.oracles` for why troupe-determinism is opt-in).
+UNCONDITIONAL_ORACLES = (
+    "exactly-once",
+    "collation-completeness",
+    "commit-unanimity",
+    "crash-silence",
+    "incarnation-monotonic",
+)
+
+_register(Scenario(
+    name="echo",
+    description="3-member echo troupe, replicated calls from one client",
+    horizon=2500.0, budget=30000.0, profile=DEFAULT_PROFILE,
+    factory=lambda seed: _make_echo(seed),
+    oracles=UNCONDITIONAL_ORACLES))
+
+_register(Scenario(
+    name="echo-adversarial",
+    description="echo troupe under dense, correlated fault schedules",
+    horizon=2500.0, budget=40000.0, profile=ADVERSARIAL_PROFILE,
+    factory=lambda seed: _make_echo(seed),
+    oracles=UNCONDITIONAL_ORACLES))
+
+_register(Scenario(
+    name="lossy-echo",
+    description="echo troupe over a baseline-lossy wire plus scheduled "
+                "faults",
+    horizon=2500.0, budget=40000.0, profile=DEFAULT_PROFILE,
+    factory=lambda seed: _make_echo(seed, net_config=NetworkConfig(
+        loss_probability=0.05, duplicate_probability=0.02)),
+    oracles=UNCONDITIONAL_ORACLES))
+
+_register(Scenario(
+    name="pairs",
+    description="raw paired-message exchanges (the §4.2 layer, below RPC)",
+    horizon=2000.0, budget=30000.0, profile=DEFAULT_PROFILE,
+    factory=_make_pairs))
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError("unknown scenario %r (choose from: %s)"
+                       % (name, ", ".join(sorted(SCENARIOS))))

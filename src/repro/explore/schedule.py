@@ -1,0 +1,360 @@
+"""Fault schedules: seed-derived, replayable sequences of typed faults.
+
+A :class:`FaultSchedule` is the deterministic heart of the explorer: the
+same ``(seed, machines, horizon, profile)`` always generates the same
+action list, every action serializes losslessly to JSON (the *repro
+script* the fuzzer hands you when a seed fails), and the whole schedule
+hashes to a stable digest so two runs can prove they explored the same
+fault pattern.
+
+Action taxonomy (all times are virtual milliseconds):
+
+==============  ==========================================================
+``crash``       crash a machine at ``at``; repair it ``duration`` ms
+                later (``duration=None`` leaves it down forever)
+``partition``   split the named machines into groups at ``at``; hosts
+                not named fall into the implicit leftover group; heal
+                after ``duration`` ms
+``loss``        a loss window: matching packets dropped with
+                ``probability`` (optionally scoped to one ``src``/``dst``)
+``duplicate``   a duplication window
+``delay``       an extra-latency window (``extra`` ms per packet)
+``reorder``     a reordering window: with ``probability`` a packet is
+                held back up to ``hold`` extra ms, overtaking later ones
+==============  ==========================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.rng import RandomStream
+
+#: the repro-script file format tag.
+SCHEDULE_FORMAT = "repro.fuzz/1"
+
+
+# ---------------------------------------------------------------------------
+# Actions
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class FaultAction:
+    """Base: one typed fault at a virtual time."""
+
+    at: float
+
+    #: subclasses set this; doubles as the JSON discriminator.
+    kind = ""
+
+    @property
+    def window(self) -> Optional[float]:
+        """The action's duration when it is a window, else ``None``."""
+        return getattr(self, "duration", None)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {"kind": self.kind}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, tuple):
+                value = [list(g) if isinstance(g, tuple) else g
+                         for g in value]
+            out[field.name] = value
+        return out
+
+    def describe(self) -> str:
+        payload = ", ".join(
+            "%s=%s" % (f.name, getattr(self, f.name))
+            for f in dataclasses.fields(self) if f.name != "at")
+        return "%s@%g(%s)" % (self.kind, self.at, payload)
+
+
+@dataclasses.dataclass(frozen=True)
+class Crash(FaultAction):
+    machine: str = ""
+    duration: Optional[float] = None   # None: never repaired
+
+    kind = "crash"
+
+
+@dataclasses.dataclass(frozen=True)
+class Partition(FaultAction):
+    duration: float = 0.0
+    groups: Tuple[Tuple[str, ...], ...] = ()
+
+    kind = "partition"
+
+    def __post_init__(self):
+        object.__setattr__(self, "groups", tuple(
+            tuple(group) for group in self.groups))
+
+
+@dataclasses.dataclass(frozen=True)
+class Loss(FaultAction):
+    duration: float = 0.0
+    probability: float = 0.0
+    src: Optional[str] = None
+    dst: Optional[str] = None
+
+    kind = "loss"
+
+
+@dataclasses.dataclass(frozen=True)
+class Duplicate(FaultAction):
+    duration: float = 0.0
+    probability: float = 0.0
+    src: Optional[str] = None
+    dst: Optional[str] = None
+
+    kind = "duplicate"
+
+
+@dataclasses.dataclass(frozen=True)
+class Delay(FaultAction):
+    duration: float = 0.0
+    extra: float = 0.0
+    src: Optional[str] = None
+    dst: Optional[str] = None
+
+    kind = "delay"
+
+
+@dataclasses.dataclass(frozen=True)
+class Reorder(FaultAction):
+    duration: float = 0.0
+    probability: float = 0.0
+    hold: float = 5.0
+    src: Optional[str] = None
+    dst: Optional[str] = None
+
+    kind = "reorder"
+
+
+ACTION_TYPES: Dict[str, type] = {
+    cls.kind: cls
+    for cls in (Crash, Partition, Loss, Duplicate, Delay, Reorder)
+}
+
+
+def action_from_dict(data: Dict[str, Any]) -> FaultAction:
+    data = dict(data)
+    kind = data.pop("kind", None)
+    cls = ACTION_TYPES.get(kind)
+    if cls is None:
+        raise ValueError("unknown fault action kind: %r" % (kind,))
+    if cls is Partition and "groups" in data:
+        data["groups"] = tuple(tuple(g) for g in data["groups"])
+    return cls(**data)
+
+
+# ---------------------------------------------------------------------------
+# The schedule
+# ---------------------------------------------------------------------------
+
+def _canonical_json(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def digest_of(obj: Any) -> str:
+    """A stable sha256 hex digest of any JSON-able object."""
+    return hashlib.sha256(_canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSchedule:
+    """A replayable fault schedule: scenario, seed, horizon, actions."""
+
+    scenario: str
+    seed: int
+    horizon: float
+    actions: Tuple[FaultAction, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "actions", tuple(self.actions))
+
+    def with_actions(self, actions: Sequence[FaultAction]) -> "FaultSchedule":
+        return dataclasses.replace(self, actions=tuple(actions))
+
+    def machines(self) -> List[str]:
+        """Every machine name the schedule references (sorted)."""
+        names = set()
+        for action in self.actions:
+            if isinstance(action, Crash):
+                names.add(action.machine)
+            elif isinstance(action, Partition):
+                for group in action.groups:
+                    names.update(group)
+            else:
+                if action.src:
+                    names.add(action.src)
+                if action.dst:
+                    names.add(action.dst)
+        return sorted(names)
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": SCHEDULE_FORMAT,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "actions": [action.to_dict() for action in self.actions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSchedule":
+        fmt = data.get("format", SCHEDULE_FORMAT)
+        if fmt != SCHEDULE_FORMAT:
+            raise ValueError("unsupported schedule format: %r" % (fmt,))
+        return cls(
+            scenario=data["scenario"],
+            seed=int(data["seed"]),
+            horizon=float(data["horizon"]),
+            actions=tuple(action_from_dict(a) for a in data["actions"]))
+
+    def save(self, path) -> Dict[str, Any]:
+        payload = self.to_dict()
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        return payload
+
+    @classmethod
+    def load(cls, path) -> "FaultSchedule":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    def digest(self) -> str:
+        return digest_of(self.to_dict())
+
+    def describe(self) -> str:
+        return "\n".join(action.describe() for action in self.actions)
+
+
+# ---------------------------------------------------------------------------
+# Generation
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class Profile:
+    """Knobs for schedule generation: how many faults, of which kinds,
+    how dense.  Weights of zero disable a kind entirely (a profile with
+    only ``crash`` weight fuzzes pure crash/repair schedules)."""
+
+    min_actions: int = 2
+    max_actions: int = 8
+    crash_weight: int = 4
+    partition_weight: int = 3
+    loss_weight: int = 3
+    duplicate_weight: int = 2
+    delay_weight: int = 2
+    reorder_weight: int = 2
+    #: probability a crash is permanent (no repair before the horizon).
+    permanent_crash_chance: float = 0.2
+    #: window durations as fractions of the horizon.
+    min_window: float = 0.05
+    max_window: float = 0.4
+
+    def weighted_kinds(self) -> List[str]:
+        expanded: List[str] = []
+        for kind, weight in (("crash", self.crash_weight),
+                             ("partition", self.partition_weight),
+                             ("loss", self.loss_weight),
+                             ("duplicate", self.duplicate_weight),
+                             ("delay", self.delay_weight),
+                             ("reorder", self.reorder_weight)):
+            expanded.extend([kind] * max(0, weight))
+        if not expanded:
+            raise ValueError("profile disables every fault kind")
+        return expanded
+
+
+DEFAULT_PROFILE = Profile()
+
+#: dense, correlated faults (the 'performing work efficiently in the
+#: presence of faults' regime): more actions, longer windows, more
+#: permanent crashes.
+ADVERSARIAL_PROFILE = Profile(
+    min_actions=5, max_actions=14, permanent_crash_chance=0.35,
+    min_window=0.1, max_window=0.6)
+
+#: crash/repair only — the §6.4.2 availability regime, made adversarial.
+CRASH_ONLY_PROFILE = Profile(
+    partition_weight=0, loss_weight=0, duplicate_weight=0,
+    delay_weight=0, reorder_weight=0)
+
+
+def _round(value: float) -> float:
+    return round(value, 3)
+
+
+def generate(seed: int, machines: Sequence[str], horizon: float,
+             profile: Optional[Profile] = None,
+             scenario: str = "") -> FaultSchedule:
+    """Derive a :class:`FaultSchedule` from a seed, deterministically.
+
+    All randomness flows from one :class:`~repro.sim.rng.RandomStream`
+    forked off ``(seed, "explore-schedule")``, so the same seed always
+    yields the identical action list — the property the replay files,
+    the shrinker, and the CI digests all rest on.
+    """
+    if not machines:
+        raise ValueError("cannot generate a schedule over zero machines")
+    profile = profile or DEFAULT_PROFILE
+    rng = RandomStream(seed, "explore-schedule")
+    kinds = profile.weighted_kinds()
+    count = rng.randint(profile.min_actions, profile.max_actions)
+    machines = list(machines)
+    actions: List[FaultAction] = []
+    for _ in range(count):
+        kind = rng.choice(kinds)
+        at = _round(rng.uniform(0.0, horizon * 0.8))
+        window = _round(rng.uniform(profile.min_window * horizon,
+                                    profile.max_window * horizon))
+        if kind == "crash":
+            duration: Optional[float] = window
+            if rng.chance(profile.permanent_crash_chance):
+                duration = None
+            actions.append(Crash(at=at, machine=rng.choice(machines),
+                                 duration=duration))
+        elif kind == "partition":
+            shuffled = list(machines)
+            rng.shuffle(shuffled)
+            split = rng.randint(1, max(1, len(shuffled) - 1))
+            groups = (tuple(sorted(shuffled[:split])),
+                      tuple(sorted(shuffled[split:])))
+            groups = tuple(g for g in groups if g)
+            actions.append(Partition(at=at, duration=window, groups=groups))
+        else:
+            src = dst = None
+            if rng.chance(0.5):
+                src = rng.choice(machines)
+                dst = rng.choice(machines)
+            if kind == "loss":
+                actions.append(Loss(
+                    at=at, duration=window,
+                    probability=_round(rng.uniform(0.1, 0.9)),
+                    src=src, dst=dst))
+            elif kind == "duplicate":
+                actions.append(Duplicate(
+                    at=at, duration=window,
+                    probability=_round(rng.uniform(0.1, 0.6)),
+                    src=src, dst=dst))
+            elif kind == "delay":
+                actions.append(Delay(
+                    at=at, duration=window,
+                    extra=_round(rng.uniform(1.0, 50.0)),
+                    src=src, dst=dst))
+            else:
+                actions.append(Reorder(
+                    at=at, duration=window,
+                    probability=_round(rng.uniform(0.1, 0.8)),
+                    hold=_round(rng.uniform(1.0, 20.0)),
+                    src=src, dst=dst))
+    actions.sort(key=lambda a: (a.at, a.kind))
+    return FaultSchedule(scenario=scenario, seed=seed, horizon=horizon,
+                         actions=tuple(actions))

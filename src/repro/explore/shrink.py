@@ -1,0 +1,97 @@
+"""Greedy schedule shrinking: minimize a failing fault schedule.
+
+Given a failing action list and a ``reproduces(actions) -> bool``
+predicate (re-run the scenario under the candidate schedule; does the
+violation still fire?), the shrinker:
+
+1. **drops** actions, delta-debugging style — whole halves first, then
+   smaller chunks, down to single actions — restarting whenever a drop
+   succeeds, and
+2. **narrows** the survivors — halving window durations and delaying
+   window starts while the failure keeps reproducing,
+
+until a fixpoint or the attempt budget runs out.  The result is the
+small, human-readable repro script the fuzzer reports.  Every candidate
+evaluation is one full deterministic re-run, so shrinking is sound by
+construction: the returned schedule was *observed* to still violate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Sequence, Tuple
+
+from repro.explore.schedule import FaultAction
+
+#: stop narrowing a window below this many virtual milliseconds.
+MIN_WINDOW = 1.0
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.spent = 0
+
+    def take(self) -> bool:
+        if self.spent >= self.limit:
+            return False
+        self.spent += 1
+        return True
+
+
+def _narrowings(action: FaultAction) -> List[FaultAction]:
+    """Cheaper variants of one action, most aggressive first."""
+    duration = getattr(action, "duration", None)
+    if duration is None or duration <= MIN_WINDOW:
+        return []
+    half = duration / 2.0
+    return [
+        # keep the start, halve the window
+        dataclasses.replace(action, duration=half),
+        # drop the first half of the window
+        dataclasses.replace(action, at=action.at + half, duration=half),
+    ]
+
+
+def shrink_actions(
+        actions: Sequence[FaultAction],
+        reproduces: Callable[[List[FaultAction]], bool],
+        max_attempts: int = 300,
+) -> Tuple[List[FaultAction], int]:
+    """Minimize ``actions`` under ``reproduces``; returns the shrunken
+    list and the number of re-runs spent."""
+    budget = _Budget(max_attempts)
+    current = list(actions)
+
+    def attempt(candidate: List[FaultAction]) -> bool:
+        return budget.take() and reproduces(candidate)
+
+    improved = True
+    while improved:
+        improved = False
+        # -- pass 1: drop chunks (ddmin) --------------------------------
+        chunk = max(1, len(current) // 2)
+        while chunk >= 1:
+            i = 0
+            while i + chunk <= len(current):
+                candidate = current[:i] + current[i + chunk:]
+                if attempt(candidate):
+                    current = candidate
+                    improved = True
+                    # stay at i: the next chunk shifted into place
+                else:
+                    i += chunk
+            chunk //= 2
+        # -- pass 2: narrow windows -------------------------------------
+        for index in range(len(current)):
+            while True:
+                for narrower in _narrowings(current[index]):
+                    candidate = list(current)
+                    candidate[index] = narrower
+                    if attempt(candidate):
+                        current = candidate
+                        improved = True
+                        break
+                else:
+                    break
+    return current, budget.spent

@@ -194,6 +194,21 @@ class World:
     def spawn(self, gen, name: Optional[str] = None):
         return self.sim.spawn(gen, name=name)
 
+    # -- fault schedules ------------------------------------------------
+
+    def install_schedule(self, schedule):
+        """Wire a :class:`repro.explore.schedule.FaultSchedule` into this
+        world; returns the (not yet started)
+        :class:`repro.explore.driver.ScheduleDriver`::
+
+            driver = world.install_schedule(schedule)
+            driver.start()
+            world.run(body())
+            driver.stop()
+        """
+        from repro.explore.driver import ScheduleDriver
+        return ScheduleDriver(self.sim, self.machines, self.net, schedule)
+
     # -- monitoring -----------------------------------------------------
 
     def watch(self, monitors=None, capacity: int = 2048,

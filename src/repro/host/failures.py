@@ -6,6 +6,13 @@ independently.  This is exactly the birth-death model of Figure 6.3, so
 the measured equilibrium availability can be compared against
 
     A = 1 − (λ / (λ + μ))^n          (Equation 6.1)
+
+The bookkeeping (down counts, failure/repair totals, the all-down
+unavailability integral) lives in :meth:`FailureModel._crash_machine` and
+:meth:`FailureModel._repair_machine` so that other fault drivers — notably
+the deterministic :class:`repro.explore.driver.ScheduleDriver` — can
+subclass :class:`FailureModel`, replace the exponential draw with their
+own timing, and keep the same statistics.
 """
 
 from __future__ import annotations
@@ -22,6 +29,11 @@ class FailureModel:
 
     Also accumulates the statistic the analysis needs: the total time
     during which *all* machines were down (the troupe was unavailable).
+
+    ``start`` and ``stop`` are idempotent: a second ``start`` while
+    running is a no-op (it must not double-drive the machines), ``stop``
+    kills and forgets the driver processes, and a fresh ``start`` after
+    ``stop`` begins a new driving epoch.
     """
 
     def __init__(self, sim: Simulator, machines: List[Machine],
@@ -43,10 +55,22 @@ class FailureModel:
         self.total_unavailable_time = 0.0
         self._started_at: Optional[float] = None
         self._processes = []
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
 
     def start(self) -> None:
-        """Begin driving failures; call before sim.run()."""
+        """Begin driving failures; call before sim.run().  No-op while
+        already running."""
+        if self._running:
+            return
+        self._running = True
         self._started_at = self.sim.now
+        self._spawn_drivers()
+
+    def _spawn_drivers(self) -> None:
         for machine in self.machines:
             rng = self._rng.fork(machine.name)
             proc = self.sim.spawn(self._drive(machine, rng),
@@ -55,29 +79,43 @@ class FailureModel:
             self._processes.append(proc)
 
     def stop(self) -> None:
+        """Stop driving and forget the driver processes (idempotent)."""
         self._close_unavailable_interval()
         for proc in self._processes:
             proc.kill()
         self._processes = []
+        self._running = False
+
+    # -- shared crash/repair bookkeeping -----------------------------------
+
+    def _crash_machine(self, machine: Machine) -> None:
+        """Crash ``machine`` (if up) and account for it."""
+        if not machine.up:
+            return
+        machine.crash()
+        self.total_failures += 1
+        self.down_count += 1
+        if self.down_count == len(self.machines):
+            self._all_down_since = self.sim.now
+
+    def _repair_machine(self, machine: Machine) -> None:
+        """Restart ``machine`` (if down) and account for it."""
+        if machine.up:
+            return
+        if self.down_count == len(self.machines):
+            self._close_unavailable_interval()
+        machine.restart()
+        self.total_repairs += 1
+        self.down_count -= 1
+        if self.on_repair is not None:
+            self.on_repair(machine)
 
     def _drive(self, machine: Machine, rng: RandomStream):
         while True:
             yield Sleep(rng.expovariate(self.failure_rate))
-            if machine.up:
-                machine.crash()
-                self.total_failures += 1
-                self.down_count += 1
-                if self.down_count == len(self.machines):
-                    self._all_down_since = self.sim.now
+            self._crash_machine(machine)
             yield Sleep(rng.expovariate(self.repair_rate))
-            if not machine.up:
-                if self.down_count == len(self.machines):
-                    self._close_unavailable_interval()
-                machine.restart()
-                self.total_repairs += 1
-                self.down_count -= 1
-                if self.on_repair is not None:
-                    self.on_repair(machine)
+            self._repair_machine(machine)
 
     def _close_unavailable_interval(self) -> None:
         if self._all_down_since is not None:

@@ -19,7 +19,7 @@ from repro.net.addresses import (
     ModuleAddress,
     ProcessAddress,
 )
-from repro.net.network import Host, Network, NetworkConfig
+from repro.net.network import Host, LinkFault, Network, NetworkConfig
 from repro.net.udp import PortInUse, UdpSocket
 from repro.net.tcp import ConnectionClosed, ConnectionRefused, TcpListener, TcpSocket
 
@@ -29,6 +29,7 @@ __all__ = [
     "ConnectionRefused",
     "Host",
     "HostAddress",
+    "LinkFault",
     "ModuleAddress",
     "Network",
     "NetworkConfig",

@@ -92,6 +92,32 @@ class Host:
         return port
 
 
+@dataclasses.dataclass
+class LinkFault:
+    """A temporary degradation of one link (or of the whole wire).
+
+    ``src``/``dst`` restrict the fault to packets between two hosts
+    (``None`` matches any host), so a fault schedule can degrade a single
+    direction of a single link while the rest of the network stays
+    healthy.  Installed and removed through :meth:`Network.add_fault` /
+    :meth:`Network.remove_fault` — typically by a
+    :class:`repro.explore.driver.ScheduleDriver` opening and closing
+    loss/duplication/delay/reordering windows.
+    """
+
+    loss: float = 0.0            # extra drop probability on matching packets
+    duplicate: float = 0.0       # extra duplication probability
+    extra_delay: float = 0.0     # fixed extra latency (ms)
+    reorder: float = 0.0         # probability a packet is held back ...
+    reorder_hold: float = 5.0    # ... for uniform(0, reorder_hold) extra ms
+    src: Optional[HostAddress] = None   # None = any source host
+    dst: Optional[HostAddress] = None   # None = any destination host
+
+    def matches(self, src: HostAddress, dst: HostAddress) -> bool:
+        return ((self.src is None or self.src == src)
+                and (self.dst is None or self.dst == dst))
+
+
 class Network:
     """The shared medium connecting all hosts."""
 
@@ -103,6 +129,7 @@ class Network:
         self.hosts: Dict[HostAddress, Host] = {}
         self._partition_of: Dict[HostAddress, int] = {}
         self.partitioned = False
+        self._faults: List[LinkFault] = []
         # Statistics: observable without instrumenting protocols.
         self.packets_sent = 0
         self.packets_delivered = 0
@@ -153,6 +180,20 @@ class Network:
         if not self.partitioned:
             return True
         return self._partition_of.get(src) == self._partition_of.get(dst)
+
+    # -- link faults -------------------------------------------------------
+
+    def add_fault(self, fault: LinkFault) -> LinkFault:
+        """Install a :class:`LinkFault`; returns it (the removal handle)."""
+        self._faults.append(fault)
+        return fault
+
+    def remove_fault(self, fault: LinkFault) -> None:
+        if fault in self._faults:
+            self._faults.remove(fault)
+
+    def clear_faults(self) -> None:
+        self._faults = []
 
     # -- ports -------------------------------------------------------------
 
@@ -229,8 +270,29 @@ class Network:
             if bus.active:
                 bus.emit(obs_events.PacketDuplicated(
                     t=self.sim.now, src=datagram.src, dst=datagram.dst))
+        # Link-fault windows.  When no faults are installed this loop makes
+        # no rng draws, so installing-then-removing faults elsewhere never
+        # perturbs an unfaulted run's random sequence.
+        extra_delay = 0.0
+        for fault in self._faults:
+            if not fault.matches(datagram.src.host, datagram.dst.host):
+                continue
+            if fault.loss and self.rng.chance(fault.loss):
+                self._drop(datagram, "fault-loss")
+                return
+            if copies == 1 and fault.duplicate \
+                    and self.rng.chance(fault.duplicate):
+                copies = 2
+                self.packets_duplicated += 1
+                if bus.active:
+                    bus.emit(obs_events.PacketDuplicated(
+                        t=self.sim.now, src=datagram.src, dst=datagram.dst))
+            extra_delay += fault.extra_delay
+            if fault.reorder and self.rng.chance(fault.reorder):
+                extra_delay += self.rng.uniform(0.0, fault.reorder_hold)
         for _ in range(copies):
-            delay = self.config.transit_time(datagram.size, self.rng)
+            delay = extra_delay + self.config.transit_time(
+                datagram.size, self.rng)
             self.sim.schedule(delay, self._deliver, datagram)
 
     def _drop(self, datagram: Datagram, reason: str) -> None:

@@ -373,6 +373,21 @@ DEFAULT_MONITORS = (
     IncarnationMonitor,
 )
 
+#: invariant slug -> monitor class, for oracle selection by name
+#: (``repro fuzz --oracles exactly-once,crash-silence``).
+MONITORS_BY_INVARIANT = {cls.invariant: cls for cls in DEFAULT_MONITORS}
+
+
+def monitors_for(invariants) -> List[type]:
+    """Resolve invariant slugs (e.g. ``"exactly-once"``) to monitor
+    classes; raises ``KeyError`` naming any unknown slug."""
+    unknown = [name for name in invariants
+               if name not in MONITORS_BY_INVARIANT]
+    if unknown:
+        raise KeyError("unknown invariant(s) %s (choose from: %s)"
+                       % (unknown, ", ".join(sorted(MONITORS_BY_INVARIANT))))
+    return [MONITORS_BY_INVARIANT[name] for name in invariants]
+
 
 class MonitorSuite:
     """All monitors over one simulation's bus, with causal clocks.

@@ -69,6 +69,10 @@ class FlightRecorder:
         self.violations: List[obs_events.InvariantViolation] = []
         self.monitor_errors: List[obs_events.MonitorError] = []
         self.crash: Optional[Dict[str, Any]] = None
+        #: arbitrary JSON-able context included in the post-mortem — the
+        #: fault explorer stores the offending schedule and seed here so
+        #: a dumped report is replayable on its own.
+        self.context: Dict[str, Any] = {}
         self._sub = bus.subscribe(self._record)
 
     def detach(self) -> None:
@@ -131,6 +135,8 @@ class FlightRecorder:
                                for e in self.monitor_errors],
             "crash": self.crash,
         }
+        if self.context:
+            report["context"] = self.context
         if self.crash is not None:
             # No violation frontier to cut at: give the investigator the
             # causally linearized tail of the ring instead.

@@ -1,0 +1,43 @@
+"""Regression corpus: the committed seed file sweeps clean.
+
+These are the PR-gate oracles of §4.3 (exactly-once) and §4.2.3
+(crash-silence) over the echo scenario: 200 schedules of crashes,
+partitions, and link faults, none of which may produce a duplicate
+execution or a false crash declaration.  A failure here is a protocol
+regression; the failing seed prints a replayable repro command.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import explore
+
+CORPUS_PATH = os.path.join(os.path.dirname(__file__), "corpus",
+                           "echo.seeds.json")
+ORACLES = ("exactly-once", "crash-silence")
+
+
+def load_corpus():
+    with open(CORPUS_PATH) as fh:
+        corpus = json.load(fh)
+    assert corpus["format"] == "repro.fuzz.corpus/1"
+    assert corpus["scenario"] == "echo"
+    return corpus["seeds"]
+
+
+CORPUS_SEEDS = load_corpus()
+
+
+def test_corpus_is_dense_and_sized():
+    assert len(CORPUS_SEEDS) == 200
+    assert CORPUS_SEEDS == sorted(set(CORPUS_SEEDS))
+
+
+@pytest.mark.parametrize("chunk", range(8))
+def test_exactly_once_and_crash_silence_sweep(chunk, fuzz):
+    """200 seeds split into 8 chunks so a regression pinpoints its
+    block; each failing seed still reports its own repro command."""
+    for seed in CORPUS_SEEDS[chunk * 25:(chunk + 1) * 25]:
+        fuzz.check("echo", seed, oracles=ORACLES, shrink_attempts=80)

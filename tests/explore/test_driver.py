@@ -1,0 +1,206 @@
+"""ScheduleDriver: the schedule's actions land in the world at the
+declared virtual times, through the FailureModel bookkeeping and the
+Network fault hooks."""
+
+import pytest
+
+from repro.explore.driver import ScheduleDriver
+from repro.explore.schedule import (
+    Crash,
+    Delay,
+    Duplicate,
+    FaultSchedule,
+    Loss,
+    Partition,
+    Reorder,
+)
+from repro.harness import World
+from repro.sim.kernel import Sleep
+
+
+def make_schedule(actions, scenario="test", seed=0, horizon=1000.0):
+    return FaultSchedule(scenario=scenario, seed=seed, horizon=horizon,
+                         actions=tuple(actions))
+
+
+def drive(world, schedule, until):
+    driver = world.install_schedule(schedule)
+    assert isinstance(driver, ScheduleDriver)
+    driver.start()
+    world.sim.run(until=until)
+    return driver
+
+
+def test_crash_and_repair_at_scheduled_times():
+    world = World(machines=2, seed=0)
+    machine = world.machines[0]
+    observed = []
+
+    def probe():
+        while True:
+            observed.append((world.sim.now, machine.up))
+            yield Sleep(10.0)
+
+    world.spawn(probe(), name="probe")
+    driver = drive(world, make_schedule(
+        [Crash(at=25.0, machine=machine.name, duration=50.0)]), until=200.0)
+    ups = dict(observed)
+    assert ups[20.0] is True
+    assert ups[30.0] is False
+    assert ups[70.0] is False
+    assert ups[80.0] is True
+    assert driver.total_failures == 1
+    assert driver.total_repairs == 1
+
+
+def test_permanent_crash_never_repairs():
+    world = World(machines=2, seed=0)
+    machine = world.machines[0]
+    driver = drive(world, make_schedule(
+        [Crash(at=25.0, machine=machine.name, duration=None)]), until=500.0)
+    assert not machine.up
+    assert driver.total_failures == 1
+    assert driver.total_repairs == 0
+
+
+def test_partition_window_opens_and_heals():
+    world = World(machines=3, seed=0)
+    names = [m.name for m in world.machines]
+    seen = []
+
+    def probe():
+        while True:
+            seen.append((world.sim.now,
+                         world.net.reachable(names[0], names[1])))
+            yield Sleep(10.0)
+
+    world.spawn(probe(), name="probe")
+    drive(world, make_schedule(
+        [Partition(at=25.0, duration=50.0,
+                   groups=((names[0],), (names[1], names[2])))]),
+        until=200.0)
+    reach = dict(seen)
+    assert reach[20.0] is True
+    assert reach[30.0] is False
+    assert reach[70.0] is False
+    assert reach[80.0] is True
+    assert not world.net.partitioned
+
+
+def test_nested_partitions_restore_outer_window():
+    world = World(machines=3, seed=0)
+    a, b, c = [m.name for m in world.machines]
+    outer = Partition(at=10.0, duration=100.0, groups=((a,), (b, c)))
+    inner = Partition(at=40.0, duration=20.0, groups=((a, b), (c,)))
+    world_probe = []
+
+    def probe():
+        while True:
+            world_probe.append((world.sim.now,
+                                world.net.reachable(a, b),
+                                world.net.reachable(b, c)))
+            yield Sleep(5.0)
+
+    world.spawn(probe(), name="probe")
+    drive(world, make_schedule([outer, inner]), until=200.0)
+    at = {t: (ab, bc) for t, ab, bc in world_probe}
+    assert at[30.0] == (False, True)     # outer only
+    assert at[50.0] == (True, False)     # inner shadows outer
+    assert at[70.0] == (False, True)     # outer restored
+    assert at[120.0] == (True, True)     # healed
+
+
+def test_loss_window_drops_then_releases():
+    world = World(machines=2, seed=3)
+    src, dst = [m.name for m in world.machines]
+    drive(world, make_schedule(
+        [Loss(at=0.0, duration=100.0, probability=1.0)]), until=50.0)
+    from repro.net.network import Datagram
+    from repro.net.addresses import ProcessAddress
+
+    world.net.hosts[dst].ports[9] = lambda datagram: None
+    before = world.net.packets_dropped
+    world.net.send(Datagram(ProcessAddress(src, 8),
+                            ProcessAddress(dst, 9), b"x"))
+    assert world.net.packets_dropped == before + 1
+    # After the window the fault is gone.
+    world.sim.run(until=150.0)
+    assert world.net._faults == []
+
+
+def test_link_faults_scope_to_matching_link():
+    world = World(machines=3, seed=3)
+    a, b, c = [m.name for m in world.machines]
+    drive(world, make_schedule(
+        [Loss(at=0.0, duration=1000.0, probability=1.0, src=a, dst=b)]),
+        until=10.0)
+    from repro.net.network import Datagram
+    from repro.net.addresses import ProcessAddress
+
+    delivered = []
+    world.net.hosts[b].ports[9] = delivered.append
+    world.net.hosts[c].ports[9] = delivered.append
+    world.net.send(Datagram(ProcessAddress(a, 8), ProcessAddress(b, 9),
+                            b"dropped"))
+    world.net.send(Datagram(ProcessAddress(a, 8), ProcessAddress(c, 9),
+                            b"through"))
+    world.sim.run(until=50.0)
+    assert [d.payload for d in delivered] == [b"through"]
+
+
+def test_delay_duplicate_reorder_windows_apply():
+    world = World(machines=2, seed=5)
+    src, dst = [m.name for m in world.machines]
+    driver = drive(world, make_schedule([
+        Delay(at=0.0, duration=500.0, extra=40.0),
+        Duplicate(at=0.0, duration=500.0, probability=1.0),
+        Reorder(at=0.0, duration=500.0, probability=1.0, hold=10.0),
+    ]), until=10.0)
+    from repro.net.network import Datagram
+    from repro.net.addresses import ProcessAddress
+
+    arrivals = []
+    world.net.hosts[dst].ports[9] = \
+        lambda d: arrivals.append(world.sim.now)
+    world.net.send(Datagram(ProcessAddress(src, 8),
+                            ProcessAddress(dst, 9), b"x"))
+    world.sim.run(until=200.0)
+    assert len(arrivals) == 2            # duplicated
+    assert min(arrivals) >= 50.0         # 40 ms extra delay applied
+    world.sim.run(until=600.0)           # past the window ends
+    assert len(driver.applied) == 6      # 3 installs + 3 removals
+
+
+def test_stop_rolls_back_open_windows():
+    world = World(machines=2, seed=0)
+    a, b = [m.name for m in world.machines]
+    driver = drive(world, make_schedule([
+        Partition(at=10.0, duration=10000.0, groups=((a,), (b,))),
+        Loss(at=10.0, duration=10000.0, probability=1.0),
+    ]), until=50.0)
+    assert world.net.partitioned
+    assert world.net._faults
+    driver.stop()
+    assert not world.net.partitioned
+    assert world.net._faults == []
+    assert driver._processes == []
+
+
+def test_unknown_machine_rejected():
+    world = World(machines=2, seed=0)
+    with pytest.raises(ValueError):
+        world.install_schedule(make_schedule(
+            [Crash(at=1.0, machine="no-such-host", duration=1.0)]))
+
+
+def test_applied_log_is_deterministic():
+    def run_once():
+        world = World(machines=3, seed=1)
+        schedule = make_schedule([
+            Crash(at=5.0, machine=world.machines[0].name, duration=20.0),
+            Loss(at=10.0, duration=30.0, probability=0.5),
+        ])
+        driver = drive(world, schedule, until=100.0)
+        return driver.applied
+
+    assert run_once() == run_once()

@@ -1,0 +1,104 @@
+"""Replay-from-file round trips and the pytest plugin surface: a saved
+repro script reproduces the original run bit-for-bit, and the ``fuzz``
+fixture writes artifacts + fails with a replay command line."""
+
+import json
+
+import pytest
+
+from repro import explore
+from repro.explore.pytest_plugin import Fuzzer
+from repro.obs.monitor import InvariantMonitor
+
+
+def test_replay_file_reproduces_run_digest(tmp_path):
+    base = explore.run("echo", 17)
+    path = tmp_path / "echo-seed17.schedule.json"
+    base.schedule.save(path)
+    replayed = explore.replay_file(path)
+    assert replayed.scenario == "echo"
+    assert replayed.seed == 17
+    assert replayed.digest() == base.digest()
+
+
+def test_replay_file_honors_oracle_selection(tmp_path):
+    base = explore.run("echo", 3)
+    path = tmp_path / "s.json"
+    base.schedule.save(path)
+    replayed = explore.replay_file(path, oracles=("exactly-once",))
+    assert replayed.ok
+
+
+def test_schedules_decorator_parametrizes():
+    @explore.schedules(n=4, base=10)
+    def probe(fault_seed):
+        pass
+
+    marks = [m for m in probe.pytestmark if m.name == "parametrize"]
+    assert len(marks) == 1
+    assert marks[0].args == ("fault_seed", [10, 11, 12, 13])
+
+
+class AlwaysAngry(InvariantMonitor):
+    """Planted oracle that dislikes packet sends — guarantees a failing
+    result for plugin tests without depending on a specific seed."""
+
+    kinds = ("net.send",)
+    invariant = "planted-no-packets"
+    section = "test"
+
+    def observe(self, event) -> None:
+        self.report("a packet was sent", subject="net", evidence=(event,))
+
+
+def test_fuzzer_check_passes_clean_seed(tmp_path):
+    fuzzer = Fuzzer(str(tmp_path / "artifacts"))
+    result = fuzzer.check("echo", 0)
+    assert result.ok
+    assert not (tmp_path / "artifacts").exists()
+
+
+def test_fuzzer_check_fails_and_writes_artifacts(tmp_path):
+    artifacts = tmp_path / "artifacts"
+    fuzzer = Fuzzer(str(artifacts))
+    with pytest.raises(pytest.fail.Exception) as excinfo:
+        fuzzer.check("echo", 1, shrink=False, monitors=[AlwaysAngry])
+    message = str(excinfo.value)
+    assert "planted-no-packets" in message
+    assert "repro fuzz --replay" in message
+
+    schedule_path = artifacts / "echo-seed1.schedule.json"
+    postmortem_path = artifacts / "echo-seed1.postmortem.json"
+    assert schedule_path.exists()
+    assert postmortem_path.exists()
+
+    # The written repro script replays to the same failure.
+    replayed = explore.replay_file(schedule_path, monitors=[AlwaysAngry])
+    assert "planted-no-packets" in replayed.invariants()
+
+    # The post-mortem is self-describing: it embeds scenario, seed, and
+    # the offending schedule.
+    with open(postmortem_path) as fh:
+        report = json.load(fh)
+    assert report["context"]["scenario"] == "echo"
+    assert report["context"]["seed"] == 1
+    assert report["context"]["schedule"]["actions"]
+
+
+def test_fuzzer_check_shrinks_before_writing(tmp_path):
+    artifacts = tmp_path / "artifacts"
+    fuzzer = Fuzzer(str(artifacts))
+    with pytest.raises(pytest.fail.Exception) as excinfo:
+        fuzzer.check("echo", 1, shrink=True, shrink_attempts=60,
+                     monitors=[AlwaysAngry])
+    # Packets flow even with no faults at all, so the planted oracle
+    # shrinks to the empty schedule.
+    saved = explore.FaultSchedule.load(
+        artifacts / "echo-seed1.schedule.json")
+    assert len(saved.actions) == 0
+    assert "0 action(s)" in str(excinfo.value)
+
+
+def test_fuzz_fixture_is_wired(fuzz):
+    assert isinstance(fuzz, Fuzzer)
+    assert fuzz.artifacts_dir

@@ -1,0 +1,141 @@
+"""Shrinker soundness: the shrunken schedule still violates, and for a
+planted bug it is minimal (single-digit actions, tight windows)."""
+
+import pytest
+
+from repro import explore
+from repro.explore.schedule import Crash, Delay, FaultSchedule, Loss
+from repro.explore.shrink import shrink_actions
+from repro.obs.monitor import DEFAULT_MONITORS, InvariantMonitor
+
+
+def test_shrink_to_single_necessary_action():
+    # Synthetic oracle: the failure needs exactly the crash of host1.
+    actions = [
+        Loss(at=5.0, duration=50.0, probability=0.5),
+        Crash(at=10.0, machine="host0", duration=20.0),
+        Crash(at=20.0, machine="host1", duration=30.0),
+        Delay(at=30.0, duration=40.0, extra=5.0),
+        Crash(at=40.0, machine="host2", duration=None),
+    ]
+
+    def reproduces(candidate):
+        return any(isinstance(a, Crash) and a.machine == "host1"
+                   for a in candidate)
+
+    shrunk, attempts = shrink_actions(actions, reproduces)
+    assert len(shrunk) == 1
+    assert isinstance(shrunk[0], Crash) and shrunk[0].machine == "host1"
+    assert attempts > 0
+
+
+def test_shrink_preserves_conjunction():
+    # The failure needs BOTH the loss window and the host0 crash.
+    actions = [
+        Loss(at=5.0, duration=50.0, probability=0.5),
+        Crash(at=10.0, machine="host0", duration=20.0),
+        Crash(at=20.0, machine="host1", duration=30.0),
+        Delay(at=30.0, duration=40.0, extra=5.0),
+    ]
+
+    def reproduces(candidate):
+        has_loss = any(isinstance(a, Loss) for a in candidate)
+        has_crash = any(isinstance(a, Crash) and a.machine == "host0"
+                        for a in candidate)
+        return has_loss and has_crash
+
+    shrunk, _ = shrink_actions(actions, reproduces)
+    assert len(shrunk) == 2
+    assert {type(a) for a in shrunk} == {Loss, Crash}
+
+
+def test_shrink_narrows_windows():
+    actions = [Crash(at=10.0, machine="host0", duration=640.0)]
+
+    def reproduces(candidate):
+        # Still fails as long as host0 is down at t=200.
+        return any(isinstance(a, Crash) and a.machine == "host0"
+                   and a.at <= 200.0
+                   and (a.duration is None or a.at + a.duration >= 200.0)
+                   for a in candidate)
+
+    shrunk, _ = shrink_actions(actions, reproduces)
+    assert len(shrunk) == 1
+    assert shrunk[0].duration < 640.0    # narrowed, not just kept
+
+
+def test_shrink_respects_attempt_budget():
+    actions = [Crash(at=float(i), machine="host0", duration=10.0)
+               for i in range(8)]
+    calls = []
+
+    def reproduces(candidate):
+        calls.append(1)
+        return True
+
+    shrink_actions(actions, reproduces, max_attempts=5)
+    assert len(calls) <= 5
+
+
+def test_shrink_empty_when_failure_is_schedule_independent():
+    actions = [Crash(at=1.0, machine="host0", duration=5.0)]
+    shrunk, _ = shrink_actions(actions, lambda candidate: True)
+    assert shrunk == []
+
+
+class PlantedNoCrashDeclarations(InvariantMonitor):
+    """A deliberately false invariant — 'no peer is ever declared
+    crashed' — planted to prove the fuzz-and-shrink loop end to end:
+    any schedule that silences a server long enough for a client-side
+    §4.2.3 crash declaration trips it."""
+
+    kinds = ("pm.crash",)
+    invariant = "planted-no-crash-decl"
+    section = "test"
+
+    def observe(self, event) -> None:
+        self.report("peer %s declared crashed" % (event.peer,),
+                    subject=str(event.peer), evidence=(event,))
+
+
+PLANTED = list(DEFAULT_MONITORS) + [PlantedNoCrashDeclarations]
+
+
+def find_planted_failure():
+    for seed in range(50):
+        result = explore.run("echo", seed, monitors=PLANTED)
+        if not result.ok and "planted-no-crash-decl" in result.invariants():
+            return result
+    pytest.fail("no seed in 0..49 tripped the planted bug")
+
+
+def test_planted_bug_caught_and_shrunk_small():
+    result = find_planted_failure()
+    original = len(result.schedule.actions)
+    shrunk, attempts = explore.shrink_failure(result, max_attempts=150)
+    assert len(shrunk.actions) <= 3
+    assert len(shrunk.actions) <= original
+    assert attempts <= 150
+    # Soundness: the shrunken schedule was observed to still violate.
+    rerun = explore.run("echo", result.seed, schedule=shrunk,
+                        monitors=PLANTED)
+    assert not rerun.ok
+    assert "planted-no-crash-decl" in rerun.invariants()
+
+
+def test_shrunken_schedule_replays_from_file(tmp_path):
+    result = find_planted_failure()
+    shrunk, _ = explore.shrink_failure(result, max_attempts=150)
+    path = tmp_path / "planted.schedule.json"
+    shrunk.save(path)
+    loaded = FaultSchedule.load(path)
+    rerun = explore.run(loaded.scenario, loaded.seed, schedule=loaded,
+                        monitors=PLANTED)
+    assert not rerun.ok
+
+
+def test_shrink_refuses_passing_result():
+    result = explore.run("echo", 0)
+    assert result.ok
+    with pytest.raises(ValueError):
+        explore.shrink_failure(result)

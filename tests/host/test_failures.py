@@ -76,3 +76,57 @@ def test_measured_availability_requires_start():
     model = FailureModel(sim, machines, failure_rate=1.0, repair_rate=1.0)
     with pytest.raises(RuntimeError):
         model.measured_availability()
+
+
+def test_stop_clears_driver_processes():
+    sim, machines = make_machines(2)
+    model = FailureModel(sim, machines, failure_rate=1 / 50.0,
+                         repair_rate=1 / 10.0, seed=1)
+    model.start()
+    assert model.running
+    assert len(model._processes) == 2
+    sim.run(until=500.0)
+    model.stop()
+    assert not model.running
+    assert model._processes == []
+    # Driving really stopped: no further failures accumulate.
+    failures = model.total_failures
+    sim.run(until=5000.0)
+    assert model.total_failures == failures
+
+
+def test_double_start_does_not_double_drive():
+    sim, machines = make_machines(1)
+    model = FailureModel(sim, machines, failure_rate=1 / 50.0,
+                         repair_rate=1 / 10.0, seed=1)
+    model.start()
+    model.start()   # no-op while running
+    assert len(model._processes) == 1
+
+
+def test_stop_is_idempotent():
+    sim, machines = make_machines(1)
+    model = FailureModel(sim, machines, failure_rate=1 / 50.0,
+                         repair_rate=1 / 10.0, seed=1)
+    model.start()
+    sim.run(until=200.0)
+    model.stop()
+    model.stop()
+    assert model._processes == []
+    assert not model.running
+
+
+def test_start_after_stop_begins_new_epoch():
+    sim, machines = make_machines(1)
+    model = FailureModel(sim, machines, failure_rate=1 / 20.0,
+                         repair_rate=1 / 5.0, seed=2)
+    model.start()
+    sim.run(until=500.0)
+    model.stop()
+    after_first = model.total_failures
+    assert after_first > 0
+    model.start()
+    assert model.running
+    assert len(model._processes) == 1
+    sim.run(until=1500.0)
+    assert model.total_failures > after_first

@@ -10,6 +10,8 @@ eventual crash detection.
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.explore.driver import ScheduleDriver
+from repro.explore.schedule import FaultSchedule, Partition
 from repro.host import Machine
 from repro.net import Network, NetworkConfig
 from repro.pairedmsg import (
@@ -142,6 +144,59 @@ def test_client_crash_stops_server_retransmissions():
     assert served == [(1, b"bye")]
     # No outstanding transfers remain at the server.
     assert server._sends == {}
+
+
+def _partition_heal_run(install_faults):
+    """One client/server exchange under a partition that heals at
+    t=430; ``install_faults`` decides how the partition is injected."""
+    sim, net, machines, (cp, sp) = make_world()
+    config = PairedMessageConfig(crash_timeout=5000.0)
+    client = PairedEndpoint(cp, config=config)
+    server = PairedEndpoint(sp, port=500, config=config)
+    served = []
+    sp.spawn(counting_server(server, served)(), daemon=True)
+    cleanup = install_faults(sim, net, machines)
+
+    def body():
+        reply = yield from client.call(server.addr, 1, b"through")
+        when = sim.now
+        yield Sleep(100.0)  # let stray retransmissions drain identically
+        return reply, when
+
+    reply, when = sim.run_process(body())
+    cleanup()
+    counters = (net.packets_sent, net.packets_delivered,
+                net.packets_dropped, net.packets_duplicated)
+    return reply, when, list(served), counters
+
+
+def test_schedule_driver_agrees_with_ad_hoc_partition_then_heal():
+    """The explorer's ScheduleDriver and the long-standing ad-hoc
+    ``net.partition``/``sim.schedule(heal)`` idiom inject the *same*
+    fault: identical replies, served lists, and packet counters."""
+    def ad_hoc(sim, net, machines):
+        net.partition([("m0",), ("m1",)])
+        sim.schedule(430.0, net.heal)
+        return lambda: None
+
+    def driven(sim, net, machines):
+        schedule = FaultSchedule(
+            scenario="pairs", seed=0, horizon=1000.0,
+            actions=(Partition(at=0.0, duration=430.0,
+                               groups=(("m0",), ("m1",))),))
+        driver = ScheduleDriver(sim, machines, net, schedule)
+        driver.start()
+        return driver.stop
+
+    baseline = _partition_heal_run(ad_hoc)
+    driven_run = _partition_heal_run(driven)
+    assert driven_run == baseline
+
+    reply, when, served, counters = baseline
+    assert reply == b"r:through"
+    assert when > 430.0       # the exchange completed only after the heal
+    assert served == [(1, b"through")]
+    assert counters[2] > 0    # the partition really dropped packets
 
 
 @settings(max_examples=20, deadline=None)
