@@ -23,13 +23,18 @@ import sys
 
 
 def load_tables(path):
-    """title -> {row_label -> row}, plus the column names per title."""
+    """title -> (columns, {row_label -> row}, gate_columns).
+
+    ``gate_columns`` is ``None`` when the table gates every numeric
+    column (the default), else the subset of column names the gate
+    enforces — the rest are reported informationally."""
     with open(path) as fh:
         payload = json.load(fh)
     tables = {}
     for table in payload.get("tables", []):
         rows = {str(row[0]): row for row in table.get("rows", []) if row}
-        tables[table["title"]] = (table.get("columns", []), rows)
+        tables[table["title"]] = (table.get("columns", []), rows,
+                                  table.get("gate_columns"))
     return tables
 
 
@@ -48,13 +53,13 @@ def compare(baseline, results, threshold, require_all=False):
     benchmark cannot silently pass)."""
     regressions = []
     lines = []
-    for title, (columns, base_rows) in sorted(baseline.items()):
+    for title, (columns, base_rows, gate_columns) in sorted(baseline.items()):
         if title not in results:
             lines.append("MISSING table in results: %s" % title)
             if require_all:
                 regressions.append((title, None, None, None, None, None))
             continue
-        _new_columns, new_rows = results[title]
+        _new_columns, new_rows, _ = results[title]
         header_shown = False
         for label, base_row in base_rows.items():
             new_row = new_rows.get(label)
@@ -76,8 +81,9 @@ def compare(baseline, results, threshold, require_all=False):
                     lines.append(title)
                     header_shown = True
                 column = columns[i] if i < len(columns) else "col%d" % i
-                flag = ""
-                if threshold and abs(delta) > threshold:
+                gated = gate_columns is None or column in gate_columns
+                flag = "" if gated else "  (informational, not gated)"
+                if gated and threshold and abs(delta) > threshold:
                     flag = "  <-- exceeds %.0f%%" % threshold
                     regressions.append((title, label, column, b, n, delta))
                 lines.append("  %-20s %-18s %12g -> %-12g %+8.2f%%%s"

@@ -225,6 +225,112 @@ def monitor_overhead_ratio(iterations: int = 100) -> Tuple[float, float, float]:
     return plain, watched, ratio
 
 
+def _circus_rate(iterations: int, repeats: int, attach) -> float:
+    """Best-of-``repeats`` circus calls/sec with ``attach(world)``
+    installing observers first (it returns a detach callable or None)."""
+    from repro.cli import _scenario_circus
+
+    best = 0.0
+    for _ in range(repeats):
+        world, body = _scenario_circus(iterations)
+        detach = attach(world)
+        start = time.perf_counter()
+        world.run(body())
+        elapsed = time.perf_counter() - start
+        if detach is not None:
+            detach()
+        rate = iterations / elapsed if elapsed > 0 else 0.0
+        best = max(best, rate)
+    return best
+
+
+def observability_overhead_ratio(iterations: int = 100, repeats: int = 3,
+                                 ) -> Tuple[float, float, float, float]:
+    """(unobserved, active-bus, telemetry calls/sec, overhead ratio).
+
+    Like :func:`monitor_overhead_ratio`, but for the streaming-telemetry
+    layer: the time-series collector and the critical-path analyzer
+    attached together (what ``repro top`` and ``World.observe`` cost).
+
+    The ratio is active-bus-time over telemetry-time per call — the
+    *incremental* cost of the telemetry subscribers on a bus that is
+    already publishing events.  Turning the bus on at all (event
+    construction + stamping) is the pre-existing price every observer
+    shares — the monitor-overhead row budgets that — and the unobserved
+    fast path stays byte-identical, so an unobserved run pays nothing.
+    """
+    def attach_none(world):
+        return None
+
+    def attach_minimal(world):
+        sub = world.sim.bus.subscribe(lambda event: None)
+        return lambda: world.sim.bus.unsubscribe(sub)
+
+    def attach_telemetry(world):
+        from repro.obs import CritPathAnalyzer, TimeSeriesCollector
+        collector = TimeSeriesCollector(world.sim.bus)
+        analyzer = CritPathAnalyzer(world.sim)
+
+        def detach():
+            analyzer.close()
+            collector.close()
+        return detach
+
+    plain = _circus_rate(iterations, repeats, attach_none)
+    active = _circus_rate(iterations, repeats, attach_minimal)
+    observed = _circus_rate(iterations, repeats, attach_telemetry)
+    ratio = active / observed if observed > 0 else float("inf")
+    return plain, active, observed, ratio
+
+
+def obs_work_metrics(iterations: int = 200) -> Dict[str, float]:
+    """Deterministic observability-work counters on the circus workload
+    with the telemetry layer attached: bus events delivered, time-series
+    cell updates, and critical-path wire milestones per replicated call,
+    plus the attribution quality of the critical-path decomposition.
+
+    ``virtual_end_ms`` is pinned to the unobserved run's end time — bus
+    subscribers must never move virtual time, so this column catches an
+    observer that perturbs the simulation even when the work counters
+    happen to match.
+    """
+    from repro.cli import _scenario_circus
+    from repro.obs import CritPathAnalyzer, TimeSeriesCollector
+
+    # Reference run with the bus inactive: the unobserved fast path.
+    world, body = _scenario_circus(iterations)
+    world.run(body())
+    unobserved_end = world.sim.now
+
+    world, body = _scenario_circus(iterations)
+    delivered = [0]
+
+    def count(_event):
+        delivered[0] += 1
+
+    sub = world.sim.bus.subscribe(count)
+    with TimeSeriesCollector(world.sim.bus) as ts:
+        analyzer = CritPathAnalyzer(world.sim)
+        try:
+            world.run(body())
+            report = analyzer.report()
+        finally:
+            analyzer.close()
+    world.sim.bus.unsubscribe(sub)
+    if world.sim.now != unobserved_end:
+        raise AssertionError(
+            "observers moved virtual time: %r != %r"
+            % (world.sim.now, unobserved_end))
+    return {
+        "events_per_call": delivered[0] / iterations,
+        "ts_updates_per_call": ts.registry.updates() / iterations,
+        "milestones_per_call": analyzer.milestones / iterations,
+        "attributed_pct": report["attributed_pct"],
+        "residual_pct": report["residual_pct"],
+        "virtual_end_ms": round(unobserved_end, 6),
+    }
+
+
 def message_path_metrics(iterations: int = 200) -> Dict[str, float]:
     """Deterministic work counters for the message path on the circus
     workload: segment encodes, endpoint helper daemons spawned, and

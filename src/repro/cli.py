@@ -295,7 +295,9 @@ def cmd_trace(args) -> None:
 
 def cmd_metrics(args) -> int:
     from repro.bench.report import Table
-    from repro.obs import MetricsCollector
+    from repro.obs import (SCHEMA_VERSION, CritPathAnalyzer,
+                           MetricsCollector, TimeSeriesCollector,
+                           openmetrics)
 
     bench = args.bench
     if bench == "circus":
@@ -303,19 +305,85 @@ def cmd_metrics(args) -> int:
     else:
         _name, factory = _resolve_scenario(bench)
         world, body = factory()
+    want_om = getattr(args, "openmetrics", False)
     with MetricsCollector(world.sim.bus) as collector:
-        world.run(body())
-    if getattr(args, "json", False):
+        if want_om:
+            with TimeSeriesCollector(world.sim.bus) as ts_collector, \
+                    CritPathAnalyzer(world.sim) as critpath:
+                world.run(body())
+                exposition = openmetrics(collector.registry,
+                                         timeseries=ts_collector.registry,
+                                         critpath=critpath)
+        else:
+            world.run(body())
+    if want_om:
+        print(exposition, end="")
+    elif getattr(args, "json", False):
         # The same {"tables": [...]} shape --bench-json writes, so CI can
-        # diff metrics snapshots with the same tooling as benchmarks.
+        # diff metrics snapshots with the same tooling as benchmarks —
+        # schema-versioned and key-sorted, so two same-seed runs are
+        # byte-identical.
         table = Table("metrics: %s" % bench, ["metric", "value"])
         for key, value in collector.registry.snapshot().items():
             table.add_row(key, value)
-        print(json.dumps({"tables": [table.to_dict()]}, indent=2,
-                         sort_keys=False))
+        print(json.dumps({"schema_version": SCHEMA_VERSION,
+                          "tables": [table.to_dict()]}, indent=2,
+                         sort_keys=True))
     else:
         print(collector.registry.render())
     return 0
+
+
+def cmd_critpath(args) -> int:
+    """Critical-path latency attribution over a canned scenario."""
+    from repro.obs import SCHEMA_VERSION, CritPathAnalyzer
+
+    bench = args.bench
+    if bench == "circus":
+        world, body = _scenario_circus(args.iterations)
+    else:
+        _name, factory = _resolve_scenario(bench)
+        world, body = factory()
+    with CritPathAnalyzer(world.sim) as critpath:
+        world.run(body())
+    report = critpath.report()
+    if args.json:
+        payload = {"schema_version": SCHEMA_VERSION,
+                   "workload": bench,
+                   "report": report}
+        if args.per_call:
+            payload["calls"] = [p.to_dict() for p in critpath.paths()]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(critpath.render())
+        if args.per_call:
+            for path in critpath.paths():
+                d = path.to_dict()
+                print("%-24s #%-4d %8.3f ms  dominant=%s%s" % (
+                    d["call"], d["call_number"], d["duration_ms"],
+                    d["dominant"],
+                    "  [degraded]" if d["degraded"] else ""))
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Live per-troupe rates, stage breakdown, and task progress."""
+    from repro.obs.top import live_top
+
+    bench = args.bench
+    if bench == "circus":
+        world, body = _scenario_circus(args.iterations)
+    else:
+        _name, factory = _resolve_scenario(bench)
+        world, body = factory()
+    final = live_top(world, body(), slice_ms=args.slice,
+                     max_frames=args.frames,
+                     use_curses=not args.plain)
+    print("final: t=%.1f ms, %d violation(s), troupes=%s"
+          % (final["now"], final["violations"],
+             ", ".join("%s:%d" % (name, row["done"])
+                       for name, row in final["troupes"].items()) or "-"))
+    return 1 if final["violations"] else 0
 
 
 def _check_one(name: str, iterations: int, dump_dir: str) -> int:
@@ -440,9 +508,30 @@ def cmd_perf(args) -> int:
     calls_table.add_row("with-monitors", watched, ratio)
     tables.append(calls_table)
 
+    obs_work = perf.obs_work_metrics(iterations=args.iterations)
+    _plain, active, observed, obs_ratio = perf.observability_overhead_ratio(
+        iterations=min(args.iterations, 100))
+    obs_table = Table(
+        "Observability telemetry (work per replicated call + overhead)",
+        ["workload", "events/call", "ts updates/call", "milestones/call",
+         "attributed %", "residual %", "overhead ratio (wall)"],
+        formats=[None, "%.2f", "%.2f", "%.2f", "%.2f", "%.2f", "%.3f"],
+        notes="Time-series + critical-path subscribers on the circus "
+              "workload; the wall ratio is telemetry time over "
+              "active-bus time per call (this machine).")
+    obs_table.add_row("circus-%d" % args.iterations,
+                      obs_work["events_per_call"],
+                      obs_work["ts_updates_per_call"],
+                      obs_work["milestones_per_call"],
+                      obs_work["attributed_pct"],
+                      obs_work["residual_pct"], obs_ratio)
+    tables.append(obs_table)
+
     if getattr(args, "json", False):
-        print(json.dumps({"tables": [t.to_dict() for t in tables]},
-                         indent=2))
+        from repro.obs.export import SCHEMA_VERSION
+        print(json.dumps({"schema_version": SCHEMA_VERSION,
+                          "tables": [t.to_dict() for t in tables]},
+                         indent=2, sort_keys=True))
     else:
         for table in tables:
             print(table.render())
@@ -488,6 +577,7 @@ def cmd_fuzz(args) -> int:
     import os
 
     from repro import explore
+    from repro.obs.export import PROGRESS, SCHEMA_VERSION
     from repro.obs.recorder import render_postmortem
 
     oracles = _fuzz_oracles(args)
@@ -514,9 +604,10 @@ def cmd_fuzz(args) -> int:
     seeds = _fuzz_seeds(args)
     results = []
     failures = []
-    for seed in seeds:
+    for done, seed in enumerate(seeds, 1):
         result = explore.run(scenario, seed, budget=args.budget,
-                             oracles=oracles)
+                             oracles=oracles,
+                             artifacts=bool(args.artifacts))
         entry = {
             "seed": seed,
             "ok": result.ok,
@@ -530,6 +621,10 @@ def cmd_fuzz(args) -> int:
             if not args.json:
                 print(result.summary())
         results.append(entry)
+        PROGRESS.publish("fuzz.%s" % scenario.name, done=done,
+                         total=len(seeds), failures=len(failures),
+                         seed=seed)
+    PROGRESS.finish("fuzz.%s" % scenario.name)
 
     for result, entry in failures:
         os.makedirs(args.out_dir, exist_ok=True)
@@ -547,6 +642,16 @@ def cmd_fuzz(args) -> int:
             with open(stem + ".postmortem.json", "w") as fh:
                 json.dump(result.postmortem, fh, indent=2)
                 fh.write("\n")
+        if args.artifacts and result.artifacts is not None:
+            os.makedirs(args.artifacts, exist_ok=True)
+            astem = os.path.join(args.artifacts, "%s-seed%d"
+                                 % (result.scenario, result.seed))
+            with open(astem + ".openmetrics.txt", "w") as fh:
+                fh.write(result.artifacts["openmetrics"])
+            with open(astem + ".trace.json", "w") as fh:
+                json.dump(result.artifacts["trace"], fh, indent=2)
+                fh.write("\n")
+            entry["artifact_stem"] = astem
         if not args.json:
             print("  repro script: %s" % entry["repro_file"])
             print("  replay with:  repro fuzz --replay %s"
@@ -555,6 +660,7 @@ def cmd_fuzz(args) -> int:
     sweep_digest = explore.digest_of([entry["digest"] for entry in results])
     report = {
         "format": "repro.fuzz.sweep/1",
+        "schema_version": SCHEMA_VERSION,
         "scenario": scenario.name,
         "oracles": oracles,
         "seeds": len(seeds),
@@ -563,7 +669,7 @@ def cmd_fuzz(args) -> int:
         "results": results,
     }
     if args.json:
-        print(json.dumps(report, indent=2))
+        print(json.dumps(report, indent=2, sort_keys=True))
     else:
         print("fuzz %-16s %d seed(s), %d failure(s)"
               % (scenario.name, len(seeds), len(failures)))
@@ -623,6 +729,38 @@ def main(argv=None) -> int:
     metrics_cmd.add_argument("--json", action="store_true",
                              help="emit the snapshot as --bench-json-style "
                                   "{\"tables\": [...]} JSON")
+    metrics_cmd.add_argument("--openmetrics", action="store_true",
+                             help="emit the snapshot in OpenMetrics text "
+                                  "format (with time-series rates)")
+    critpath_cmd = sub.add_parser(
+        "critpath", help="decompose each replicated call's latency into "
+                         "named critical-path stages")
+    critpath_cmd.add_argument(
+        "bench", nargs="?", default="circus",
+        help="workload: quickstart, protocol_trace, or circus (default)")
+    critpath_cmd.add_argument("--iterations", type=int, default=200,
+                              help="calls for the circus workload "
+                                   "(default 200)")
+    critpath_cmd.add_argument("--json", action="store_true",
+                              help="emit a deterministic JSON report")
+    critpath_cmd.add_argument("--per-call", action="store_true",
+                              help="also list every call's breakdown")
+    top_cmd = sub.add_parser(
+        "top", help="live view of a running scenario: per-troupe call "
+                    "rates, stage breakdown, violations, task progress")
+    top_cmd.add_argument(
+        "bench", nargs="?", default="circus",
+        help="workload: quickstart, protocol_trace, or circus (default)")
+    top_cmd.add_argument("--iterations", type=int, default=200,
+                         help="calls for the circus workload (default 200)")
+    top_cmd.add_argument("--slice", type=float, default=50.0,
+                         help="virtual ms simulated per frame (default 50)")
+    top_cmd.add_argument("--frames", type=int, default=None,
+                         help="stop after N frames (default: run to "
+                              "completion)")
+    top_cmd.add_argument("--plain", action="store_true",
+                         help="re-print frames instead of the curses UI "
+                              "(automatic when stdout is not a tty)")
     check_cmd = sub.add_parser(
         "check", help="run a scenario under the invariant monitors; exit "
                       "nonzero (with a post-mortem dump) on any violation")
@@ -665,6 +803,10 @@ def main(argv=None) -> int:
     fuzz_cmd.add_argument("--out-dir", default="fuzz-out",
                           help="where repro scripts and post-mortems go "
                                "(default fuzz-out)")
+    fuzz_cmd.add_argument("--artifacts", default=None, metavar="DIR",
+                          help="also write OpenMetrics snapshots and "
+                               "Chrome traces for failing seeds to DIR "
+                               "(what nightly CI uploads)")
     fuzz_cmd.add_argument("--json", action="store_true",
                           help="emit a deterministic JSON sweep report")
     fuzz_cmd.add_argument("--replay", default=None, metavar="PATH",
@@ -689,6 +831,10 @@ def main(argv=None) -> int:
         cmd_trace(args)
     elif args.command == "metrics":
         return cmd_metrics(args)
+    elif args.command == "critpath":
+        return cmd_critpath(args)
+    elif args.command == "top":
+        return cmd_top(args)
     elif args.command == "check":
         return cmd_check(args)
     elif args.command == "postmortem":

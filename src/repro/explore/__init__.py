@@ -92,6 +92,10 @@ class ExploreResult:
     violations: List[Any]             # InvariantViolation events
     postmortem: Optional[Dict[str, Any]]
     stats: Dict[str, Any]             # deterministic run statistics
+    #: populated on failing runs when ``run(..., artifacts=True)``:
+    #: {"openmetrics": <text>, "trace": <chrome trace dict>} — the
+    #: snapshots CI uploads next to the repro script.
+    artifacts: Optional[Dict[str, Any]] = None
     _kwargs: Dict[str, Any] = dataclasses.field(default_factory=dict,
                                                 repr=False)
 
@@ -135,7 +139,8 @@ def run(scenario, seed: int, *,
         budget: Optional[float] = None,
         oracles: Optional[Sequence[str]] = None,
         monitors: Optional[Sequence] = None,
-        capacity: int = 4096) -> ExploreResult:
+        capacity: int = 4096,
+        artifacts: bool = False) -> ExploreResult:
     """Execute one scenario under one fault schedule, oracles watching.
 
     ``scenario`` is a name from :data:`SCENARIOS` or a
@@ -145,7 +150,16 @@ def run(scenario, seed: int, *,
     ``oracles``; by default every monitor runs.  ``budget`` caps virtual
     time — a workload still unfinished then is recorded as
     ``"budget-exhausted"``, not a crash.
+
+    Runs are call-traced (``watch(trace=True)``) so failure post-mortems
+    embed each violating call's critical-path stage breakdown; bus
+    subscribers never touch the simulation, so digests and stats are
+    unchanged.  ``artifacts=True`` additionally attaches the metrics and
+    time-series collectors and, on failure, stores an OpenMetrics
+    snapshot plus the Chrome trace on the result for CI upload.
     """
+    import contextlib
+
     from repro.obs.monitor import monitors_for, watch
 
     scn = scenario if isinstance(scenario, Scenario) \
@@ -164,7 +178,16 @@ def run(scenario, seed: int, *,
     horizon = budget if budget is not None else scn.budget
     outcome: Any = None
     crash: Optional[str] = None
-    with watch(world.sim, monitors=monitors, capacity=capacity) as probe:
+    collected = None
+    with contextlib.ExitStack() as stack:
+        if artifacts:
+            from repro.obs import MetricsCollector, TimeSeriesCollector
+            collected = (
+                stack.enter_context(MetricsCollector(world.sim.bus)),
+                stack.enter_context(TimeSeriesCollector(world.sim.bus)))
+        probe = stack.enter_context(
+            watch(world.sim, monitors=monitors, capacity=capacity,
+                  trace=True))
         # The post-mortem carries the offending schedule, so a dumped
         # report is replayable on its own (save the "schedule" object to
         # a file and `repro fuzz --replay` it).
@@ -199,17 +222,48 @@ def run(scenario, seed: int, *,
             "faults_applied": [desc for _t, desc in driver.applied],
         }
         postmortem = probe.postmortem() if (violations or crash) else None
+        failed_artifacts = None
+        if collected is not None and (violations or crash):
+            from repro.obs import openmetrics
+            metrics_collector, ts_collector = collected
+            failed_artifacts = {
+                "openmetrics": openmetrics(
+                    metrics_collector.registry,
+                    timeseries=ts_collector.registry,
+                    critpath=probe.critpath),
+                "trace": probe.tracer.to_chrome(),
+            }
     return ExploreResult(
         scenario=scn.name, seed=seed, schedule=schedule, outcome=outcome,
         crash=crash, violations=list(violations), postmortem=postmortem,
-        stats=stats,
+        stats=stats, artifacts=failed_artifacts,
         _kwargs=dict(budget=budget, oracles=oracles, monitors=monitors,
                      capacity=capacity))
 
 
-def sweep(scenario, seeds: Iterable[int], **kwargs) -> List[ExploreResult]:
-    """Run many seeds; returns every result (``.ok`` filters)."""
-    return [run(scenario, seed, **kwargs) for seed in seeds]
+def sweep(scenario, seeds: Iterable[int],
+          progress=None, **kwargs) -> List[ExploreResult]:
+    """Run many seeds; returns every result (``.ok`` filters).
+
+    Progress is published per seed through ``progress`` (default: the
+    shared :data:`repro.obs.export.PROGRESS` channel), so a concurrent
+    ``repro top`` — or any listener — can watch the sweep advance.
+    """
+    if progress is None:
+        from repro.obs.export import PROGRESS as progress
+    seeds = list(seeds)
+    name = scenario.name if isinstance(scenario, Scenario) else str(scenario)
+    task = "fuzz.%s" % name
+    results: List[ExploreResult] = []
+    failures = 0
+    for seed in seeds:
+        result = run(scenario, seed, **kwargs)
+        results.append(result)
+        failures += 0 if result.ok else 1
+        progress.publish(task, done=len(results), total=len(seeds),
+                         failures=failures, seed=seed)
+    progress.finish(task)
+    return results
 
 
 def _rerun(result: ExploreResult,

@@ -223,3 +223,44 @@ class World:
         from repro.obs.monitor import watch
         return watch(self.sim, monitors=monitors, capacity=capacity,
                      trace=trace)
+
+    def observe(self, bucket_ms: float = 10.0):
+        """Full telemetry for a ``with`` block: metrics, windowed
+        time-series, and critical-path attribution, in one attach::
+
+            with world.observe() as obs:
+                world.run(body())
+            obs.critpath.report()["attributed_pct"]
+            obs.timeseries.counter("rpc.calls_completed", ...).points()
+        """
+        return _Observation(self, bucket_ms)
+
+
+class _Observation:
+    """What :meth:`World.observe` yields: the three telemetry observers
+    over one world's bus, attached together and detached together."""
+
+    def __init__(self, world: World, bucket_ms: float):
+        self._world = world
+        self._bucket_ms = bucket_ms
+        self.metrics = None        # MetricsRegistry after __enter__
+        self.timeseries = None     # TimeSeriesRegistry after __enter__
+        self.critpath = None       # CritPathAnalyzer after __enter__
+        self._collectors = []
+
+    def __enter__(self) -> "_Observation":
+        from repro.obs import (CritPathAnalyzer, MetricsCollector,
+                               TimeSeriesCollector)
+        bus = self._world.sim.bus
+        metrics = MetricsCollector(bus)
+        timeseries = TimeSeriesCollector(bus, bucket_ms=self._bucket_ms)
+        self.critpath = CritPathAnalyzer(self._world.sim)
+        self.metrics = metrics.registry
+        self.timeseries = timeseries.registry
+        self._collectors = [metrics, timeseries, self.critpath]
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for collector in reversed(self._collectors):
+            collector.close()
+        self._collectors = []

@@ -17,6 +17,14 @@ attached.  On top of the bus sit the standard observers:
   (:class:`ClockDomain`) so violations carry their causal cut.
 * :class:`FlightRecorder` — a bounded ring of recent events that dumps
   a causally ordered post-mortem on violation or crash.
+* :class:`TimeSeriesCollector` — the same events, bucketed into windowed
+  virtual-time series (:class:`TimeSeriesRegistry`) with wall-clock
+  co-timestamps, for rate curves and the live ``repro top`` view.
+* :class:`CritPathAnalyzer` — decomposes each replicated call's latency
+  into named critical-path stages (encode/send, gather wait, execute,
+  return, collation) with per-stage histograms.
+* :func:`openmetrics` / :class:`ProgressChannel` — OpenMetrics text
+  export and the progress channel long workloads publish through.
 
 See ``docs/OBSERVABILITY.md`` for the event taxonomy, metric names,
 trace format and the invariant catalog, and ``repro trace`` /
@@ -26,7 +34,10 @@ trace format and the invariant catalog, and ``repro trace`` /
 from repro.obs import events
 from repro.obs.bus import EventBus, Subscription
 from repro.obs.clocks import (ClockDomain, concurrent, happens_before,
-                              vc_leq, vc_merge)
+                              host_of, vc_leq, vc_merge)
+from repro.obs.critpath import STAGES, CallPath, CritPathAnalyzer
+from repro.obs.export import (PROGRESS, SCHEMA_VERSION, ProgressChannel,
+                              openmetrics)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsCollector,
                                MetricsRegistry)
 from repro.obs.monitor import (DEFAULT_MONITORS, CollationMonitor,
@@ -35,6 +46,10 @@ from repro.obs.monitor import (DEFAULT_MONITORS, CollationMonitor,
                                InvariantMonitor, MonitorSuite,
                                TroupeDeterminismMonitor, watch)
 from repro.obs.recorder import FlightRecorder, render_postmortem
+from repro.obs.timeseries import (TimeSeriesCollector, TimeSeriesRegistry,
+                                  WindowedCounter, WindowedGauge,
+                                  WindowedHistogram)
+from repro.obs.top import TopModel, live_top, render_frame
 from repro.obs.trace import CallTracer, trace_calls
 
 __all__ = [
@@ -65,4 +80,20 @@ __all__ = [
     "watch",
     "FlightRecorder",
     "render_postmortem",
+    "host_of",
+    "TimeSeriesCollector",
+    "TimeSeriesRegistry",
+    "WindowedCounter",
+    "WindowedGauge",
+    "WindowedHistogram",
+    "CritPathAnalyzer",
+    "CallPath",
+    "STAGES",
+    "openmetrics",
+    "SCHEMA_VERSION",
+    "ProgressChannel",
+    "PROGRESS",
+    "TopModel",
+    "render_frame",
+    "live_top",
 ]

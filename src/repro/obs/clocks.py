@@ -109,13 +109,16 @@ class _Bounded(collections.OrderedDict):
 Stamp = Tuple[VC, int]
 
 
-def _host_of(addr) -> str:
+def host_of(addr) -> str:
     """The host part of a ProcessAddress (or an ``"host:port"`` string —
     synthetic events in tests carry plain strings)."""
     host = getattr(addr, "host", None)
     if host is not None:
         return host
     return str(addr).split(":", 1)[0]
+
+
+_host_of = host_of
 
 
 class ClockDomain:

@@ -96,10 +96,20 @@ def _labelset(labels: Dict[str, Any]) -> LabelSet:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _quote_label(value: str) -> str:
+    """Quote a label value iff it contains rendering metacharacters, so
+    distinct label sets can never collapse to one rendered key (e.g.
+    ``{a: 'b,c=d'}`` vs ``{a: 'b', c: 'd'}``)."""
+    if any(c in value for c in ',={}"'):
+        return '"%s"' % value.replace("\\", "\\\\").replace('"', '\\"')
+    return value
+
+
 def _render_key(name: str, labels: LabelSet) -> str:
     if not labels:
         return name
-    return "%s{%s}" % (name, ",".join("%s=%s" % kv for kv in labels))
+    return "%s{%s}" % (name, ",".join(
+        "%s=%s" % (k, _quote_label(v)) for k, v in labels))
 
 
 class MetricsRegistry:

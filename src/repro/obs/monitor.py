@@ -436,12 +436,14 @@ class MonitorSuite:
 
 class Watch:
     """What :func:`watch` yields: the suite, the recorder, and the
-    optional tracer, with convenience accessors."""
+    optional tracer and critical-path analyzer, with convenience
+    accessors."""
 
-    def __init__(self, suite, recorder, tracer=None):
+    def __init__(self, suite, recorder, tracer=None, critpath=None):
         self.suite = suite
         self.recorder = recorder
         self.tracer = tracer
+        self.critpath = critpath
 
     @property
     def violations(self):
@@ -452,10 +454,12 @@ class Watch:
         return self.suite.clocks
 
     def postmortem(self) -> dict:
-        return self.recorder.postmortem(tracer=self.tracer)
+        return self.recorder.postmortem(tracer=self.tracer,
+                                        critpath=self.critpath)
 
     def dump(self, path) -> dict:
-        return self.recorder.dump(path, tracer=self.tracer)
+        return self.recorder.dump(path, tracer=self.tracer,
+                                  critpath=self.critpath)
 
 
 @contextlib.contextmanager
@@ -466,25 +470,31 @@ def watch(sim, monitors=None, capacity=2048, trace=False):
             world.run(body())
         assert not probe.violations
 
-    Attaches a :class:`MonitorSuite` and a flight recorder (and a
-    :class:`~repro.obs.trace.CallTracer` when ``trace=True``); if the
+    Attaches a :class:`MonitorSuite` and a flight recorder (and, when
+    ``trace=True``, a :class:`~repro.obs.trace.CallTracer` plus a
+    :class:`~repro.obs.critpath.CritPathAnalyzer` sharing its spans, so
+    post-mortems carry each violating call's stage breakdown); if the
     block raises, the exception is recorded in the flight recorder as an
     unexpected crash (for the post-mortem) and re-raised.  Everything is
     detached on exit, restoring the bus's zero-overhead idle state.
     """
+    from repro.obs.critpath import CritPathAnalyzer
     from repro.obs.recorder import FlightRecorder
     from repro.obs.trace import CallTracer
 
     suite = MonitorSuite(sim, monitors)
     recorder = FlightRecorder(sim.bus, capacity=capacity)
     tracer = CallTracer(sim) if trace else None
-    probe = Watch(suite, recorder, tracer)
+    critpath = CritPathAnalyzer(sim, tracer=tracer) if trace else None
+    probe = Watch(suite, recorder, tracer, critpath)
     try:
         yield probe
     except BaseException as exc:
         recorder.record_crash(exc, t=getattr(sim, "now", 0.0))
         raise
     finally:
+        if critpath is not None:
+            critpath.close()
         if tracer is not None:
             tracer.close()
         recorder.detach()

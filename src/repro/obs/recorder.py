@@ -123,13 +123,18 @@ class FlightRecorder:
 
     # -- reports -----------------------------------------------------------
 
-    def postmortem(self, tracer=None) -> Dict[str, Any]:
-        """The full post-mortem report as a JSON-ready dictionary."""
+    def postmortem(self, tracer=None, critpath=None) -> Dict[str, Any]:
+        """The full post-mortem report as a JSON-ready dictionary.
+
+        ``critpath`` (a :class:`~repro.obs.critpath.CritPathAnalyzer`
+        that watched the run) embeds each violating call's critical-path
+        stage breakdown, so the report says *where* the latency sat, not
+        just which invariant fired."""
         report: Dict[str, Any] = {
             "format": "repro.postmortem/1",
             "recorded": len(self.ring),
             "dropped": self.dropped,
-            "violations": [self._violation_dict(v, tracer)
+            "violations": [self._violation_dict(v, tracer, critpath)
                            for v in self.violations],
             "monitor_errors": [event_to_dict(e)
                                for e in self.monitor_errors],
@@ -144,32 +149,45 @@ class FlightRecorder:
             report["tail"] = [event_to_dict(e) for e in tail[-64:]]
         return report
 
-    def _violation_dict(self, violation, tracer) -> Dict[str, Any]:
+    def _violation_dict(self, violation, tracer,
+                        critpath=None) -> Dict[str, Any]:
         out = event_to_dict(violation)
         cut = self.causal_cut(violation)
         out["causal_cut"] = [event_to_dict(e) for e in cut]
         out["frontier"] = dict(getattr(violation, "vc", {}) or {})
         if tracer is not None:
             out["spans"] = self._involved_spans(violation, tracer)
+        if critpath is not None:
+            paths = [path.to_dict() for path in critpath.paths()
+                     if (path.call.thread_id, path.call.call_number)
+                     in self._evidence_contexts(violation)]
+            if paths:
+                out["critical_path"] = paths
         return out
 
-    def _involved_spans(self, violation, tracer) -> List[Dict[str, Any]]:
-        """Call spans whose trace context appears in the evidence."""
+    @staticmethod
+    def _evidence_contexts(violation) -> Set[Tuple[str, int]]:
+        """The (thread_id, call_number) trace contexts in the evidence."""
         contexts: Set[Tuple[str, int]] = set()
         for e in violation.evidence:
             thread_id = getattr(e, "thread_id", None)
             call_number = getattr(e, "call_number", None)
             if thread_id is not None and call_number is not None:
                 contexts.add((thread_id, call_number))
+        return contexts
+
+    def _involved_spans(self, violation, tracer) -> List[Dict[str, Any]]:
+        """Call spans whose trace context appears in the evidence."""
+        contexts = self._evidence_contexts(violation)
         spans = []
         for span in tracer.calls:
             if (span.thread_id, span.call_number) in contexts:
                 spans.append(tracer._call_dict(span))
         return spans
 
-    def dump(self, path, tracer=None) -> Dict[str, Any]:
+    def dump(self, path, tracer=None, critpath=None) -> Dict[str, Any]:
         """Write the post-mortem to ``path`` as JSON; returns it."""
-        report = self.postmortem(tracer=tracer)
+        report = self.postmortem(tracer=tracer, critpath=critpath)
         with open(path, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=False)
             fh.write("\n")
@@ -236,6 +254,12 @@ def render_postmortem(report: Dict[str, Any]) -> str:
             push("  involved span: %s by %s (call#%s, %s)" % (
                 span.get("name"), span.get("client"),
                 span.get("call_number"), span.get("outcome")))
+        for path in v.get("critical_path", []) or []:
+            push("  critical path of %s (call#%s, %.3f ms, dominant: %s):"
+                 % (path.get("call"), path.get("call_number"),
+                    path.get("duration_ms", 0.0), path.get("dominant")))
+            for stage, dur in path.get("stages", []):
+                push("    %-18s %10.3f ms" % (stage, dur))
     errors = report.get("monitor_errors", [])
     if errors:
         push("")

@@ -64,6 +64,32 @@ def test_kind_prefix_filtering():
     assert multi == [spawn, drop]
 
 
+def test_inactive_bus_emit_builds_no_kind_index():
+    bus = EventBus()
+    bus.emit(_event(events.TimerFired, due=1))
+    # The no-subscriber fast path returns before touching the per-kind
+    # index: nothing is allocated or cached for an unobserved emit.
+    assert bus._by_kind == {}
+    sub = bus.subscribe(lambda e: None, kinds="sim.")
+    bus.emit(_event(events.TimerFired, due=1))
+    assert "sim.timer" in bus._by_kind
+    bus.unsubscribe(sub)
+    # Detaching the last subscriber drops the index with it.
+    assert bus._by_kind == {}
+    assert not bus.active
+
+
+def test_kind_index_is_invalidated_on_subscribe():
+    bus = EventBus()
+    first, second = [], []
+    bus.subscribe(first.append, kinds="sim.timer")
+    bus.emit(_event(events.TimerFired, due=1))       # caches sim.timer
+    bus.subscribe(second.append, kinds="sim.")
+    bus.emit(_event(events.TimerFired, due=2))
+    assert len(first) == 2
+    assert len(second) == 1                          # saw the rebuild
+
+
 def test_handlers_run_in_subscription_order():
     bus = EventBus()
     order = []

@@ -43,6 +43,16 @@ def test_empty_histogram():
     assert h.summary() == {"count": 0}
 
 
+def test_single_sample_histogram_percentiles():
+    h = Histogram()
+    h.observe(7.5)
+    # Nearest-rank with one observation: every percentile is that sample.
+    for p in (0, 1, 50, 99, 100):
+        assert h.percentile(p) == 7.5
+    assert h.summary() == {"count": 1, "mean": 7.5, "min": 7.5,
+                           "p50": 7.5, "p90": 7.5, "max": 7.5}
+
+
 def test_registry_get_or_create_by_name_and_labels():
     reg = MetricsRegistry()
     a = reg.counter("net.packets_sent")
@@ -72,6 +82,30 @@ def test_registry_value_total_snapshot():
     assert snap["drops{reason=partition}"] == 3
     assert snap["latency{host=a}"]["count"] == 1
     assert "drops{reason=loss}" in reg.render()
+
+
+def test_label_values_with_metacharacters_do_not_collide():
+    reg = MetricsRegistry()
+    # One label whose value *contains* "b,c=d" vs two separate labels:
+    # distinct metrics, and their rendered keys must differ too.
+    reg.counter("drops", a="b,c=d").inc(1)
+    reg.counter("drops", a="b", c="d").inc(2)
+    snap = reg.snapshot()
+    assert len(snap) == 2
+    assert snap['drops{a="b,c=d"}'] == 1
+    assert snap["drops{a=b,c=d}"] == 2
+    # Plain values keep the unquoted rendering.
+    reg.counter("drops", reason="loss").inc()
+    assert "drops{reason=loss}" in reg.snapshot()
+
+
+def test_label_values_with_quotes_and_braces_are_escaped():
+    reg = MetricsRegistry()
+    reg.counter("x", v='say "hi"').inc()
+    reg.counter("x", v="curly{}").inc(2)
+    snap = reg.snapshot()
+    assert snap['x{v="say \\"hi\\""}'] == 1
+    assert snap['x{v="curly{}"}'] == 2
 
 
 # -- the standard collector over a real run --------------------------------

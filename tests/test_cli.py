@@ -132,3 +132,65 @@ def test_metrics_json_emits_bench_json_tables(capsys):
     assert table["columns"] == ["metric", "value"]
     metrics = {row[0] for row in table["rows"]}
     assert any(m.startswith("rpc.") for m in metrics)
+
+
+def test_metrics_json_carries_schema_version(capsys):
+    import json
+    assert main(["metrics", "circus", "--iterations", "3", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == "repro.obs/1"
+
+
+def test_metrics_openmetrics_exposition(capsys):
+    assert main(["metrics", "circus", "--iterations", "3",
+                 "--openmetrics"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("# TYPE repro_schema info")
+    assert 'repro_schema_info{version="repro.obs/1"} 1' in out
+    assert "repro_critpath_attributed_pct" in out
+    assert out.rstrip("\n").endswith("# EOF")
+
+
+def test_critpath_renders_stage_table(capsys):
+    assert main(["critpath", "circus", "--iterations", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "% attributed" in out
+    assert "encode_send" in out
+    assert "dominant stages:" in out
+
+
+def test_critpath_json_is_deterministic_and_attributes_latency(capsys):
+    import json
+
+    def run():
+        assert main(["critpath", "circus", "--iterations", "10",
+                     "--json"]) == 0
+        return capsys.readouterr().out
+
+    first, second = run(), run()
+    assert first == second                   # byte-identical re-run
+    payload = json.loads(first)
+    assert payload["schema_version"] == "repro.obs/1"
+    report = payload["report"]
+    assert report["attributed_pct"] >= 95.0
+    assert report["residual_pct"] < 5.0
+
+
+def test_critpath_per_call_lists_every_call(capsys):
+    import json
+    assert main(["critpath", "circus", "--iterations", "4", "--json",
+                 "--per-call"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["calls"]) == 4
+    for call in payload["calls"]:
+        assert call["dominant"]
+        assert call["stages"]
+
+
+def test_top_plain_renders_frames_and_summary(capsys):
+    assert main(["top", "circus", "--iterations", "5", "--plain",
+                 "--slice", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "repro top" in out
+    assert "echo" in out
+    assert "final:" in out
