@@ -189,7 +189,15 @@ def test_observability_work_is_deterministic_and_budgeted():
     again = perf.obs_work_metrics(iterations=200)
     assert work == again, "observability work metric must be deterministic"
 
+    history = perf.history_work_metrics(iterations=200)
+    # The history recorder is a pure reader: attaching it must leave
+    # every deterministic telemetry counter (and virtual time) alone.
+    assert history == work, (
+        "the history recorder perturbed the telemetry counters")
+
     plain, active, observed, ratio = perf.observability_overhead_ratio(
+        iterations=60)
+    _active_h, _recorded_h, history_ratio = perf.history_overhead_ratio(
         iterations=60)
 
     table = Table(
@@ -206,11 +214,20 @@ def test_observability_work_is_deterministic_and_budgeted():
               "and CI-gated at 5%; the wall ratio (telemetry time over "
               "active-bus time per call) is machine-dependent and "
               "informational.  virtual end (ms) must equal the "
-              "unobserved run's — subscribers never move virtual time.")
+              "unobserved run's — subscribers never move virtual time.  "
+              "The +history row adds the operation-history recorder; its "
+              "work columns must equal the base row exactly (the "
+              "recorder is a pure reader) and its wall ratio is the "
+              "recorder's incremental cost on an active bus.")
     table.add_row("circus-200", work["events_per_call"],
                   work["ts_updates_per_call"], work["milestones_per_call"],
                   work["attributed_pct"], work["residual_pct"],
                   work["virtual_end_ms"], ratio)
+    table.add_row("circus-200+history", history["events_per_call"],
+                  history["ts_updates_per_call"],
+                  history["milestones_per_call"],
+                  history["attributed_pct"], history["residual_pct"],
+                  history["virtual_end_ms"], history_ratio)
     register_table(table)
 
     wall = Table(
@@ -232,6 +249,8 @@ def test_observability_work_is_deterministic_and_budgeted():
     # in steady state; allow slack for noisy shared CI runners.
     assert plain > 0 and active > 0 and observed > 0
     assert ratio < 1.5
+    # The recorder's correlation is two dict lookups per rpc event.
+    assert history_ratio < 1.5
 
 
 if __name__ == "__main__":

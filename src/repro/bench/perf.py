@@ -283,17 +283,11 @@ def observability_overhead_ratio(iterations: int = 100, repeats: int = 3,
     return plain, active, observed, ratio
 
 
-def obs_work_metrics(iterations: int = 200) -> Dict[str, float]:
-    """Deterministic observability-work counters on the circus workload
-    with the telemetry layer attached: bus events delivered, time-series
-    cell updates, and critical-path wire milestones per replicated call,
-    plus the attribution quality of the critical-path decomposition.
-
-    ``virtual_end_ms`` is pinned to the unobserved run's end time — bus
-    subscribers must never move virtual time, so this column catches an
-    observer that perturbs the simulation even when the work counters
-    happen to match.
-    """
+def _telemetry_work(iterations: int, attach_extra=None) -> Dict[str, float]:
+    """Shared body of :func:`obs_work_metrics` /
+    :func:`history_work_metrics`: the deterministic telemetry counters on
+    the circus workload, with ``attach_extra(world)`` optionally
+    installing one more observer (it returns a detach callable)."""
     from repro.cli import _scenario_circus
     from repro.obs import CritPathAnalyzer, TimeSeriesCollector
 
@@ -309,6 +303,7 @@ def obs_work_metrics(iterations: int = 200) -> Dict[str, float]:
         delivered[0] += 1
 
     sub = world.sim.bus.subscribe(count)
+    detach_extra = attach_extra(world) if attach_extra is not None else None
     with TimeSeriesCollector(world.sim.bus) as ts:
         analyzer = CritPathAnalyzer(world.sim)
         try:
@@ -316,6 +311,8 @@ def obs_work_metrics(iterations: int = 200) -> Dict[str, float]:
             report = analyzer.report()
         finally:
             analyzer.close()
+    if detach_extra is not None:
+        detach_extra()
     world.sim.bus.unsubscribe(sub)
     if world.sim.now != unobserved_end:
         raise AssertionError(
@@ -329,6 +326,82 @@ def obs_work_metrics(iterations: int = 200) -> Dict[str, float]:
         "residual_pct": report["residual_pct"],
         "virtual_end_ms": round(unobserved_end, 6),
     }
+
+
+def obs_work_metrics(iterations: int = 200) -> Dict[str, float]:
+    """Deterministic observability-work counters on the circus workload
+    with the telemetry layer attached: bus events delivered, time-series
+    cell updates, and critical-path wire milestones per replicated call,
+    plus the attribution quality of the critical-path decomposition.
+
+    ``virtual_end_ms`` is pinned to the unobserved run's end time — bus
+    subscribers must never move virtual time, so this column catches an
+    observer that perturbs the simulation even when the work counters
+    happen to match.
+    """
+    return _telemetry_work(iterations)
+
+
+def history_work_metrics(iterations: int = 200) -> Dict[str, float]:
+    """The same deterministic telemetry counters with an
+    :class:`~repro.obs.history.OperationHistoryRecorder` additionally
+    attached — the ``circus-200+history`` row of the gated table.
+
+    Every column must come out identical to :func:`obs_work_metrics`:
+    the recorder correlates ``rpc.call_start`` / ``rpc.call_end`` events
+    against declared operations but never emits, never touches the
+    simulation, and adds no telemetry work of its own.  A recorder that
+    perturbed any counter (or virtual time) would move this row and
+    fail the 5% gate.
+    """
+    from repro.obs.history import OperationHistoryRecorder
+
+    state = {}
+
+    def attach_recorder(world):
+        recorder = OperationHistoryRecorder(world.sim, scenario="circus")
+        state["recorder"] = recorder
+        return recorder.detach
+
+    metrics = _telemetry_work(iterations, attach_extra=attach_recorder)
+    # The circus workload declares no operations, so the recorder must
+    # have recorded none — its bus-side correlation is the entire cost.
+    if state["recorder"].ops:
+        raise AssertionError("recorder invented operations: %r"
+                             % state["recorder"].ops)
+    return metrics
+
+
+def history_overhead_ratio(iterations: int = 100, repeats: int = 3,
+                           ) -> Tuple[float, float, float]:
+    """(active-bus calls/sec, recorder-attached calls/sec, ratio).
+
+    The wall-clock price of the operation-history recorder: circus
+    calls/sec with one no-op subscriber (the shared cost of an active
+    bus) versus the same plus an ``OperationHistoryRecorder``.  The
+    ratio is active-bus time over recorded time per call — the
+    *incremental* cost of recording, mirroring
+    :func:`observability_overhead_ratio`.
+    """
+    from repro.obs.history import OperationHistoryRecorder
+
+    def attach_minimal(world):
+        sub = world.sim.bus.subscribe(lambda event: None)
+        return lambda: world.sim.bus.unsubscribe(sub)
+
+    def attach_history(world):
+        sub = world.sim.bus.subscribe(lambda event: None)
+        recorder = OperationHistoryRecorder(world.sim, scenario="circus")
+
+        def detach():
+            recorder.detach()
+            world.sim.bus.unsubscribe(sub)
+        return detach
+
+    active = _circus_rate(iterations, repeats, attach_minimal)
+    recorded = _circus_rate(iterations, repeats, attach_history)
+    ratio = active / recorded if recorded > 0 else float("inf")
+    return active, recorded, ratio
 
 
 def message_path_metrics(iterations: int = 200) -> Dict[str, float]:

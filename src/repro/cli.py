@@ -564,6 +564,11 @@ def _fuzz_seeds(args):
 def _fuzz_oracles(args):
     if not args.oracles:
         return None
+    if args.oracles.strip() == "none":
+        # Disable every online monitor (offline history checkers still
+        # run — they are driven by the scenario's ``checker``, not by
+        # this list): the "is the bug visible to clients at all?" mode.
+        return []
     return [name.strip() for name in args.oracles.split(",") if name.strip()]
 
 
@@ -652,6 +657,14 @@ def cmd_fuzz(args) -> int:
                 json.dump(result.artifacts["trace"], fh, indent=2)
                 fh.write("\n")
             entry["artifact_stem"] = astem
+        if args.history_artifacts and result.history is not None:
+            from repro.obs.history import canonical_dumps
+            os.makedirs(args.history_artifacts, exist_ok=True)
+            entry["history_file"] = os.path.join(
+                args.history_artifacts, "%s-seed%d.history.json"
+                % (result.scenario, result.seed))
+            with open(entry["history_file"], "w") as fh:
+                fh.write(canonical_dumps(result.history))
         if not args.json:
             print("  repro script: %s" % entry["repro_file"])
             print("  replay with:  repro fuzz --replay %s"
@@ -684,6 +697,33 @@ def cmd_postmortem(args) -> int:
         report = json.load(fh)
     print(render_postmortem(report))
     return 1 if (report.get("violations") or report.get("crash")) else 0
+
+
+def cmd_lincheck(args) -> int:
+    """Re-check a saved operation history offline (docs/CHECKING.md)."""
+    from repro.obs.history import OperationHistory, format_operation
+    from repro.obs.lincheck import check_history
+
+    history = OperationHistory.load(args.history)
+    result = check_history(history, semantics=args.semantics or None)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0 if result.ok else 1
+    print("history: %s (scenario %s, seed %d, %d operation(s))"
+          % (args.history, history.scenario or "?", history.seed,
+             len(history)))
+    if result.ok:
+        print("%s: OK — %d operation(s) checked"
+              % (result.semantics, result.checked))
+        return 0
+    print("%s: VIOLATION — %s" % (result.semantics, result.reason))
+    if result.key is not None:
+        print("key: %r" % result.key)
+    print("minimal violating sub-history (%d operation(s)):"
+          % len(result.violation))
+    for op in result.violation:
+        print("  " + format_operation(op.to_dict()))
+    return 1
 
 
 COMMANDS = {
@@ -807,6 +847,12 @@ def main(argv=None) -> int:
                           help="also write OpenMetrics snapshots and "
                                "Chrome traces for failing seeds to DIR "
                                "(what nightly CI uploads)")
+    fuzz_cmd.add_argument("--history-artifacts", default=None,
+                          metavar="DIR",
+                          help="also write each failing seed's checked "
+                               "operation history (repro.history/1 JSON, "
+                               "re-checkable with 'repro lincheck') to "
+                               "DIR")
     fuzz_cmd.add_argument("--json", action="store_true",
                           help="emit a deterministic JSON sweep report")
     fuzz_cmd.add_argument("--replay", default=None, metavar="PATH",
@@ -815,6 +861,19 @@ def main(argv=None) -> int:
     fuzz_cmd.add_argument("--list", dest="list_scenarios",
                           action="store_true",
                           help="list the scenario catalog and exit")
+    lincheck_cmd = sub.add_parser(
+        "lincheck", help="check a saved operation history offline for "
+                         "linearizability / strict serializability")
+    lincheck_cmd.add_argument("history",
+                              help="path to a repro.history/1 JSON file "
+                                   "(see fuzz --history-artifacts)")
+    lincheck_cmd.add_argument("--semantics", default=None,
+                              choices=["register", "list-append", "bank",
+                                       "total-order"],
+                              help="checker semantics (default: the one "
+                                   "recorded in the history)")
+    lincheck_cmd.add_argument("--json", action="store_true",
+                              help="emit the CheckResult as JSON")
     perf_cmd = sub.add_parser(
         "perf", help="measure simulator throughput: wall-clock events/sec "
                      "and the deterministic proxy metric")
@@ -841,6 +900,8 @@ def main(argv=None) -> int:
         return cmd_postmortem(args)
     elif args.command == "fuzz":
         return cmd_fuzz(args)
+    elif args.command == "lincheck":
+        return cmd_lincheck(args)
     elif args.command == "perf":
         return cmd_perf(args)
     elif args.command == "all":

@@ -96,6 +96,11 @@ class ExploreResult:
     #: {"openmetrics": <text>, "trace": <chrome trace dict>} — the
     #: snapshots CI uploads next to the repro script.
     artifacts: Optional[Dict[str, Any]] = None
+    #: the recorded client-visible operation history (the canonical
+    #: ``repro.history/1`` dict), for scenarios that record one; its
+    #: digest also rides in ``stats["history_digest"]``, so byte-level
+    #: history determinism is part of the run digest contract.
+    history: Optional[Dict[str, Any]] = None
     _kwargs: Dict[str, Any] = dataclasses.field(default_factory=dict,
                                                 repr=False)
 
@@ -174,6 +179,18 @@ def run(scenario, seed: int, *,
             oracles = scn.oracles
         if oracles is not None:
             monitors = monitors_for(oracles)
+    # History-checked scenarios get a fresh HistoryOracle per run (it is
+    # bound to this build's recorder, so it must NOT go into _kwargs —
+    # a shrinking rerun builds its own); it rides with the monitors so a
+    # failed check reports through the same violation machinery.
+    oracle = None
+    active_monitors = monitors
+    if built.history is not None and scn.checker:
+        from repro.obs.lincheck import HistoryOracle
+        from repro.obs.monitor import DEFAULT_MONITORS
+        oracle = HistoryOracle(built.history, scn.checker)
+        active_monitors = list(DEFAULT_MONITORS if monitors is None
+                               else monitors) + [oracle]
     driver = ScheduleDriver(world.sim, world.machines, world.net, schedule)
     horizon = budget if budget is not None else scn.budget
     outcome: Any = None
@@ -186,7 +203,7 @@ def run(scenario, seed: int, *,
                 stack.enter_context(MetricsCollector(world.sim.bus)),
                 stack.enter_context(TimeSeriesCollector(world.sim.bus)))
         probe = stack.enter_context(
-            watch(world.sim, monitors=monitors, capacity=capacity,
+            watch(world.sim, monitors=active_monitors, capacity=capacity,
                   trace=True))
         # The post-mortem carries the offending schedule, so a dumped
         # report is replayable on its own (save the "schedule" object to
@@ -210,6 +227,16 @@ def run(scenario, seed: int, *,
             crash = "%s: %s" % (type(exc).__name__, exc)
             probe.recorder.record_crash(exc, t=world.sim.now)
         driver.stop()
+        history_dict = None
+        if built.history is not None:
+            # Finalize (and, when the scenario names a checker, check)
+            # the operation history while the bus is still watched, so a
+            # consistency violation lands in the flight recorder too.
+            if oracle is not None:
+                oracle.check(world.sim.now)
+            else:
+                built.history.finalize()
+            history_dict = built.history.history().to_dict()
         violations = probe.violations
         stats = {
             "virtual_end": round(world.sim.now, 6),
@@ -221,7 +248,13 @@ def run(scenario, seed: int, *,
             "machine_repairs": driver.total_repairs,
             "faults_applied": [desc for _t, desc in driver.applied],
         }
+        if history_dict is not None:
+            stats["history_ops"] = len(history_dict["ops"])
+            stats["history_digest"] = digest_of(history_dict)
         postmortem = probe.postmortem() if (violations or crash) else None
+        if postmortem is not None and oracle is not None \
+                and oracle.result is not None:
+            postmortem["lincheck"] = oracle.result.to_dict()
         failed_artifacts = None
         if collected is not None and (violations or crash):
             from repro.obs import openmetrics
@@ -236,7 +269,7 @@ def run(scenario, seed: int, *,
     return ExploreResult(
         scenario=scn.name, seed=seed, schedule=schedule, outcome=outcome,
         crash=crash, violations=list(violations), postmortem=postmortem,
-        stats=stats, artifacts=failed_artifacts,
+        stats=stats, artifacts=failed_artifacts, history=history_dict,
         _kwargs=dict(budget=budget, oracles=oracles, monitors=monitors,
                      capacity=capacity))
 

@@ -25,6 +25,9 @@ attached.  On top of the bus sit the standard observers:
   return, collation) with per-stage histograms.
 * :func:`openmetrics` / :class:`ProgressChannel` — OpenMetrics text
   export and the progress channel long workloads publish through.
+* :class:`OperationHistoryRecorder` / :func:`check_history` — records a
+  workload's client-visible operation history and checks it offline for
+  linearizability / strict serializability (``docs/CHECKING.md``).
 
 See ``docs/OBSERVABILITY.md`` for the event taxonomy, metric names,
 trace format and the invariant catalog, and ``repro trace`` /
@@ -38,6 +41,11 @@ from repro.obs.clocks import (ClockDomain, concurrent, happens_before,
 from repro.obs.critpath import STAGES, CallPath, CritPathAnalyzer
 from repro.obs.export import (PROGRESS, SCHEMA_VERSION, ProgressChannel,
                               openmetrics)
+from repro.obs.history import (HISTORY_FORMAT, HistoryClient, Operation,
+                               OperationHistory, OperationHistoryRecorder,
+                               format_operation)
+from repro.obs.lincheck import (SEMANTICS, CheckResult, HistoryOracle,
+                                check_history)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsCollector,
                                MetricsRegistry)
 from repro.obs.monitor import (DEFAULT_MONITORS, CollationMonitor,
@@ -80,6 +88,16 @@ __all__ = [
     "watch",
     "FlightRecorder",
     "render_postmortem",
+    "HISTORY_FORMAT",
+    "Operation",
+    "OperationHistory",
+    "OperationHistoryRecorder",
+    "HistoryClient",
+    "format_operation",
+    "SEMANTICS",
+    "CheckResult",
+    "HistoryOracle",
+    "check_history",
     "host_of",
     "TimeSeriesCollector",
     "TimeSeriesRegistry",

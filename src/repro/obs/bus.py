@@ -120,7 +120,19 @@ class EventBus:
         if not self._subs:
             return
         if self.stamper is not None:
-            self.stamper.stamp(event)
+            # The stamper is an observer too: a raising stamp() must be
+            # contained exactly like a raising handler, not allowed to
+            # unwind into protocol code (the event just goes unstamped).
+            try:
+                self.stamper.stamp(event)
+            except Exception as exc:   # noqa: BLE001 — isolation
+                if event.kind != "mon.error":
+                    from repro.obs import events as _events
+                    self.emit(_events.MonitorError(
+                        t=getattr(event, "t", 0.0),
+                        handler=repr(self.stamper),
+                        event_kind=event.kind,
+                        error="%s: %s" % (type(exc).__name__, exc)))
         kind = event.kind
         by_kind = self._by_kind
         matched = by_kind.get(kind)

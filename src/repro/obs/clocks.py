@@ -200,7 +200,13 @@ class ClockDomain:
             self._addr_node[str(endpoint)] = node
             return node
         if kind.startswith(("rpc.", "txn.")):
-            return "%s/%s" % (event.host, event.proc)
+            host = getattr(event, "host", "")
+            if host:
+                return "%s/%s" % (host, event.proc)
+            # lock-table events (txn.lock_wait/_grant, txn.deadlock)
+            # carry no process identity; attribute them to the world
+            # rather than refuse to stamp.
+            return "world"
         if kind.startswith("bind."):
             host = getattr(event, "host", "")
             if host:

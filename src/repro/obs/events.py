@@ -476,6 +476,18 @@ class MonitorError(ObsEvent):
     error: str = ""          # repr of the exception
 
 
+@dataclasses.dataclass
+class MonitorWarning(ObsEvent):
+    """Degraded observability, announced on the bus itself — e.g. the
+    flight-recorder ring overflowed, so the eventual post-mortem only
+    covers a suffix of the run."""
+
+    kind: ClassVar[str] = "mon.warn"
+    source: str = ""         # who is warning (e.g. 'FlightRecorder')
+    message: str = ""
+    dropped: int = 0         # events lost so far, when applicable
+
+
 #: every event class, keyed by kind — for documentation and validation.
 ALL_EVENTS = {
     cls.kind: cls
@@ -491,6 +503,6 @@ ALL_EVENTS = {
         LockWait, LockGranted, DeadlockDetected, CommitVote, CommitOutcome,
         BindingLookup, MembershipChanged, StaleBindingInvalidated,
         StateTransferred,
-        InvariantViolation, MonitorError,
+        InvariantViolation, MonitorError, MonitorWarning,
     )
 }

@@ -73,6 +73,8 @@ class FlightRecorder:
         #: fault explorer stores the offending schedule and seed here so
         #: a dumped report is replayable on its own.
         self.context: Dict[str, Any] = {}
+        self._overflow_warned = False
+        self._warning_inflight = False
         self._sub = bus.subscribe(self._record)
 
     def detach(self) -> None:
@@ -81,7 +83,13 @@ class FlightRecorder:
             self._sub = None
 
     def _record(self, event) -> None:
-        if len(self.ring) == self.capacity:
+        if self._warning_inflight and event.kind == "mon.warn":
+            # Our own overflow warning coming back around the bus: other
+            # subscribers should see it, but recording it here would
+            # evict one more real event and inflate the drop count.
+            return
+        overflowed = len(self.ring) == self.capacity
+        if overflowed:
             self.dropped += 1
         self.ring.append(event)
         kind = event.kind
@@ -89,6 +97,19 @@ class FlightRecorder:
             self.violations.append(event)
         elif kind == "mon.error":
             self.monitor_errors.append(event)
+        if overflowed and not self._overflow_warned:
+            # Truncated post-mortems are self-announcing: the first drop
+            # puts a mon.warn on the bus (once).
+            self._overflow_warned = True
+            self._warning_inflight = True
+            try:
+                self.bus.emit(obs_events.MonitorWarning(
+                    t=getattr(event, "t", 0.0), source="FlightRecorder",
+                    message="ring overflowed (capacity %d); oldest events "
+                            "are being dropped" % self.capacity,
+                    dropped=self.dropped))
+            finally:
+                self._warning_inflight = False
 
     def record_crash(self, exc: BaseException, t: float = 0.0) -> None:
         """Note an unexpected simulation crash (an exception escaping
@@ -260,6 +281,24 @@ def render_postmortem(report: Dict[str, Any]) -> str:
                     path.get("duration_ms", 0.0), path.get("dominant")))
             for stage, dur in path.get("stages", []):
                 push("    %-18s %10.3f ms" % (stage, dur))
+    lincheck = report.get("lincheck")
+    if lincheck:
+        push("")
+        push("--- offline history check (%s) ---" % lincheck.get("semantics"))
+        push("  verdict: %s over %d operation(s)" % (
+            "OK" if lincheck.get("ok") else "VIOLATION",
+            lincheck.get("checked", 0)))
+        if lincheck.get("reason"):
+            push("  %s" % lincheck["reason"])
+        if lincheck.get("key") is not None:
+            push("  key: %r" % lincheck["key"])
+        violation_ops = lincheck.get("violation", [])
+        if violation_ops:
+            from repro.obs.history import format_operation
+            push("  minimal violating sub-history (%d operation(s)):"
+                 % len(violation_ops))
+            for op in violation_ops:
+                push("    " + format_operation(op))
     errors = report.get("monitor_errors", [])
     if errors:
         push("")

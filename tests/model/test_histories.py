@@ -119,6 +119,57 @@ def test_balanced_decomposition_rejects_unbalanced():
         balanced_decomposition(EventSequence([call("A", "a", eid=1)]))
 
 
+def test_balanced_decomposition_rejects_interleaved_intervals():
+    """<c_A c_B r_A r_B> nests by depth counting but the interior calls
+    and returns cross: Definition 3.1's unique decomposition does not
+    exist."""
+    seq = EventSequence([
+        call("A", "a", eid=1),
+        call("B", "b", eid=2),
+        ret("A", "a", eid=3),
+        ret("B", "b", eid=4),
+    ])
+    assert not is_balanced(seq)
+    with pytest.raises(InvalidHistory):
+        balanced_decomposition(seq)
+
+
+def test_balanced_decomposition_rejects_mismatched_procedures():
+    """A return from the wrong procedure inside an otherwise
+    depth-balanced block."""
+    seq = EventSequence([
+        call("A", "a", eid=1),
+        call("B", "b", eid=2),
+        ret("B", "other", eid=3),
+        ret("A", "a", eid=4),
+    ])
+    with pytest.raises(InvalidHistory):
+        balanced_decomposition(seq)
+
+
+def test_truncated_infinite_prefix_is_unbalanced_but_valid():
+    """A prefix of an infinite history (Definition 3.2's finiteness
+    clause): open calls are not balanced, yet the prefix is a valid
+    history when finiteness is not required."""
+    prefix = EventSequence([
+        call("M", "main", eid=1),
+        call("A", "loop", eid=2),
+        call("B", "b", eid=3),
+        ret("B", "b", eid=4),
+    ])
+    assert not is_balanced(prefix)
+    validate_history(prefix, require_finite=False)
+    with pytest.raises(InvalidHistory):
+        validate_history(prefix)
+    # Every return still has to match even in a prefix.
+    bad = EventSequence([
+        call("M", "main", eid=1),
+        ret("A", "other", eid=2),
+    ])
+    with pytest.raises(InvalidHistory):
+        validate_history(bad, require_finite=False)
+
+
 def test_theorem_3_4_decomposition():
     """H_{<=e} = <c0, ..., c> B1...Bn <e> uniquely."""
     history = EventSequence([

@@ -135,6 +135,43 @@ def test_raising_handler_does_not_abort_emission():
     assert "bad" in error.handler
 
 
+def test_raising_stamper_is_contained_like_a_raising_handler():
+    """A stamper bug must not unwind into the emitting protocol code —
+    the event goes unstamped and the failure becomes a mon.error."""
+    bus = EventBus()
+    got, errors = [], []
+    bus.subscribe(got.append)
+    bus.subscribe(errors.append, kinds="mon.error")
+
+    class BrokenStamper:
+        def stamp(self, event):
+            if event.kind != "mon.error":
+                raise AttributeError("no such field on %s" % event.kind)
+
+    bus.stamper = BrokenStamper()
+    event = _event(events.TimerFired, due=1)
+    bus.emit(event)               # must not raise
+    assert got[-1] is event       # delivery still happened, unstamped
+    assert not hasattr(event, "lamport")
+    (error,) = errors
+    assert error.event_kind == "sim.timer"
+    assert "AttributeError" in error.error
+
+
+def test_stamper_failing_on_monitor_error_does_not_recurse():
+    bus = EventBus()
+    got = []
+    bus.subscribe(got.append)
+
+    class AlwaysBroken:
+        def stamp(self, event):
+            raise ValueError("stamps nothing, mon.error included")
+
+    bus.stamper = AlwaysBroken()
+    bus.emit(_event(events.TimerFired, due=1))     # must terminate
+    assert [e.kind for e in got] == ["mon.error", "sim.timer"]
+
+
 def test_handler_failing_on_monitor_error_does_not_recurse():
     bus = EventBus()
     got = []

@@ -1,0 +1,173 @@
+"""Tests for operation-history recording (repro.obs.history)."""
+
+import json
+import types
+
+from repro.obs import EventBus, events
+from repro.obs.clocks import ClockDomain
+from repro.obs.history import (HISTORY_FORMAT, Operation, OperationHistory,
+                               OperationHistoryRecorder, canonical_dumps,
+                               format_operation)
+
+import pytest
+
+
+class FakeSim:
+    """Just enough simulator for the recorder: a bus and a clock."""
+
+    def __init__(self):
+        self.bus = EventBus()
+        self.now = 0.0
+
+
+def fake_runtime(host="m0", name="c0"):
+    return types.SimpleNamespace(
+        process=types.SimpleNamespace(host=host, name=name))
+
+
+def make_recorder(**kwargs):
+    sim = FakeSim()
+    ClockDomain().install(sim.bus)
+    defaults = dict(scenario="test", seed=7, semantics="register")
+    defaults.update(kwargs)
+    return sim, OperationHistoryRecorder(sim, **defaults)
+
+
+# ---------------------------------------------------------------------------
+# Workload-side lifecycle
+# ---------------------------------------------------------------------------
+
+def test_invoke_and_respond_record_interval_and_sequence():
+    sim, recorder = make_recorder()
+    client = recorder.client("c0")
+    sim.now = 10.0
+    op = client.invoke("w", key="x", args="1")
+    assert op.status == "open"
+    assert op.invoked_at == 10.0
+    sim.now = 25.0
+    client.ok(op, result="done")
+    assert op.status == "ok"
+    assert op.returned_at == 25.0
+    assert op.ret_seq > op.inv_seq
+
+    other = client.invoke("r", key="x")
+    client.fail(other)
+    assert other.status == "fail"
+    # The global sequence is a strict total order over all ends.
+    seqs = [op.inv_seq, op.ret_seq, other.inv_seq, other.ret_seq]
+    assert seqs == sorted(seqs) and len(set(seqs)) == 4
+
+
+def test_finalize_marks_open_operations_info_and_detaches():
+    sim, recorder = make_recorder()
+    client = recorder.client("c0", fake_runtime())
+    op = client.invoke("w", key="x", args="1")
+    assert sim.bus.subscriber_count() == 1
+    recorder.finalize()
+    assert op.status == "info"
+    assert sim.bus.subscriber_count() == 0
+    # idempotent
+    recorder.finalize()
+
+
+# ---------------------------------------------------------------------------
+# Bus-side correlation
+# ---------------------------------------------------------------------------
+
+def test_bus_events_stamp_wire_identity_and_vector_clocks():
+    sim, recorder = make_recorder()
+    client = recorder.client("c1", fake_runtime(host="m2", name="driver"))
+    assert client.node == "m2/driver"
+    op = client.invoke("w", key="x", args="1")
+
+    sim.bus.emit(events.CallStarted(t=1.0, host="m2", proc="driver",
+                                    thread_id="th-1", call_number=7))
+    assert op.call_number == 7
+    assert op.thread_id == "th-1"
+    assert op.vc_invoke            # stamped by the ClockDomain
+
+    # A retry's call_start must not overwrite the first correlation.
+    sim.bus.emit(events.CallStarted(t=2.0, host="m2", proc="driver",
+                                    thread_id="th-1", call_number=8))
+    assert op.call_number == 7
+
+    # call_end with a different call number is ignored; the matching one
+    # stamps the return frontier.
+    sim.bus.emit(events.CallCompleted(t=3.0, host="m2", proc="driver",
+                                      thread_id="th-1", call_number=9))
+    assert op.vc_return == {}
+    sim.bus.emit(events.CallCompleted(t=4.0, host="m2", proc="driver",
+                                      thread_id="th-1", call_number=7))
+    assert op.vc_return
+    client.ok(op, result=None)
+
+    # Events on other nodes never touch this client's operations.
+    other = client.invoke("r", key="x")
+    sim.bus.emit(events.CallStarted(t=5.0, host="m9", proc="driver",
+                                    thread_id="th-2", call_number=11))
+    assert other.call_number == -1
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+def _recorded_history():
+    sim, recorder = make_recorder(initial={"x": "v0"})
+    client = recorder.client("c0")
+    sim.now = 5.0
+    op = client.invoke("w", key="x", args="1")
+    sim.now = 9.0
+    client.ok(op, result="ok")
+    open_op = client.invoke("r", key="x")
+    del open_op
+    recorder.finalize()
+    return recorder.history()
+
+
+def test_canonical_json_round_trips_byte_identically(tmp_path):
+    history = _recorded_history()
+    text = history.dumps()
+    assert text.endswith("\n")
+    loaded = OperationHistory.from_dict(json.loads(text))
+    assert loaded.dumps() == text
+
+    path = tmp_path / "h.history.json"
+    history.save(str(path))
+    assert path.read_text() == text
+    again = OperationHistory.load(str(path))
+    assert again.dumps() == text
+    assert again.scenario == "test"
+    assert again.seed == 7
+    assert again.initial == {"x": "v0"}
+    assert [op.status for op in again.ops] == ["ok", "info"]
+
+
+def test_two_identical_recordings_serialize_byte_identically():
+    assert _recorded_history().dumps() == _recorded_history().dumps()
+
+
+def test_from_dict_rejects_foreign_payloads():
+    with pytest.raises(ValueError):
+        OperationHistory.from_dict({"format": "something-else"})
+    payload = _recorded_history().to_dict()
+    assert payload["format"] == HISTORY_FORMAT
+    assert payload["schema_version"]
+
+
+def test_canonical_dumps_sorts_keys():
+    assert canonical_dumps({"b": 1, "a": 2}).index('"a"') \
+        < canonical_dumps({"b": 1, "a": 2}).index('"b"')
+
+
+def test_format_operation_is_one_line_and_carries_the_essentials():
+    line = format_operation(Operation(
+        index=3, process="c1", op="r", key="x", result="v", status="ok",
+        invoked_at=10.0, returned_at=20.5, call_number=4).to_dict())
+    assert "\n" not in line
+    for fragment in ("#3", "c1", "r x", "ok", "v", "[10, 20.5]", "call#4"):
+        assert fragment in line
+    open_line = format_operation(Operation(
+        index=0, process="c0", op="w", key="x", args="1",
+        status="info", invoked_at=1.0).to_dict())
+    assert "..." in open_line and "call#" not in open_line

@@ -34,6 +34,35 @@ def test_ring_is_bounded_and_counts_drops():
     assert list(recorder.ring) == emitted[-4:]
 
 
+def test_first_overflow_emits_exactly_one_warning():
+    bus = _bus()
+    recorder = FlightRecorder(bus, capacity=4)
+    warnings = []
+    bus.subscribe(warnings.append, kinds=("mon.warn",))
+    for i in range(10):
+        _tick(bus, float(i))
+    (warning,) = warnings                 # once, not per dropped event
+    assert warning.kind == "mon.warn"
+    assert warning.source == "FlightRecorder"
+    assert "capacity 4" in warning.message
+    assert warning.dropped == 1           # the count at first overflow
+    # The recorder skips its own warning: the drop accounting counts
+    # only real events (10 ticks - 4 kept = 6 dropped).
+    assert recorder.dropped == 6
+    assert all(e.kind != "mon.warn" for e in recorder.ring)
+
+
+def test_no_warning_below_capacity():
+    bus = _bus()
+    recorder = FlightRecorder(bus, capacity=8)
+    warnings = []
+    bus.subscribe(warnings.append, kinds=("mon.warn",))
+    for i in range(8):
+        _tick(bus, float(i))
+    assert warnings == []
+    assert recorder.dropped == 0
+
+
 def test_detach_stops_recording():
     bus = _bus()
     recorder = FlightRecorder(bus, capacity=4)
