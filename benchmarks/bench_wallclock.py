@@ -7,19 +7,23 @@ message packets/sec, end-to-end replicated calls/sec, and the cost of
 attaching the invariant monitors.
 
 Wall-clock rows are machine-dependent and are **never** compared against
-a committed baseline.  The CI gate uses the deterministic proxy table
-instead (kernel callbacks + handle allocations per replicated call —
-identical on every machine), compared against ``BENCH_PERF.json``:
+a committed baseline.  The CI gate uses the deterministic tables
+(built once, in ``repro.bench.gated``, shared with ``repro perf
+--compare``) compared against ``BENCH_PERF.json``:
 
     PYTHONPATH=src python -m pytest benchmarks/bench_wallclock.py -q \
         --bench-json perf_results.json
     PYTHONPATH=src python benchmarks/compare.py perf_results.json \
         --baseline BENCH_PERF.json --threshold 5 --require-all
+
+or, in one command:
+
+    PYTHONPATH=src python -m repro perf --compare
 """
 
 import pytest
 
-from repro.bench import perf
+from repro.bench import gated, perf
 from repro.bench.report import Table, register_table
 
 
@@ -30,23 +34,9 @@ def test_proxy_metric_is_deterministic_and_gated():
     table itself documents the optimization trajectory; the live row is
     what ``BENCH_PERF.json`` gates at 5%.
     """
-    metrics = perf.proxy_metrics(iterations=200)
-    again = perf.proxy_metrics(iterations=200)
-    assert metrics == again, "proxy metric must be deterministic"
-
-    table = Table(
-        "Kernel hot-path proxy metric (work per replicated call)",
-        ["workload", "callbacks/call", "allocs/call",
-         "proxy (callbacks+allocs)"],
-        formats=[None, "%.2f", "%.2f", "%.2f"],
-        notes="Deterministic (machine-independent); CI gates the live "
-              "row against BENCH_PERF.json at 5%.  The seed row is the "
-              "unoptimized kernel, kept as the trajectory reference.")
-    seed = perf.SEED_PROXY["circus-200"]
-    table.add_row("circus-200 (seed)", seed["callbacks_per_call"],
-                  seed["allocs_per_call"], seed["proxy"])
-    table.add_row("circus-200", metrics["callbacks_per_call"],
-                  metrics["allocs_per_call"], metrics["proxy"])
+    table, aux = gated.kernel_proxy_table(iterations=200)
+    metrics, seed = aux["metrics"], aux["seed"]
+    assert metrics == aux["again"], "proxy metric must be deterministic"
     register_table(table)
 
     # The message-path pass swapped per-transfer retransmit daemons for
@@ -59,6 +49,25 @@ def test_proxy_metric_is_deterministic_and_gated():
     assert metrics["proxy"] <= 0.8 * seed["proxy"]
 
 
+def test_batched_dispatch_is_deterministic_and_gated():
+    """The batched-dispatch table: same-timestamp callbacks drain
+    through the ready lane (no heap push+pop per entry) while the total
+    callback count stays pinned — batching cheapens dispatch, it never
+    reorders or adds work.
+    """
+    table, aux = gated.dispatch_table(iterations=200)
+    metrics, seed = aux["metrics"], aux["seed"]
+    assert metrics == aux["again"], "dispatch metric must be deterministic"
+    register_table(table)
+
+    # Batching must not change how many callbacks run per call.
+    assert metrics["callbacks_per_call"] == seed["callbacks_per_call"]
+    # The lane must actually be used: a meaningful share of dispatches
+    # bypasses the heap on the circus workload.
+    assert metrics["ready_per_call"] > 0
+    assert metrics["lane_share_pct"] >= 10.0
+
+
 def test_message_path_proxy_metric_is_deterministic_and_gated():
     """The second CI-gated table: message-path work per replicated call.
 
@@ -67,26 +76,9 @@ def test_message_path_proxy_metric_is_deterministic_and_gated():
     is pinned to the seed because the pass must not change what goes on
     the wire (the virtual-time tables gate that too).
     """
-    metrics = perf.message_path_metrics(iterations=200)
-    again = perf.message_path_metrics(iterations=200)
-    assert metrics == again, "message-path metric must be deterministic"
-
-    table = Table(
-        "Message-path proxy metric (work per replicated call)",
-        ["workload", "encodes/call", "daemons/call", "packets/call",
-         "msg proxy (encodes+daemons)"],
-        formats=[None, "%.2f", "%.2f", "%.2f", "%.2f"],
-        notes="Deterministic (machine-independent); CI gates the live "
-              "row against BENCH_PERF.json at 5%.  The seed row is the "
-              "pre-optimization protocol stack: one encode per "
-              "transmission and one retransmit daemon per transfer.")
-    seed = perf.SEED_MESSAGE_PATH["circus-200"]
-    table.add_row("circus-200 (seed)", seed["encodes_per_call"],
-                  seed["daemons_per_call"], seed["packets_per_call"],
-                  seed["msg_proxy"])
-    table.add_row("circus-200", metrics["encodes_per_call"],
-                  metrics["daemons_per_call"], metrics["packets_per_call"],
-                  metrics["msg_proxy"])
+    table, aux = gated.message_path_table(iterations=200)
+    metrics, seed = aux["metrics"], aux["seed"]
+    assert metrics == aux["again"], "message-path metric must be deterministic"
     register_table(table)
 
     # Wire-faithfulness: the same packets at the same times.
@@ -101,29 +93,32 @@ def test_delayed_ack_coalescing_row():
     exchange: coalescing must cut ack packets without breaking delivery
     (the default row is pinned to the seed numbers — delayed acks stay
     opt-in and change nothing when off)."""
-    off = perf.lossy_transfer_metrics(delayed_acks=False)
-    on = perf.lossy_transfer_metrics(delayed_acks=True)
-
-    table = Table(
-        "Message-path: delayed-ack coalescing (pm-loss15, deterministic)",
-        ["configuration", "ms/transfer", "packets/transfer",
-         "acks/transfer", "acks coalesced/transfer"],
-        formats=[None, "%.4f", "%.3f", "%.3f", "%.3f"],
-        notes="13-segment (6 KB) calls at 15% seeded loss.  delayed_acks "
-              "holds the highest cumulative ack per message and flushes "
-              "one batch per 10 ms interval; probe replies stay "
-              "immediate so crash detection is unchanged.")
-    for label, row in (("immediate-acks", off), ("delayed-acks", on)):
-        table.add_row(label, row["ms_per_transfer"],
-                      row["packets_per_transfer"], row["acks_per_transfer"],
-                      row["acks_coalesced_per_transfer"])
+    table, aux = gated.delayed_ack_table()
+    off, on, seed = aux["off"], aux["on"], aux["seed"]
     register_table(table)
 
-    seed = perf.SEED_MESSAGE_PATH["pm-loss15"]
     assert off["packets_per_transfer"] == seed["packets_per_transfer"]
     assert off["ms_per_transfer"] == seed["ms_per_transfer"]
     assert on["acks_per_transfer"] < off["acks_per_transfer"]
     assert on["packets_per_transfer"] < off["packets_per_transfer"]
+
+
+def test_zero_copy_bytes_are_deterministic_and_gated():
+    """The zero-copy table: payload+header bytes materialized on the
+    message path per call must sit far below the recorded seed rows
+    (the copying path measured before this pass).
+    """
+    table, aux = gated.zero_copy_table(iterations=200)
+    metrics = aux["metrics"]
+    assert metrics == aux["again"], "bytes_copied must be deterministic"
+    register_table(table)
+
+    # The zero-copy acceptance criterion: at least 40% fewer bytes
+    # materialized per call than the copying path on both workloads.
+    circus_seed = perf.SEED_ZERO_COPY["circus-200"]["bytes_copied_per_call"]
+    lossy_seed = perf.SEED_ZERO_COPY["pm-loss15"]["bytes_copied_per_transfer"]
+    assert metrics["bytes_copied_per_call"] <= 0.6 * circus_seed
+    assert aux["lossy"]["bytes_copied_per_transfer"] <= 0.6 * lossy_seed
 
 
 def test_kernel_events_per_sec():
@@ -175,7 +170,7 @@ def test_replicated_calls_and_monitor_overhead():
 
 
 def test_observability_work_is_deterministic_and_budgeted():
-    """The third CI-gated table: telemetry work per replicated call.
+    """The telemetry CI-gated table: work per replicated call.
 
     The counters (bus events delivered, time-series cell updates,
     critical-path milestones per call) and the attribution quality are
@@ -185,49 +180,14 @@ def test_observability_work_is_deterministic_and_budgeted():
     subscriber that perturbs the simulation moves it and fails the gate
     even if its work counters happen to match.
     """
-    work = perf.obs_work_metrics(iterations=200)
-    again = perf.obs_work_metrics(iterations=200)
-    assert work == again, "observability work metric must be deterministic"
-
-    history = perf.history_work_metrics(iterations=200)
+    table, aux = gated.observability_table(iterations=200,
+                                           overhead_iterations=60)
+    work, history = aux["work"], aux["history"]
+    assert work == aux["again"], "observability work must be deterministic"
     # The history recorder is a pure reader: attaching it must leave
     # every deterministic telemetry counter (and virtual time) alone.
     assert history == work, (
         "the history recorder perturbed the telemetry counters")
-
-    plain, active, observed, ratio = perf.observability_overhead_ratio(
-        iterations=60)
-    _active_h, _recorded_h, history_ratio = perf.history_overhead_ratio(
-        iterations=60)
-
-    table = Table(
-        "Observability telemetry (work per replicated call + overhead)",
-        ["workload", "events/call", "ts updates/call", "milestones/call",
-         "attributed %", "residual %", "virtual end (ms)",
-         "overhead ratio (wall)"],
-        formats=[None, "%.2f", "%.2f", "%.2f", "%.2f", "%.2f", "%.3f",
-                 "%.3f"],
-        gate_columns=["events/call", "ts updates/call", "milestones/call",
-                      "attributed %", "residual %", "virtual end (ms)"],
-        notes="Time-series collector + critical-path analyzer attached "
-              "to the circus workload.  Work columns are deterministic "
-              "and CI-gated at 5%; the wall ratio (telemetry time over "
-              "active-bus time per call) is machine-dependent and "
-              "informational.  virtual end (ms) must equal the "
-              "unobserved run's — subscribers never move virtual time.  "
-              "The +history row adds the operation-history recorder; its "
-              "work columns must equal the base row exactly (the "
-              "recorder is a pure reader) and its wall ratio is the "
-              "recorder's incremental cost on an active bus.")
-    table.add_row("circus-200", work["events_per_call"],
-                  work["ts_updates_per_call"], work["milestones_per_call"],
-                  work["attributed_pct"], work["residual_pct"],
-                  work["virtual_end_ms"], ratio)
-    table.add_row("circus-200+history", history["events_per_call"],
-                  history["ts_updates_per_call"],
-                  history["milestones_per_call"],
-                  history["attributed_pct"], history["residual_pct"],
-                  history["virtual_end_ms"], history_ratio)
     register_table(table)
 
     wall = Table(
@@ -237,9 +197,9 @@ def test_observability_work_is_deterministic_and_budgeted():
         notes="active-bus = one no-op subscriber (the shared price of "
               "publishing events at all); with-telemetry adds the "
               "time-series collector and critical-path analyzer.")
-    wall.add_row("unobserved", plain)
-    wall.add_row("active-bus", active)
-    wall.add_row("with-telemetry", observed)
+    wall.add_row("unobserved", aux["plain"])
+    wall.add_row("active-bus", aux["active"])
+    wall.add_row("with-telemetry", aux["observed"])
     register_table(wall)
 
     # Critical-path acceptance: >= 95% of latency lands in named stages.
@@ -247,10 +207,10 @@ def test_observability_work_is_deterministic_and_budgeted():
     assert work["residual_pct"] < 5.0
     # The telemetry budget: <10% incremental wall cost on an active bus
     # in steady state; allow slack for noisy shared CI runners.
-    assert plain > 0 and active > 0 and observed > 0
-    assert ratio < 1.5
+    assert aux["plain"] > 0 and aux["active"] > 0 and aux["observed"] > 0
+    assert aux["ratio"] < 1.5
     # The recorder's correlation is two dict lookups per rpc event.
-    assert history_ratio < 1.5
+    assert aux["history_ratio"] < 1.5
 
 
 if __name__ == "__main__":

@@ -4,122 +4,28 @@
     PYTHONPATH=src python benchmarks/compare.py results.json \
         --baseline BENCH_BASELINE.json --threshold 25
 
-Both files hold the ``{"tables": [Table.to_dict(), ...]}`` shape written
-by ``pytest benchmarks/ --bench-json=PATH``.  Tables are matched by
-title and rows by their first column (the workload label); every shared
-numeric cell gets a delta.  Exit status is 1 when any |delta| exceeds
-``--threshold`` percent (0 disables the gate — report only).
-
-The simulation is deterministic, so most columns should match the
-baseline exactly; drift means the protocol's behaviour changed, which is
-exactly what a PR reviewer wants surfaced.
+Thin CLI wrapper: the comparison logic lives in
+``repro.bench.compare`` so that ``repro perf --compare`` runs the exact
+same gate locally in one command.  See that module for the semantics
+(table/row matching, gate_columns, --require-all).
 """
 
 from __future__ import annotations
 
-import argparse
-import json
+import os
 import sys
 
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
 
-def load_tables(path):
-    """title -> (columns, {row_label -> row}, gate_columns).
+from repro.bench.compare import (  # noqa: E402  (path bootstrap above)
+    compare,
+    load_tables,
+    main,
+    percent_delta,
+)
 
-    ``gate_columns`` is ``None`` when the table gates every numeric
-    column (the default), else the subset of column names the gate
-    enforces — the rest are reported informationally."""
-    with open(path) as fh:
-        payload = json.load(fh)
-    tables = {}
-    for table in payload.get("tables", []):
-        rows = {str(row[0]): row for row in table.get("rows", []) if row}
-        tables[table["title"]] = (table.get("columns", []), rows,
-                                  table.get("gate_columns"))
-    return tables
-
-
-def percent_delta(base, new):
-    if base == 0:
-        return None if new == 0 else float("inf")
-    return (new - base) / abs(base) * 100.0
-
-
-def compare(baseline, results, threshold, require_all=False):
-    """Yield (table, row, column, base, new, delta%) for every shared
-    numeric cell; collect regressions past the threshold.
-
-    With ``require_all``, a baseline table or row missing from the
-    results is itself a regression (the perf gate uses this so a deleted
-    benchmark cannot silently pass)."""
-    regressions = []
-    lines = []
-    for title, (columns, base_rows, gate_columns) in sorted(baseline.items()):
-        if title not in results:
-            lines.append("MISSING table in results: %s" % title)
-            if require_all:
-                regressions.append((title, None, None, None, None, None))
-            continue
-        _new_columns, new_rows, _ = results[title]
-        header_shown = False
-        for label, base_row in base_rows.items():
-            new_row = new_rows.get(label)
-            if new_row is None:
-                lines.append("  MISSING row %r in %s" % (label, title))
-                if require_all:
-                    regressions.append((title, label, None, None, None,
-                                        None))
-                continue
-            for i, (b, n) in enumerate(zip(base_row, new_row)):
-                if i == 0 or not isinstance(b, (int, float)) \
-                        or not isinstance(n, (int, float)) \
-                        or isinstance(b, bool):
-                    continue
-                delta = percent_delta(b, n)
-                if delta is None or delta == 0.0:
-                    continue
-                if not header_shown:
-                    lines.append(title)
-                    header_shown = True
-                column = columns[i] if i < len(columns) else "col%d" % i
-                gated = gate_columns is None or column in gate_columns
-                flag = "" if gated else "  (informational, not gated)"
-                if gated and threshold and abs(delta) > threshold:
-                    flag = "  <-- exceeds %.0f%%" % threshold
-                    regressions.append((title, label, column, b, n, delta))
-                lines.append("  %-20s %-18s %12g -> %-12g %+8.2f%%%s"
-                             % (label, column, b, n, delta, flag))
-    for title in sorted(set(results) - set(baseline)):
-        lines.append("NEW table (not in baseline): %s" % title)
-    return lines, regressions
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="report per-benchmark deltas against the committed "
-                    "baseline")
-    parser.add_argument("results", help="a --bench-json output file")
-    parser.add_argument("--baseline", default="BENCH_BASELINE.json",
-                        help="baseline file (default BENCH_BASELINE.json)")
-    parser.add_argument("--threshold", type=float, default=0.0,
-                        help="fail when any |delta| exceeds this percent "
-                             "(default 0: report only)")
-    parser.add_argument("--require-all", action="store_true",
-                        help="also fail when a baseline table or row is "
-                             "missing from the results")
-    args = parser.parse_args(argv)
-    baseline = load_tables(args.baseline)
-    results = load_tables(args.results)
-    lines, regressions = compare(baseline, results, args.threshold,
-                                 require_all=args.require_all)
-    if lines:
-        print("\n".join(lines))
-    else:
-        print("no deltas: results match the baseline exactly")
-    if regressions:
-        print("\n%d regression(s) against %s (threshold %.0f%%)"
-              % (len(regressions), args.baseline, args.threshold))
-        return 1
-    return 0
+__all__ = ["compare", "load_tables", "main", "percent_delta"]
 
 
 if __name__ == "__main__":

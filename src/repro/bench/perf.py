@@ -54,6 +54,35 @@ SEED_MESSAGE_PATH = {
     },
 }
 
+#: Frozen ``bytes_copied`` counters from the copying message path
+#: (measured once, before the zero-copy pass, by instrumenting its
+#: materialization points: ``header + bytes(data)`` on encode, the
+#: ``bytes`` slice on decode, the bytearray splice + ``bytes`` on
+#: wire_marked, and the reassembly join).  The counter's meaning is
+#: "payload+header bytes written into fresh message-path buffers"; the
+#: zero-copy pass leaves exactly one materialization per wire and one
+#: per delivered message, so the gated live rows must sit well below
+#: these.
+SEED_ZERO_COPY = {
+    "circus-200": {
+        "bytes_copied_per_call": 885.165,
+    },
+    "pm-loss15": {
+        "bytes_copied_per_transfer": 26893.25,
+    },
+}
+
+#: Frozen dispatch counters from the pre-batching kernel: every
+#: callback went through the heap (no ready lane), so the lane columns
+#: are zero by construction and callbacks/call is the PR-3/4 figure.
+SEED_DISPATCH = {
+    "circus-200": {
+        "callbacks_per_call": 162.96,
+        "ready_per_call": 0.0,
+        "lane_share_pct": 0.0,
+    },
+}
+
 
 # ---------------------------------------------------------------------------
 # Kernel microbenchmarks (pure Simulator, no protocol stack)
@@ -466,11 +495,14 @@ def lossy_transfer_metrics(delayed_acks: bool = False, transfers: int = 8,
                  + server.counters["acks_sent"])
     acks_coalesced = (client.counters["acks_coalesced"]
                       + server.counters["acks_coalesced"])
+    bytes_copied = (client.counters["bytes_copied"]
+                    + server.counters["bytes_copied"])
     return {
         "ms_per_transfer": latency,
         "packets_per_transfer": world.net.packets_sent / transfers,
         "acks_per_transfer": acks_sent / transfers,
         "acks_coalesced_per_transfer": acks_coalesced / transfers,
+        "bytes_copied_per_transfer": bytes_copied / transfers,
     }
 
 
@@ -488,4 +520,41 @@ def proxy_metrics(iterations: int = 200) -> Dict[str, float]:
         "callbacks_per_call": callbacks,
         "allocs_per_call": allocs,
         "proxy": callbacks + allocs,
+    }
+
+
+def zero_copy_metrics(iterations: int = 200) -> Dict[str, float]:
+    """Deterministic ``bytes_copied`` per replicated call on the circus
+    workload: payload+header bytes written into fresh message-path
+    buffers (one wire per segment, one marked wire per retransmitted
+    segment, one join per delivered message — decode and reassembly are
+    views and contribute zero).  Gated against ``BENCH_PERF.json``; the
+    recorded seed row (:data:`SEED_ZERO_COPY`) is the copying path this
+    pass replaced, so the live row dropping is the zero-copy win."""
+    from repro.cli import _scenario_circus
+
+    world, body = _scenario_circus(iterations)
+    world.run(body())
+    totals = world.endpoint_stats()
+    return {
+        "bytes_copied_per_call": totals["bytes_copied"] / iterations,
+    }
+
+
+def dispatch_metrics(iterations: int = 200) -> Dict[str, float]:
+    """Deterministic batched-dispatch counters on the circus workload:
+    kernel callbacks per call, ready-lane entries drained per call (the
+    same-timestamp batching path that bypasses the heap), and the lane's
+    share of all dispatches.  The seed row (:data:`SEED_DISPATCH`) is
+    the pre-batching kernel, where every callback paid a heap push+pop.
+    """
+    _elapsed, snapshot = _run_circus(iterations, monitors=False)
+    callbacks = snapshot["callbacks_run"] / iterations
+    ready = snapshot["ready_dispatched"] / iterations
+    share = (100.0 * snapshot["ready_dispatched"] / snapshot["callbacks_run"]
+             if snapshot["callbacks_run"] else 0.0)
+    return {
+        "callbacks_per_call": callbacks,
+        "ready_per_call": ready,
+        "lane_share_pct": round(share, 4),
     }

@@ -446,10 +446,32 @@ def _check_scenario_name(target: str) -> str:
 def cmd_perf(args) -> int:
     """Wall-clock throughput plus the deterministic proxy metric.
 
+    ``--compare [BASELINE]`` instead rebuilds every CI-gated table and
+    runs the BENCH_PERF.json drift gate locally (per-column deltas plus
+    the 5% verdict) — the one-command equivalent of the pytest
+    ``--bench-json`` + ``benchmarks/compare.py`` pipeline CI runs.
+
     ``--profile PATH`` additionally runs the circus workload under
     cProfile and writes a pstats dump for ``snakeviz``/``pstats``.
     """
+    from repro import accel
     from repro.bench import perf
+
+    if getattr(args, "compare", None) is not None:
+        from repro.bench import gated
+        from repro.bench.compare import (index_payload, load_tables,
+                                         run_compare)
+        print("build: %s" % accel.describe())
+        print("rebuilding the %d gated tables (iterations=%d)..."
+              % (len(gated.GATED_BUILDERS), args.iterations))
+        tables = gated.all_gated_tables(iterations=args.iterations)
+        results = index_payload({"tables": [t.to_dict() for t in tables]})
+        baseline = load_tables(args.compare)
+        status = run_compare(baseline, results, threshold=args.threshold,
+                             require_all=True, baseline_name=args.compare)
+        print("verdict: %s (threshold %.0f%%)"
+              % ("FAIL" if status else "PASS", args.threshold))
+        return status
 
     tables = []
 
@@ -530,9 +552,11 @@ def cmd_perf(args) -> int:
     if getattr(args, "json", False):
         from repro.obs.export import SCHEMA_VERSION
         print(json.dumps({"schema_version": SCHEMA_VERSION,
+                          "build": accel.status(),
                           "tables": [t.to_dict() for t in tables]},
                          indent=2, sort_keys=True))
     else:
+        print("build: %s" % accel.describe())
         for table in tables:
             print(table.render())
 
@@ -885,6 +909,15 @@ def main(argv=None) -> int:
     perf_cmd.add_argument("--profile", default=None, metavar="PATH",
                           help="also cProfile the circus workload; write "
                                "a pstats dump to PATH")
+    perf_cmd.add_argument("--compare", nargs="?", const="BENCH_PERF.json",
+                          default=None, metavar="BASELINE",
+                          help="rebuild every CI-gated table and run the "
+                               "drift gate against BASELINE (default "
+                               "BENCH_PERF.json): per-column deltas plus "
+                               "the 5%% verdict; exit 1 on regression")
+    perf_cmd.add_argument("--threshold", type=float, default=5.0,
+                          help="--compare gate threshold percent "
+                               "(default 5, matching CI)")
     args = parser.parse_args(argv)
     if args.command == "trace":
         cmd_trace(args)

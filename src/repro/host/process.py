@@ -48,6 +48,12 @@ class OsProcess:
         # re-arm charges a setitimer without advancing the clock (the
         # protocol code is not suspended by the hook).
         self.timers = TimerService(self.sim, on_arm=self._charge_setitimer)
+        # Hot-path cache: syscall name -> (cost, shared Sleep(cost)).
+        # Sleep objects are immutable to the kernel, so one instance per
+        # (model, name) serves every charge; invalidated if the machine's
+        # cost model object is ever replaced.
+        self._syscall_cache: Dict[str, tuple] = {}
+        self._syscall_cache_model = machine.cost_model
 
     def __repr__(self) -> str:
         return "<OsProcess %s/%s pid=%d>" % (self.machine.name, self.name, self.pid)
@@ -96,9 +102,22 @@ class OsProcess:
         ``yield from proc.syscall('sendmsg')``
         """
         self._require_alive()
-        cost = self.machine.cost_model.cost(name)
-        self._account(name, cost)
-        yield Sleep(cost)
+        model = self.machine.cost_model
+        if self._syscall_cache_model is not model:
+            self._syscall_cache = {}
+            self._syscall_cache_model = model
+        entry = self._syscall_cache.get(name)
+        if entry is None:
+            cost = model.cost(name)
+            entry = (cost, Sleep(cost))
+            self._syscall_cache[name] = entry
+        cost = entry[0]
+        self.kernel_time += cost
+        times = self.syscall_times
+        times[name] = times.get(name, 0.0) + cost
+        counts = self.syscall_counts
+        counts[name] = counts.get(name, 0) + 1
+        yield entry[1]
 
     def compute(self, ms: float):
         """Generator: user-mode computation for ``ms`` milliseconds."""

@@ -57,6 +57,10 @@ class Datagram:
 
     src: ProcessAddress
     dst: ProcessAddress
+    #: delivered by reference end-to-end: the network never copies or
+    #: mutates a payload, so one wire buffer serves retransmissions,
+    #: duplicates, multicast fan-out, and the receiver's zero-copy
+    #: decode (``seg.decode`` slices it with a memoryview).
     payload: bytes
 
     @property

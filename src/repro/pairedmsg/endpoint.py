@@ -197,7 +197,9 @@ class _IncomingAssembly:
         self.msg_type = msg_type
         self.call_number = call_number
         self.total = total
-        self.received: Dict[int, bytes] = {}
+        #: segment payload views, joined into ``bytes`` exactly once at
+        #: the application hand-off (:meth:`assemble`).
+        self.received: Dict[int, seg.BytesLike] = {}
         self.ack_number = 0   # highest consecutive segment number received
 
     def add(self, segment: Segment) -> bool:
@@ -240,8 +242,8 @@ class PairedEndpoint:
         #: deterministic message-path work counters, surfaced by
         #: :meth:`stats` and aggregated by ``repro.bench.perf``.
         self.counters: Dict[str, int] = {
-            "segment_encodes": 0,    # full header-pack + payload copies
-            "wire_patches": 0,       # marked wires spliced from a cache
+            "segment_encodes": 0,    # plain wires materialized (one join)
+            "wire_patches": 0,       # marked wires materialized (one join)
             "wire_cache_hits": 0,    # transmissions served from a cache
             "packets_sent": 0,       # datagrams handed to sendmsg
             "daemons_spawned": 0,    # helper processes this endpoint made
@@ -249,7 +251,17 @@ class PairedEndpoint:
             "acks_queued": 0,
             "acks_sent": 0,
             "acks_coalesced": 0,
+            "bytes_copied": 0,       # payload+header bytes written into
+                                     # fresh message-path buffers (see
+                                     # docs/PERFORMANCE.md): one wire per
+                                     # segment, one marked wire per
+                                     # retransmitted segment, one join at
+                                     # the application hand-off — decode
+                                     # and reassembly contribute zero.
         }
+        #: the single preallocated header buffer all of this endpoint's
+        #: encodes pack into (zero per-encode header objects).
+        self._header_scratch = bytearray(seg.HEADER_SIZE)
         #: transfers under watch by the per-endpoint retransmit scheduler.
         self._watched: Dict[Tuple[ProcessAddress, int, int],
                             _OutgoingTransfer] = {}
@@ -277,23 +289,39 @@ class PairedEndpoint:
     # ------------------------------------------------------------------
 
     def _wire(self, segment: Segment) -> bytes:
-        """The segment's datagram, encoding at most once per segment."""
-        if segment._wire is None:
-            self.counters["segment_encodes"] += 1
-        else:
+        """The segment's datagram, encoding at most once per segment.
+
+        The header packs into the endpoint's preallocated scratch buffer
+        and the payload view crosses into exactly one new buffer (the
+        datagram itself) — the single copy the wire actually requires.
+        """
+        wire = segment._wire
+        if wire is not None:
             self.counters["wire_cache_hits"] += 1
-        return segment.wire()
+            return wire
+        self.counters["segment_encodes"] += 1
+        self.counters["bytes_copied"] += seg.HEADER_SIZE + len(segment.data)
+        wire = segment.encode_with(self._header_scratch)
+        segment._wire = wire
+        return wire
 
     def _wire_marked(self, segment: Segment) -> bytes:
-        """The *please ack* retransmission datagram: spliced from the
-        cached plain wire (one control byte) rather than re-encoded."""
-        if segment._wire_marked is not None:
+        """The *please ack* retransmission datagram, materialized once
+        per segment directly from the header fields and the payload view
+        (the plain wire is neither forced nor recopied)."""
+        wire = segment._wire_marked
+        if wire is not None:
             self.counters["wire_cache_hits"] += 1
+            return wire
+        if segment.please_ack:
+            wire = self._wire(segment)
         else:
-            if segment._wire is None:
-                self.counters["segment_encodes"] += 1
             self.counters["wire_patches"] += 1
-        return segment.wire_marked()
+            self.counters["bytes_copied"] += (seg.HEADER_SIZE
+                                              + len(segment.data))
+            wire = segment.encode_with(self._header_scratch, marked=True)
+        segment._wire_marked = wire
+        return wire
 
     def _transmit(self, wire: bytes, dst: ProcessAddress):
         self.counters["packets_sent"] += 1
@@ -798,8 +826,10 @@ class PairedEndpoint:
             # please_ack was set, hoping the return message arrives soon
             # enough to serve as the implicit acknowledgment.  Subsequent
             # retransmissions hit the duplicate path and are acked promptly.
+            data = assembly.assemble()
+            self.counters["bytes_copied"] += len(data)
             self.incoming_calls.put(CompletedMessage(
-                src, MSG_CALL, assembly.call_number, assembly.assemble()))
+                src, MSG_CALL, assembly.call_number, data))
         else:
             self._remember_delivery(self._delivered_returns, src,
                                     assembly.call_number)
@@ -813,7 +843,9 @@ class PairedEndpoint:
             if key in self._discarded_returns:
                 self._discarded_returns.discard(key)
                 return
-            self._completed_returns[key] = assembly.assemble()
+            data = assembly.assemble()
+            self.counters["bytes_copied"] += len(data)
+            self._completed_returns[key] = data
             waiter = self._return_waiters.get((src, assembly.call_number))
             if waiter is not None and not waiter.fired:
                 waiter.fire()

@@ -17,23 +17,28 @@ from __future__ import annotations
 
 import dataclasses
 import struct
-from typing import List
+from typing import Final, List, Optional, Union
 
-MSG_CALL = 0
-MSG_RETURN = 1
-MSG_PROBE = 2
-MSG_PROBE_REPLY = 3
+#: Anything the wire layer may hand us or we may hand it.  Payload slices
+#: travel as :class:`memoryview` so reassembly never copies them; the
+#: single ``bytes`` materialization happens at the application hand-off.
+BytesLike = Union[bytes, bytearray, memoryview]
 
-_MESSAGE_TYPES = (MSG_CALL, MSG_RETURN, MSG_PROBE, MSG_PROBE_REPLY)
+MSG_CALL: Final = 0
+MSG_RETURN: Final = 1
+MSG_PROBE: Final = 2
+MSG_PROBE_REPLY: Final = 3
 
-PLEASE_ACK = 0x01
-ACK = 0x02
+_MESSAGE_TYPES: Final = (MSG_CALL, MSG_RETURN, MSG_PROBE, MSG_PROBE_REPLY)
 
-_HEADER = struct.Struct("!BBBBI")
-HEADER_SIZE = _HEADER.size
+PLEASE_ACK: Final = 0x01
+ACK: Final = 0x02
 
-MAX_SEGMENTS = 255
-MAX_CALL_NUMBER = 0xFFFFFFFF
+_HEADER: Final = struct.Struct("!BBBBI")
+HEADER_SIZE: Final = _HEADER.size
+
+MAX_SEGMENTS: Final = 255
+MAX_CALL_NUMBER: Final = 0xFFFFFFFF
 
 
 class SegmentFormatError(Exception):
@@ -61,18 +66,46 @@ class Segment:
     total_segments: int
     segment_number: int
     call_number: int
-    data: bytes = b""
+    data: BytesLike = b""
     #: cached encodings; ``dataclasses.replace`` resets them.
-    _wire: bytes = dataclasses.field(
+    _wire: Optional[bytes] = dataclasses.field(
         default=None, init=False, repr=False, compare=False)
-    _wire_marked: bytes = dataclasses.field(
+    _wire_marked: Optional[bytes] = dataclasses.field(
         default=None, init=False, repr=False, compare=False)
 
+    def _control(self, marked: bool) -> int:
+        control = ACK if self.ack else 0
+        if marked or self.please_ack:
+            control |= PLEASE_ACK
+        return control
+
     def encode(self) -> bytes:
-        control = (PLEASE_ACK if self.please_ack else 0) | (ACK if self.ack else 0)
-        header = _HEADER.pack(self.msg_type, control, self.total_segments,
-                              self.segment_number, self.call_number)
-        return header + bytes(self.data)
+        """Encode into a fresh datagram: the payload crosses into exactly
+        one new buffer (the ``join``); header-only segments are just the
+        packed header."""
+        header = _HEADER.pack(self.msg_type, self._control(False),
+                              self.total_segments, self.segment_number,
+                              self.call_number)
+        if len(self.data):
+            return b"".join((header, self.data))
+        return header
+
+    def encode_with(self, header_scratch: bytearray,
+                    marked: bool = False) -> bytes:
+        """Encode using a caller-owned ``HEADER_SIZE`` scratch buffer.
+
+        The header is packed in place — no per-encode header object —
+        and the datagram is materialized by a single ``join``.  With
+        ``marked=True`` the *please ack* bit is set directly in the
+        header, so a retransmission wire is built without ever touching
+        (or forcing) the plain wire.
+        """
+        _HEADER.pack_into(header_scratch, 0, self.msg_type,
+                          self._control(marked), self.total_segments,
+                          self.segment_number, self.call_number)
+        if len(self.data):
+            return b"".join((header_scratch, self.data))
+        return bytes(header_scratch)
 
     def wire(self) -> bytes:
         """The encoded datagram, computed once and cached."""
@@ -83,24 +116,28 @@ class Segment:
 
     def wire_marked(self) -> bytes:
         """The datagram with *please ack* set, as retransmissions send it
-        (§4.2.2).  Derived from the cached plain wire by splicing the
-        control byte — the header is never repacked and the payload never
-        recopied from the message — and itself cached for later rounds."""
+        (§4.2.2).  Built directly from the header fields and the payload
+        view in one materialization — the plain wire is neither forced
+        nor copied — and itself cached for later rounds."""
         wire = self._wire_marked
         if wire is None:
             if self.please_ack:
                 wire = self.wire()
             else:
-                plain = bytearray(self.wire())
-                plain[1] |= PLEASE_ACK
-                wire = bytes(plain)
+                header = _HEADER.pack(self.msg_type, self._control(True),
+                                      self.total_segments,
+                                      self.segment_number, self.call_number)
+                if len(self.data):
+                    wire = b"".join((header, self.data))
+                else:
+                    wire = header
             self._wire_marked = wire
         return wire
 
     @property
     def is_control(self) -> bool:
-        return not self.data and (self.ack or self.msg_type in
-                                  (MSG_PROBE, MSG_PROBE_REPLY))
+        return not len(self.data) and (self.ack or self.msg_type in
+                                       (MSG_PROBE, MSG_PROBE_REPLY))
 
     def __repr__(self) -> str:
         kind = {MSG_CALL: "call", MSG_RETURN: "return",
@@ -115,16 +152,22 @@ class Segment:
             self.total_segments, flags, len(self.data))
 
 
-def decode(payload: bytes) -> Segment:
-    """Parse a datagram into a :class:`Segment`."""
+def decode(payload: BytesLike) -> Segment:
+    """Parse a datagram into a :class:`Segment`.
+
+    Zero-copy: the header is unpacked in place and ``data`` is a
+    :class:`memoryview` slice over the datagram, so the payload bytes
+    are never duplicated between the wire and reassembly.
+    """
     if len(payload) < HEADER_SIZE:
         raise SegmentFormatError("short datagram: %d bytes" % len(payload))
-    msg_type, control, total, number, call_number = _HEADER.unpack(
-        payload[:HEADER_SIZE])
+    msg_type, control, total, number, call_number = _HEADER.unpack_from(
+        payload, 0)
     if msg_type not in _MESSAGE_TYPES:
         raise SegmentFormatError("bad message type: %d" % msg_type)
     if control & ~(PLEASE_ACK | ACK):
         raise SegmentFormatError("unknown control bits: %#x" % control)
+    view = payload if type(payload) is memoryview else memoryview(payload)
     return Segment(
         msg_type=msg_type,
         please_ack=bool(control & PLEASE_ACK),
@@ -132,11 +175,11 @@ def decode(payload: bytes) -> Segment:
         total_segments=total,
         segment_number=number,
         call_number=call_number,
-        data=payload[HEADER_SIZE:],
+        data=view[HEADER_SIZE:],
     )
 
 
-def split_message(msg_type: int, call_number: int, data: bytes,
+def split_message(msg_type: int, call_number: int, data: BytesLike,
                   max_data: int) -> List[Segment]:
     """Divide a message into numbered segments (§4.2.2).
 

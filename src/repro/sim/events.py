@@ -21,7 +21,7 @@ waiters is exactly subscription order, as before.
 from __future__ import annotations
 
 import collections
-from typing import Any, Callable, Deque, List
+from typing import Any, Callable, Deque, List, Optional
 
 from repro.sim.kernel import Simulator
 
@@ -38,8 +38,8 @@ class _Waiter:
     __slots__ = ("resume", "owner")
 
     def __init__(self, owner: Any, resume: Callable[[Any], None]):
-        self.owner = owner
-        self.resume = resume
+        self.owner: Any = owner
+        self.resume: Optional[Callable[[Any], None]] = resume
 
     def cancel(self) -> None:
         if self.resume is not None:

@@ -23,7 +23,20 @@ The event queue holds ``(time, seq, call)`` tuples so heap comparisons
 run entirely in C (``seq`` is unique, so the ``call`` object is never
 compared).  :class:`_ScheduledCall` handles are pooled on a freelist and
 recycled as soon as their callback has run, which makes steady-state
-scheduling allocation-free.  Two invariants follow:
+scheduling allocation-free.
+
+Same-timestamp dispatch is batched through the *ready lane*: a resume
+scheduled at the current time (``_schedule_now`` — every event fire,
+queue hand-off and process step) is appended to a FIFO deque instead of
+the heap, and the run loop merges the two sources by ``(time, seq)``.
+Entries in the lane are already sorted (the clock never moves backwards
+while it is non-empty, and ``seq`` is monotonic), so draining a burst of
+same-timestamp callbacks costs one O(1) ``popleft`` and one C-level
+tuple comparison each, instead of an O(log n) ``heappush`` +
+``heappop`` pair.  The executed order is provably identical to the
+single-heap kernel: it is the merge of two (time, seq)-sorted sequences,
+and (time, seq) is a total order over all scheduled entries.  Two
+invariants follow:
 
 1. A handle returned by :meth:`Simulator.schedule` may be cancelled *at
    most once*, and **never after its callback has run** — by then the
@@ -39,8 +52,18 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from heapq import heappush as heappush
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Generator,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.obs import events as obs_events
 from repro.obs.bus import EventBus
@@ -118,8 +141,8 @@ class _ScheduledCall:
     __slots__ = ("fn", "args", "cancelled", "sim")
 
     def __init__(self, fn: Callable, args: tuple, sim: "Simulator"):
-        self.fn = fn
-        self.args = args
+        self.fn: Optional[Callable] = fn
+        self.args: Optional[tuple] = args
         self.cancelled = False
         self.sim = sim
 
@@ -130,10 +153,10 @@ class _ScheduledCall:
             sim._live -= 1
             sim._dead += 1
             # Compact when the dead outnumber the live entries actually
-            # in the heap (len(queue) is ground truth; the _live counter
-            # can read transiently high inside a run() slice).
+            # pending (heap + ready lane; the _live counter can read
+            # transiently high inside a run() slice).
             if sim._dead > _COMPACT_MIN_DEAD \
-                    and sim._dead * 2 > len(sim._queue):
+                    and sim._dead * 2 > len(sim._queue) + len(sim._ready):
                 sim._compact()
 
 
@@ -143,8 +166,8 @@ class _JoinWait:
     __slots__ = ("joiner", "resume")
 
     def __init__(self, joiner: "Process", resume: Callable[[Any], None]):
-        self.joiner = joiner
-        self.resume = resume
+        self.joiner: Optional["Process"] = joiner
+        self.resume: Optional[Callable[[Any], None]] = resume
 
     def cancel(self) -> None:
         self.joiner = None
@@ -421,7 +444,11 @@ class Simulator:
         #: the heap holds (time, seq, call) tuples so every comparison is
         #: a C-level tuple comparison (seq is unique; call never compares).
         self._queue: List[Tuple[float, int, _ScheduledCall]] = []
-        self._seq = itertools.count()
+        #: the ready lane: same-timestamp entries from ``_schedule_now``,
+        #: kept (time, seq)-sorted by construction and merged with the
+        #: heap in run() — batched dispatch skips the heap entirely.
+        self._ready: Deque[Tuple[float, int, _ScheduledCall]] = deque()
+        self._seq: Iterator[int] = itertools.count()
         self._processes: List[Process] = []
         self._failures: List[Tuple[Process, BaseException]] = []
         self._proc_names = itertools.count()
@@ -440,6 +467,10 @@ class Simulator:
         self.callbacks_run = 0
         #: _ScheduledCall objects constructed (freelist misses).
         self.calls_allocated = 0
+        #: entries drained from the ready lane (the batched same-time
+        #: dispatch path; cancelled handles included) — with
+        #: callbacks_run this gives the heap-bypass share.
+        self.ready_dispatched = 0
         #: the observability event bus for this simulation world; every
         #: layer built on this simulator emits its events here.
         self.bus = EventBus()
@@ -447,7 +478,7 @@ class Simulator:
         #: attaches the default suite; a sequence attaches those
         #: monitors.  Imported lazily: most simulations run unobserved
         #: and never pay for the observability machinery.
-        self.monitor_suite = None
+        self.monitor_suite: Optional[Any] = None
         if monitors:
             from repro.obs.monitor import MonitorSuite
             self.monitor_suite = MonitorSuite(
@@ -477,7 +508,11 @@ class Simulator:
 
     def _schedule_now(self, fn: Callable, *args: Any) -> _ScheduledCall:
         # schedule(0.0, ...) without the delay validation — the kernel's
-        # own resume path, hot enough to skip one call frame.
+        # own resume path, hot enough to skip one call frame.  Entries go
+        # to the ready lane (O(1) append, merged by run()) rather than
+        # the heap; the guard keeps the lane sorted in the one edge case
+        # where run(until=...) moved the clock backwards past pending
+        # lane entries.
         free = self._free
         if free:
             call = free.pop()
@@ -487,7 +522,12 @@ class Simulator:
         else:
             self.calls_allocated += 1
             call = _ScheduledCall(fn, args, self)
-        heappush(self._queue, (self.now, next(self._seq), call))
+        ready = self._ready
+        now = self.now
+        if ready and ready[-1][0] > now:
+            heappush(self._queue, (now, next(self._seq), call))
+        else:
+            ready.append((now, next(self._seq), call))
         self._live += 1
         return call
 
@@ -495,7 +535,8 @@ class Simulator:
         """Drop lazily-cancelled entries and re-heapify (in place, so run()
         loops holding a reference to the queue list stay valid).  Pop
         order is unchanged: (time, seq) is a total order over the
-        survivors and heapify preserves it."""
+        survivors and heapify preserves it.  The ready lane is swept the
+        same way (filtering a sorted deque keeps it sorted)."""
         queue = self._queue
         free = self._free
         live = []
@@ -508,6 +549,20 @@ class Simulator:
                     free.append(call)
             else:
                 append(entry)
+        ready = self._ready
+        if ready:
+            live_ready = []
+            for entry in ready:
+                call = entry[2]
+                if call.cancelled:
+                    if len(free) < _FREELIST_MAX:
+                        call.fn = call.args = None
+                        free.append(call)
+                else:
+                    live_ready.append(entry)
+            if len(live_ready) != len(ready):
+                ready.clear()
+                ready.extend(live_ready)
         self._dead = 0
         queue[:] = live
         heapq.heapify(queue)
@@ -547,26 +602,43 @@ class Simulator:
         never pass silently.
         """
         queue = self._queue
+        ready = self._ready
         free = self._free
         failures = self._failures
         pop = heapq.heappop
+        popleft = ready.popleft
         self._stop = False
         count = 0
+        drained = 0
         try:
             if until is None and max_events is None and stop_when is None:
                 # The hot path: no bound checks, no stop_when() polling —
                 # run_process stops the loop via the _stop flag instead.
                 # The _live counter is settled once in the finally block
                 # (count executed == live entries consumed), not per event.
-                while queue:
-                    time, _seq, call = pop(queue)
+                # Next event = merge of the heap and the (sorted) ready
+                # lane by C-level (time, seq) tuple comparison; a burst of
+                # same-timestamp resumes drains from the lane at O(1) per
+                # entry with no heap traffic at all.
+                while True:
+                    if ready:
+                        if queue and queue[0] < ready[0]:
+                            entry = pop(queue)
+                        else:
+                            entry = popleft()
+                            drained += 1
+                    elif queue:
+                        entry = pop(queue)
+                    else:
+                        break
+                    call = entry[2]
                     if call.cancelled:
                         self._dead -= 1
                         if len(free) < _FREELIST_MAX:
                             call.fn = call.args = None
                             free.append(call)
                         continue
-                    self.now = time
+                    self.now = entry[0]
                     fn = call.fn
                     args = call.args
                     if len(free) < _FREELIST_MAX:
@@ -581,12 +653,27 @@ class Simulator:
                     if self._stop:
                         break
                 return self.now
-            while queue:
-                entry = queue[0]
+            # The bounded/polled slow path: same merge, with the until /
+            # max_events / stop_when checks of the original loop.
+            while queue or ready:
+                if ready:
+                    if queue and queue[0] < ready[0]:
+                        entry = queue[0]
+                        from_heap = True
+                    else:
+                        entry = ready[0]
+                        from_heap = False
+                else:
+                    entry = queue[0]
+                    from_heap = True
                 if until is not None and entry[0] > until:
                     self.now = until
                     break
-                pop(queue)
+                if from_heap:
+                    pop(queue)
+                else:
+                    popleft()
+                    drained += 1
                 call = entry[2]
                 if call.cancelled:
                     self._dead -= 1
@@ -618,10 +705,12 @@ class Simulator:
             return self.now
         finally:
             self.callbacks_run += count
-            # Each executed callback consumed one live heap entry; settling
-            # the counter here keeps the per-event loop free of it.  (The
-            # compaction heuristic reading a transiently-high _live mid-run
-            # merely compacts a little later — it is only a heuristic.)
+            self.ready_dispatched += drained
+            # Each executed callback consumed one live pending entry;
+            # settling the counter here keeps the per-event loop free of
+            # it.  (The compaction heuristic reading a transiently-high
+            # _live mid-run merely compacts a little later — it is only a
+            # heuristic.)
             self._live -= count
 
     def run_process(self, gen: Generator, name: Optional[str] = None,
@@ -659,7 +748,9 @@ class Simulator:
         return {
             "callbacks_run": self.callbacks_run,
             "calls_allocated": self.calls_allocated,
+            "ready_dispatched": self.ready_dispatched,
             "pending_live": self._live,
             "pending_dead": self._dead,
+            "pending_ready": len(self._ready),
             "freelist": len(self._free),
         }

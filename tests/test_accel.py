@@ -1,0 +1,59 @@
+"""The accelerated-build introspection contract.
+
+These tests run under *either* build: the pure-Python interpreter or
+the optional mypyc-compiled kernel (``REPRO_ACCEL=1 pip install -e
+.[accel]``).  They pin the introspection API the CLI and CI legs rely
+on, without assuming which build is active.
+"""
+
+from repro import accel
+
+
+def test_compiled_modules_reports_every_hot_module():
+    modules = accel.compiled_modules()
+    assert set(modules) == set(accel.ACCEL_MODULES)
+    assert all(isinstance(v, bool) for v in modules.values())
+
+
+def test_enabled_matches_per_module_report():
+    assert accel.enabled() == all(accel.compiled_modules().values())
+
+
+def test_describe_names_the_build():
+    text = accel.describe()
+    if accel.enabled():
+        assert text == "accelerated (mypyc)"
+    elif any(accel.compiled_modules().values()):
+        assert text.startswith("partially accelerated")
+    else:
+        assert text == "pure-Python"
+
+
+def test_status_is_json_friendly():
+    import json
+
+    status = accel.status()
+    assert set(status) == {"build", "accelerated", "modules"}
+    assert status["accelerated"] == accel.enabled()
+    assert status["build"] == accel.describe()
+    json.dumps(status)   # must round-trip without custom encoders
+
+
+def test_hot_modules_behave_identically_under_either_build():
+    """Smoke: the three hot modules do real work regardless of build.
+    (CI proves byte-identical virtual time with the zero-delta gate;
+    this is the cheap in-suite version.)"""
+    from repro.pairedmsg import segments as seg
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, order.append, "b")
+    sim.schedule(0.5, order.append, "a")
+    sim.run()
+    assert order == ["a", "b"] and sim.now == 1.0
+
+    segments = seg.split_message(seg.MSG_CALL, 1, b"x" * 1000, 256)
+    assert [s.segment_number for s in segments] == [1, 2, 3, 4]
+    assert b"".join(bytes(seg.decode(s.wire()).data)
+                    for s in segments) == b"x" * 1000
