@@ -37,12 +37,13 @@ class World:
                  runtime_config: Optional[RuntimeConfig] = None,
                  cost_model: Optional[SyscallCostModel] = None,
                  machine_names: Optional[List[str]] = None,
-                 monitors=None):
+                 monitors=None,
+                 troupe_id_base: Optional[int] = None):
         self.sim = Simulator(monitors=monitors)
-        self.net = Network(self.sim, seed=seed, config=net_config)
         self.runtime_config = runtime_config or RuntimeConfig()
         if machine_names is None:
             machine_names = ["host%d" % i for i in range(machines)]
+        self.net = self._make_network(seed, net_config, machine_names)
         self.machines: List[Machine] = [
             Machine(self.sim, self.net, name, cost_model=cost_model)
             for name in machine_names]
@@ -53,6 +54,47 @@ class World:
         #: per-endpoint counters (see :meth:`endpoint_stats`).
         self.runtimes: List[TroupeRuntime] = []
         self._next_host = 0
+        #: workload scratch space: generators accumulate completion counts
+        #: here so drivers (e.g. :func:`repro.sim.sharded.run_sharded`)
+        #: can sum them without threading result objects through builders.
+        self.counters: Dict[str, float] = {}
+        #: like :attr:`counters`, but for per-observation samples
+        #: (latencies); values are plain lists of floats.
+        self.samples: Dict[str, List[float]] = {}
+        # Troupe IDs normally come from the process-global allocator
+        # (permanently unique).  A sharded run builds N replicas of the
+        # same world in one process and needs their troupe IDs to match
+        # replica-for-replica, so it pins a per-world base instead.
+        self._troupe_ids = (iter(range(troupe_id_base, 1 << 62))
+                            if troupe_id_base is not None else None)
+
+    def _make_network(self, seed: int, net_config: Optional[NetworkConfig],
+                      machine_names: List[str]) -> Network:
+        """Build this world's wire; sharded worlds override this to route
+        cross-shard traffic through an outbox (:mod:`repro.sim.sharded`)."""
+        return Network(self.sim, seed=seed, config=net_config)
+
+    def _new_troupe_id(self) -> TroupeId:
+        if self._troupe_ids is not None:
+            return next(self._troupe_ids)
+        return new_troupe_id()
+
+    def owns(self, host: str) -> bool:
+        """Whether this world simulates ``host`` itself (always true for a
+        plain single-process world; sharded worlds own a subset)."""
+        return True
+
+    def spawn_on(self, machine_name: str, gen, name: Optional[str] = None):
+        """Spawn ``gen`` only when this world owns ``machine_name``.
+
+        Workload builders use this so the same builder code runs in every
+        shard of a sharded world: each session starts exactly once, on the
+        shard that owns its home machine.  Returns the process, or None
+        when the host belongs to another shard (the generator is closed)."""
+        if not self.owns(machine_name):
+            gen.close()
+            return None
+        return self.spawn(gen, name=name)
 
     # -- machines -----------------------------------------------------------
 
@@ -105,7 +147,7 @@ class World:
         share memory, they are replicas on different machines).
         """
         machines = self._pick_machines(degree, on_machines)
-        troupe_id = new_troupe_id()
+        troupe_id = self._new_troupe_id()
         runtimes = []
         members = []
         for machine in machines:
@@ -155,7 +197,7 @@ class World:
         ID (§4.3.2) and a registered troupe ID so servers can gather their
         many-to-one calls."""
         machines = self._pick_machines(degree, on_machines)
-        troupe_id = new_troupe_id()
+        troupe_id = self._new_troupe_id()
         if thread_id is None:
             thread_id = ThreadId("logical-%s" % name, troupe_id)
         runtimes = []
