@@ -256,5 +256,25 @@ def test_sharded_speedup_curve():
         assert metrics["calls_per_sec"] > 0
 
 
+def test_elastic_grow_shrink_is_deterministic_and_gated():
+    """The elastic grow-shrink table: the autoscaled §6.4.2 availability
+    experiment must land the same calls, the same membership churn, and
+    the same troupe uptime on every machine (virtual time only), and
+    the autoscaler must actually reconfigure — joins beyond the two
+    founding members, removes beyond zero.
+    """
+    table, aux = gated.elastic_table()
+    metrics = aux["metrics"]
+    assert metrics == aux["again"], "elastic metrics must be deterministic"
+    register_table(table)
+
+    assert metrics["calls_ok"] > 0
+    # Churn happened: the founding bootstrap+join plus at least one
+    # load- or failure-driven reconfiguration in each direction.
+    assert metrics["joins"] > 2
+    assert metrics["removes"] > 0
+    assert 0.0 < metrics["troupe_availability"] <= 1.0
+
+
 if __name__ == "__main__":
     raise SystemExit(pytest.main([__file__, "-q"]))

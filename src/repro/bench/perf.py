@@ -633,3 +633,33 @@ def sharded_wallclock_metrics(shards: int, spec=None,
         "digest": result.digest,
         "mode": result.mode,
     }
+
+
+#: the elastic grow-shrink workload: a 4-machine member pool under the
+#: §6.4.2 exponential churn, autoscaler keeping the troupe populated.
+ELASTIC_WORKLOAD = dict(seed=3, pool=4, duration=12000.0,
+                        mttf=8000.0, mttr=1200.0)
+
+
+def elastic_metrics(spec=None) -> Dict[str, float]:
+    """Deterministic grow-shrink counters from the autoscaled
+    availability experiment (:mod:`repro.elastic`): completed/failed
+    calls, membership churn performed through the §6.4.1 join and
+    remove protocols, and the measured troupe-level availability.
+    Virtual-time only — identical on every machine."""
+    from repro.elastic.scenario import run_elastic
+
+    spec = spec or ELASTIC_WORKLOAD
+    payload = run_elastic(**spec)
+    membership = payload["membership"]
+    return {
+        "calls_ok": payload["calls"]["ok"],
+        "calls_failed": payload["calls"]["failed"],
+        "p99_ms": payload["calls"]["p99_ms"],
+        "joins": membership["joins"],
+        "removes": membership["removes"],
+        "cold_restarts": membership["cold_restarts"],
+        "troupe_availability":
+            payload["availability"]["measured_troupe"],
+        "virtual_end_ms": payload["virtual_end_ms"],
+    }

@@ -67,6 +67,7 @@ LIST_TROUPES_PROC = 6
 
 NOT_FOUND_ERROR = "NotFound"
 ALREADY_EXISTS_ERROR = "AlreadyExists"
+LAST_MEMBER_ERROR = "LastMember"
 
 
 class BindingError(Exception):
@@ -202,13 +203,17 @@ class RingmasterMember:
             raise RemoteError(NOT_FOUND_ERROR,
                               "%s not in %s" % (member, name))
         new_members = [m for m in members if m != member]
+        if not new_members:
+            # A troupe cannot scale to zero: its state would be lost with
+            # the last replica (§6.4.1 — get_state needs a surviving
+            # member).  Rejected before any mutation, so every Ringmaster
+            # replica's registry stays untouched and identical.
+            raise RemoteError(LAST_MEMBER_ERROR,
+                              "%s is the last member of %s" % (member, name))
         new_id = self._new_troupe_id()
         del self.by_id[old_id]
         self._emit_member("remove", name, new_id, len(new_members),
                           old_id=old_id)
-        if not new_members:
-            del self.by_name[name]
-            return wire.encode_u64(new_id)
         self.by_name[name] = (new_id, new_members)
         self.by_id[new_id] = name
         yield from self._set_troupe_id_at(name, new_id, new_members, ctx)

@@ -17,6 +17,7 @@ from repro.binding.agent import (
     ADD_TROUPE_MEMBER_PROC,
     LIST_TROUPES_PROC,
     LOOKUP_BY_ID_PROC,
+    LAST_MEMBER_ERROR,
     LOOKUP_BY_NAME_PROC,
     NOT_FOUND_ERROR,
     REBIND_PROC,
@@ -161,6 +162,8 @@ class BindingClient:
                 raise BindingError("not found: %s" % exc.detail) from exc
             if exc.kind == "AlreadyExists":
                 raise BindingError("already exists: %s" % exc.detail) from exc
+            if exc.kind == LAST_MEMBER_ERROR:
+                raise BindingError("last member: %s" % exc.detail) from exc
             raise
 
     def _cache_descriptor(self, name: str, raw: bytes) -> TroupeDescriptor:

@@ -504,6 +504,50 @@ def cmd_shard(args) -> int:
     return status
 
 
+def cmd_elastic(args) -> int:
+    """Run the §6.4.2 availability experiment under the autoscaler and
+    report measured vs predicted (M/M/n/n) availability.  The ``--json``
+    payload is wholly virtual-time-deterministic: two runs of the same
+    seed serialize byte-identically (the CI elastic-smoke job ``cmp``'s
+    them)."""
+    from repro.elastic.scenario import payload_json, run_elastic
+
+    payload = run_elastic(seed=args.seed, pool=args.pool,
+                          duration=args.duration, mttf=args.mttf,
+                          mttr=args.mttr)
+    if args.json:
+        sys.stdout.write(payload_json(payload))
+        return 0
+    calls = payload["calls"]
+    avail = payload["availability"]
+    membership = payload["membership"]
+    print("elastic: pool=%d seed=%d, %.0f ms virtual "
+          "(mttf %.0f ms, mttr %.0f ms)"
+          % (payload["pool"], payload["seed"], payload["duration_ms"],
+             payload["mttf_ms"], payload["mttr_ms"]))
+    print("  calls           %d ok, %d failed  (p50 %.1f ms, p99 %.1f ms)"
+          % (calls["ok"], calls["failed"], calls["p50_ms"], calls["p99_ms"]))
+    print("  availability    machine %.6f measured vs %.6f M/M/n/n "
+          "(delta %+.6f)"
+          % (avail["measured_machine"], avail["predicted_mmnn"],
+             avail["machine_delta"]))
+    print("  troupe uptime   %.6f (reconfiguration lag)"
+          % avail["measured_troupe"])
+    print("  membership      %d joins, %d removes, %d cold restarts, "
+          "%d failed ops; final %s"
+          % (membership["joins"], membership["removes"],
+             membership["cold_restarts"], membership["failed_ops"],
+             ",".join(membership["final_members"]) or "-"))
+    print("  machine churn   %d failures, %d repairs"
+          % (payload["failures"]["machine_failures"],
+             payload["failures"]["machine_repairs"]))
+    print("  critpath        %d calls (%d degraded), dominant %s"
+          % (payload["critpath"]["calls"],
+             payload["critpath"]["degraded_calls"],
+             payload["critpath"]["dominant"]))
+    return 0
+
+
 def cmd_perf(args) -> int:
     """Wall-clock throughput plus the deterministic proxy metric.
 
@@ -1019,6 +1063,27 @@ def main(argv=None) -> int:
                            help="emit the deterministic result fields as "
                                 "JSON (byte-identical across reruns of "
                                 "the same seed)")
+    elastic_cmd = sub.add_parser(
+        "elastic", help="run the autoscaled availability experiment "
+                        "(repro.elastic) and compare measured vs M/M/n/n "
+                        "predicted availability")
+    elastic_cmd.add_argument("--pool", type=int, default=4,
+                             help="member-pool machines the failure "
+                                  "process churns (default 4)")
+    elastic_cmd.add_argument("--duration", type=float, default=30000.0,
+                             help="virtual-time experiment length in ms "
+                                  "(default 30000)")
+    elastic_cmd.add_argument("--mttf", type=float, default=8000.0,
+                             help="mean machine lifetime in virtual ms "
+                                  "(default 8000)")
+    elastic_cmd.add_argument("--mttr", type=float, default=1200.0,
+                             help="mean machine repair time in virtual ms "
+                                  "(default 1200)")
+    elastic_cmd.add_argument("--seed", type=int, default=0)
+    elastic_cmd.add_argument("--json", action="store_true",
+                             help="emit the deterministic report as JSON "
+                                  "(byte-identical across reruns of the "
+                                  "same seed)")
     args = parser.parse_args(argv)
     if args.command == "trace":
         cmd_trace(args)
@@ -1040,6 +1105,8 @@ def main(argv=None) -> int:
         return cmd_perf(args)
     elif args.command == "shard":
         return cmd_shard(args)
+    elif args.command == "elastic":
+        return cmd_elastic(args)
     elif args.command == "all":
         for name in sorted(COMMANDS):
             COMMANDS[name](args)

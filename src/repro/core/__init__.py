@@ -29,6 +29,7 @@ from repro.core.collators import (
 )
 from repro.core.runtime import (
     CallResult,
+    CallerCrashed,
     ExplicitProcedure,
     ExportedModule,
     ReplicatedCallError,
@@ -40,6 +41,7 @@ from repro.core.runtime import (
 
 __all__ = [
     "CallResult",
+    "CallerCrashed",
     "CollationError",
     "ExplicitProcedure",
     "Collator",

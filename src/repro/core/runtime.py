@@ -91,6 +91,20 @@ class StaleBindingError(ReplicatedCallError):
         self.troupe_name = troupe_name
 
 
+class CallerCrashed(ReplicatedCallError):
+    """The *calling* process's host fail-stopped mid-call.
+
+    The reply waiters died with their parent process, so the call's
+    outcome is unknowable to whoever was driving the call generator from
+    another machine (protocol helpers such as §6.4.1 ``join_troupe`` run
+    one runtime's call loop from a coordinator elsewhere)."""
+
+    def __init__(self, troupe_name: str):
+        super().__init__(
+            "caller crashed during replicated call to %r" % troupe_name)
+        self.troupe_name = troupe_name
+
+
 @dataclasses.dataclass
 class RuntimeConfig:
     """Tunables for the replicated call algorithms."""
@@ -657,6 +671,11 @@ class TroupeRuntime:
             index, value = yield AnyOf(*[pending[m] for m in order])
             member = order.pop(index)
             del pending[member]
+            if value is None:
+                # The waiter was killed out from under us: our own host
+                # process fail-stopped mid-call (a killed process resolves
+                # joins with None).  The reply's fate is unknowable.
+                raise CallerCrashed(troupe.name)
             status, data = value
             if bus.active:
                 bus.emit(obs_events.ReplicaResult(

@@ -1,0 +1,36 @@
+"""Elastic troupes: runtime growth and shrinkage under load (§6.4.1).
+
+The paper's reconfiguration machinery (``add_troupe_member`` /
+``get_state``) replaces *crashed* members; this package closes the loop
+and treats membership as a control variable.  A
+:class:`~repro.elastic.controller.TroupeAutoscaler` watches the bus —
+in-flight replicated-call depth and completed-call latency — and grows or
+shrinks a troupe at runtime by driving the §6.4.1 join protocol (state
+transfer via the replicated ``get_state`` call, then
+``add_troupe_member``) and ``remove_troupe_member`` against the
+Ringmaster.  It also plays the Janitor's role continuously: crashed
+members are removed (so the troupe ID advances past the dead
+incarnation), repaired machines re-join through a fresh state transfer.
+
+:func:`~repro.elastic.scenario.run_elastic` packages the whole story as
+the §6.4.2 availability experiment: an exponential crash/repair process
+(:class:`~repro.host.failures.FailureModel`) churns the member pool while
+the autoscaler keeps the troupe populated, and the measured availability
+is compared against the M/M/n/n prediction of Equation 6.1
+(:mod:`repro.analysis.availability`).  The ``elastic`` /
+``elastic-adversarial`` entries in :mod:`repro.explore.scenarios` run the
+same machinery under the fault-schedule fuzzer, whose
+reconfiguration-aware actions (``crash-during-transfer``,
+``partition-during-join``) land faults inside the membership-change
+windows this package keeps opening.
+"""
+
+from repro.elastic.controller import AutoscalerConfig, TroupeAutoscaler
+from repro.elastic.scenario import ELASTIC_FORMAT, run_elastic
+
+__all__ = [
+    "AutoscalerConfig",
+    "TroupeAutoscaler",
+    "ELASTIC_FORMAT",
+    "run_elastic",
+]

@@ -1,0 +1,316 @@
+"""The troupe autoscaler: a controller process over bus metrics.
+
+The controller is an ordinary simulated process on a (reliable) machine.
+It observes two signals straight off the event bus:
+
+- **queue depth** — replicated calls currently in flight against the
+  managed troupe (``rpc.call_start`` minus ``rpc.call_end``);
+- **call latency** — virtual-time duration of recently completed calls,
+  matched by the propagated ``(thread_id, call_number)`` trace context
+  (the same join key the critical-path analyzer uses).
+
+Every ``interval`` ms it runs one reconciliation step, in a fixed order
+so runs are deterministic:
+
+1. *sweep* — members whose machine is down are removed from the binding
+   agent (advancing the troupe ID past the dead incarnation, §6.2);
+2. *scale* — if depth/latency are above the high-water marks and the
+   pool has an idle, live machine, one member joins (§6.4.1 state
+   transfer + ``add_troupe_member``); if both are below the low-water
+   marks and the troupe is above ``min_members``, the youngest member is
+   removed;
+3. *heal* — below ``min_members`` (after crashes), any live pool machine
+   is drafted regardless of load.
+
+All membership operations go through the §6 protocols — nothing mutates
+registries directly — so every step the controller takes is visible to
+the fuzzer's event-aligned faults and to the invariant monitors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.binding.client import BindingClient
+from repro.binding.reconfig import ReplaceableModule, join_troupe
+from repro.core.runtime import TroupeRuntime
+from repro.core.troupe import TroupeDescriptor
+from repro.host.machine import Machine
+from repro.sim.kernel import Sleep
+
+
+@dataclasses.dataclass(frozen=True)
+class AutoscalerConfig:
+    """Control-loop knobs (virtual milliseconds throughout)."""
+
+    interval: float = 150.0       # reconciliation period
+    min_members: int = 1
+    max_members: int = 4
+    high_depth: float = 2.0       # grow above this many in-flight calls
+    low_depth: float = 1.0        # shrink below (with low latency)
+    high_latency: float = 60.0    # grow above this mean completed latency
+    low_latency: float = 25.0
+    latency_window: int = 8       # completed calls the latency mean spans
+
+
+class TroupeAutoscaler:
+    """Grows and shrinks one troupe at runtime, and keeps it alive.
+
+    ``pool`` is the set of machines allowed to host members; the
+    controller itself (and its Ringmaster) should live elsewhere, so the
+    observer survives the faults aimed at the system under test.
+    ``module_factory()`` must return a fresh
+    :class:`~repro.binding.reconfig.ReplaceableModule` per member —
+    replicas may not literally share state.
+    """
+
+    def __init__(self, world, runtime: TroupeRuntime,
+                 binding: BindingClient, name: str,
+                 module_factory: Callable[[], ReplaceableModule],
+                 pool: List[Machine],
+                 config: Optional[AutoscalerConfig] = None,
+                 process_name: str = "server"):
+        self.world = world
+        self.runtime = runtime          # the controller's own runtime
+        self.binding = binding          # ... and its binding client
+        self.name = name
+        self.module_factory = module_factory
+        self.pool = list(pool)
+        self.config = config or AutoscalerConfig()
+        self.process_name = process_name
+        #: machine name -> (member_addr, crash_count at join), join order.
+        #: A member is *broken* once its machine's crash count moves —
+        #: fail-stop kills its process even if the machine restarts.
+        self.members: Dict[str, Tuple] = {}
+        #: deterministic action log: (virtual time, description).
+        self.actions: List[Tuple[float, str]] = []
+        self.joins = 0
+        self.removes = 0
+        self.failed_ops = 0
+        #: troupe wiped out (every member fail-stopped) and re-founded
+        #: from a fresh module — state lost, exactly as §3.5.1 promises.
+        self.cold_restarts = 0
+        #: dead member addresses still registered with the agent (a
+        #: cold-restart's removals failed); retried every sweep.
+        self._orphans: List = []
+        self._max_seen = 0
+        # -- bus-metric state --
+        self._inflight: Dict[Tuple[str, int], float] = {}
+        self._latencies: List[float] = []
+        self._sub = None
+        self._proc = None
+        self._stopped = False
+
+    # -- bus metrics -----------------------------------------------------
+
+    def _on_call_event(self, event) -> None:
+        if getattr(event, "troupe", "") != self.name:
+            return
+        key = (event.thread_id, event.call_number)
+        if event.kind == "rpc.call_start":
+            self._inflight[key] = event.t
+        else:
+            started = self._inflight.pop(key, None)
+            if started is not None:
+                self._latencies.append(event.t - started)
+                window = self.config.latency_window
+                if len(self._latencies) > window:
+                    del self._latencies[:-window]
+
+    @property
+    def depth(self) -> int:
+        """Replicated calls against the troupe currently in flight."""
+        return len(self._inflight)
+
+    def mean_latency(self) -> float:
+        """Mean completed-call latency over the recent window (ms)."""
+        if not self._latencies:
+            return 0.0
+        return sum(self._latencies) / len(self._latencies)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        sim = self.world.sim
+        if self._sub is None:
+            self._sub = sim.bus.subscribe(
+                self._on_call_event, kinds=("rpc.call_start", "rpc.call_end"))
+        if self._proc is None:
+            self._stopped = False
+            self._proc = sim.spawn(self._control_loop(),
+                                   name="autoscaler:%s" % self.name,
+                                   daemon=True)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._sub is not None:
+            self.world.sim.bus.unsubscribe(self._sub)
+            self._sub = None
+        if self._proc is not None:
+            self._proc.kill()
+            self._proc = None
+
+    def _log(self, desc: str) -> None:
+        self.actions.append((self.world.sim.now, desc))
+
+    # -- membership operations ------------------------------------------
+
+    def _make_member(self, machine: Machine):
+        """A fresh server runtime + module on ``machine`` (the
+        crashed-and-repaired case always needs new processes)."""
+        process = machine.spawn_process(self.process_name)
+        holder: Dict[str, BindingClient] = {}
+
+        def resolver(tid):
+            client = holder.get("binding")
+            return client.make_resolver()(tid) if client else None
+
+        runtime = TroupeRuntime(process, resolver=resolver)
+        binding = BindingClient(runtime, self.binding.ringmaster)
+        holder["binding"] = binding
+        module = self.module_factory()
+        member_addr = runtime.export(module)
+        runtime.start_server()
+        self.world.runtimes.append(runtime)
+        return runtime, binding, module, member_addr
+
+    def bootstrap(self, machine: Machine):
+        """Generator: the founding member — a plain ``export_module``
+        (there is nobody to fetch state from yet)."""
+        runtime, binding, module, member_addr = self._make_member(machine)
+        tid = yield from binding.export_module(self.name, member_addr)
+        self.members[machine.name] = (member_addr, machine.crash_count)
+        self._max_seen = max(self._max_seen, len(self.members))
+        self.joins += 1
+        self._log("bootstrap %s" % machine.name)
+        return tid
+
+    def join(self, machine: Machine):
+        """Generator: one §6.4.1 join — state transfer, then register."""
+        runtime, binding, module, member_addr = self._make_member(machine)
+        tid = yield from join_troupe(runtime, module, member_addr,
+                                     self.name, binding)
+        self.members[machine.name] = (member_addr, machine.crash_count)
+        self._max_seen = max(self._max_seen, len(self.members))
+        self.joins += 1
+        self._log("join %s" % machine.name)
+        return tid
+
+    def remove(self, machine_name: str):
+        """Generator: drop the member on ``machine_name`` via the
+        binding agent."""
+        member_addr, _epoch = self.members[machine_name]
+        tid = yield from self.binding.remove_member(self.name, member_addr)
+        del self.members[machine_name]
+        self.removes += 1
+        self._log("remove %s" % machine_name)
+        return tid
+
+    # -- the control loop ------------------------------------------------
+
+    def _broken(self, machine_name: str) -> bool:
+        """Fail-stop: a member died if its machine is down *or* crashed
+        at any point since the join (the restart comes back empty)."""
+        machine = self.world.machine(machine_name)
+        return (not machine.up
+                or machine.crash_count != self.members[machine_name][1])
+
+    def _idle_machines(self) -> List[Machine]:
+        return [m for m in self.pool
+                if m.up and m.name not in self.members]
+
+    def _guarded(self, op, desc: str):
+        try:
+            yield from op
+        except Exception as exc:
+            self.failed_ops += 1
+            self._log("%s failed: %s" % (desc, type(exc).__name__))
+
+    def _reconcile(self):
+        cfg = self.config
+        broken = [n for n in self.members if self._broken(n)]
+        if broken and len(broken) == len(self.members):
+            # Every member fail-stopped: the replicated state is gone
+            # (§3.5.1).  Re-found the troupe on a live machine — a plain
+            # add (there is no surviving state to transfer), then retire
+            # the dead incarnations, which is legal now that the fresh
+            # member keeps the troupe non-empty.
+            idle = self._idle_machines()
+            if not idle:
+                return   # wait for a repair
+            self._orphans.extend(
+                self.members.pop(n)[0] for n in broken)
+            machine = idle[0]
+            self.cold_restarts += 1
+            self._log("cold-restart on %s" % machine.name)
+
+            def refound():
+                runtime, binding, module, member_addr = (
+                    self._make_member(machine))
+                yield from binding.export_module(self.name, member_addr)
+                self.members[machine.name] = (member_addr,
+                                              machine.crash_count)
+                self.joins += 1
+                self._log("re-found %s" % machine.name)
+
+            yield from self._guarded(refound(), "cold-restart")
+            if not self.members:
+                return   # the re-founding export itself failed; retry later
+        # 1. sweep broken members (never the last one: LastMember),
+        #    plus any dead addresses a cold-restart left registered.
+        for name in [n for n in self.members if self._broken(n)]:
+            if len(self.members) <= 1:
+                break
+            yield from self._guarded(self.remove(name), "remove %s" % name)
+        for addr in list(self._orphans):
+            def drop(addr=addr):
+                yield from self.binding.remove_member(self.name, addr)
+                self._orphans.remove(addr)
+                self.removes += 1
+                self._log("remove dead %s" % (addr.process.host,))
+            yield from self._guarded(drop(), "remove orphan")
+        # 2. scale on load.
+        depth = self.depth
+        latency = self.mean_latency()
+        live = len(self.members)
+        grow = (live < cfg.max_members
+                and (depth > cfg.high_depth or latency > cfg.high_latency))
+        heal = live < cfg.min_members
+        if grow or heal:
+            idle = self._idle_machines()
+            if idle:
+                machine = idle[0]
+                op = self.join(machine) if self.members else \
+                    self.bootstrap(machine)
+                yield from self._guarded(op, "join %s" % machine.name)
+        elif (live > cfg.min_members and depth < cfg.low_depth
+                and latency < cfg.low_latency):
+            # shrink: retire the youngest live member.
+            for name in reversed(list(self.members)):
+                if not self._broken(name):
+                    yield from self._guarded(self.remove(name),
+                                             "remove %s" % name)
+                    break
+
+    def _control_loop(self):
+        while not self._stopped:
+            yield Sleep(self.config.interval)
+            yield from self._reconcile()
+
+    # -- reporting -------------------------------------------------------
+
+    def descriptor(self) -> Optional[TroupeDescriptor]:
+        return self.binding.cache.get(self.name)
+
+    def summary(self) -> Dict[str, object]:
+        """Deterministic summary for reports and digests."""
+        return {
+            "joins": self.joins,
+            "removes": self.removes,
+            "failed_ops": self.failed_ops,
+            "cold_restarts": self.cold_restarts,
+            "max_members": self._max_seen,
+            "final_members": sorted(self.members),
+            "actions": len(self.actions),
+        }

@@ -32,13 +32,17 @@ from repro.explore.schedule import (
     ADVERSARIAL_PROFILE,
     CRASH_ONLY_PROFILE,
     DEFAULT_PROFILE,
+    ELASTIC_ADVERSARIAL_PROFILE,
+    ELASTIC_PROFILE,
     Crash,
+    CrashDuringTransfer,
     Delay,
     Duplicate,
     FaultAction,
     FaultSchedule,
     Loss,
     Partition,
+    PartitionDuringJoin,
     Profile,
     Reorder,
     SCHEDULE_FORMAT,
@@ -53,7 +57,10 @@ __all__ = [
     "ADVERSARIAL_PROFILE",
     "CRASH_ONLY_PROFILE",
     "DEFAULT_PROFILE",
+    "ELASTIC_ADVERSARIAL_PROFILE",
+    "ELASTIC_PROFILE",
     "Crash",
+    "CrashDuringTransfer",
     "Delay",
     "Duplicate",
     "ExploreResult",
@@ -61,6 +68,7 @@ __all__ = [
     "FaultSchedule",
     "Loss",
     "Partition",
+    "PartitionDuringJoin",
     "Profile",
     "Reorder",
     "SCENARIOS",

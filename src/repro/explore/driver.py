@@ -12,6 +12,18 @@ for loss, duplication, delay, and reordering windows.
 Overlapping partition windows nest: the most recently opened window's
 grouping is in force; closing it re-installs the next one down (or heals
 the network when none remain).
+
+Reconfiguration-aware actions (:class:`CrashDuringTransfer`,
+:class:`PartitionDuringJoin`) are *armed* at their ``at`` time and fire
+on the next matching membership bus event — ``bind.get_state`` (a member
+externalizing state for a joiner) and ``bind.member`` with ``op="add"``
+respectively.  Bus handlers run synchronously inside the emitting
+process, so the driver never crashes a machine from inside the handler;
+it spawns an immediate helper process that performs the crash (and the
+later repair / heal) at the same virtual instant.  Whether each armed
+action *fired* or *expired* is recorded in the applied-op log, which
+feeds the run digest — so two replays of a seed agree not only on the
+schedule but on which armed faults actually landed.
 """
 
 from __future__ import annotations
@@ -20,11 +32,13 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.explore.schedule import (
     Crash,
+    CrashDuringTransfer,
     Delay,
     Duplicate,
     FaultSchedule,
     Loss,
     Partition,
+    PartitionDuringJoin,
     Reorder,
 )
 from repro.host.failures import FailureModel
@@ -49,6 +63,14 @@ class ScheduleDriver(FailureModel):
         self.applied: List[Tuple[float, str]] = []
         self._installed_faults: List[LinkFault] = []
         self._active_partitions: List[Tuple[Tuple[str, ...], ...]] = []
+        #: armed reconfiguration-aware actions, in schedule order.  Each
+        #: entry is a dict: {"action", "armed", "fired"} — armed flips at
+        #: ``at``, fired when the matching bus event lands.
+        self._armed: List[dict] = [
+            {"action": a, "armed": False, "fired": False}
+            for a in schedule.actions
+            if isinstance(a, (CrashDuringTransfer, PartitionDuringJoin))]
+        self._bus_sub = None
         unknown = [name for name in schedule.machines()
                    if name not in self._machine_by_name]
         if unknown:
@@ -61,10 +83,16 @@ class ScheduleDriver(FailureModel):
         proc = self.sim.spawn(self._walk(ops), name="fault-schedule",
                               daemon=True)
         self._processes.append(proc)
+        if self._armed and self._bus_sub is None:
+            self._bus_sub = self.sim.bus.subscribe(
+                self._on_bind_event, kinds=("bind.get_state", "bind.member"))
 
     def stop(self) -> None:
         """Stop walking and roll back any still-open fault windows."""
         super().stop()
+        if self._bus_sub is not None:
+            self.sim.bus.unsubscribe(self._bus_sub)
+            self._bus_sub = None
         for fault in self._installed_faults:
             self.network.remove_fault(fault)
         self._installed_faults = []
@@ -101,6 +129,14 @@ class ScheduleDriver(FailureModel):
                 add(action.at + action.duration,
                     lambda a=action: self._close_partition(a.groups),
                     "heal %s" % (action.groups,))
+            elif isinstance(action, (CrashDuringTransfer,
+                                     PartitionDuringJoin)):
+                entry = next(e for e in self._armed if e["action"] is action)
+                add(action.at, lambda e=entry: self._arm(e),
+                    "arm %s" % action.describe())
+                # Logs itself only when the trigger never came.
+                add(action.at + action.expiry,
+                    lambda e=entry: self._expire(e), None)
             else:
                 fault = self._link_fault(action)
                 add(action.at, lambda f=fault: self._install_fault(f),
@@ -134,7 +170,76 @@ class ScheduleDriver(FailureModel):
             if delay > 0:
                 yield Sleep(delay)
             fn()
-            self.applied.append((self.sim.now, desc))
+            if desc is not None:
+                self.applied.append((self.sim.now, desc))
+
+    # -- armed (event-aligned) actions ----------------------------------
+
+    def _arm(self, entry: dict) -> None:
+        if not entry["fired"]:
+            entry["armed"] = True
+
+    def _expire(self, entry: dict) -> None:
+        if entry["armed"] and not entry["fired"]:
+            entry["armed"] = False
+            self.applied.append(
+                (self.sim.now, "expired %s" % entry["action"].describe()))
+
+    def armed_fire_counts(self) -> Tuple[int, int]:
+        """(fired, expired-or-pending) over the armed actions."""
+        fired = sum(1 for e in self._armed if e["fired"])
+        return fired, len(self._armed) - fired
+
+    def _on_bind_event(self, event) -> None:
+        kind = event.kind
+        if kind == "bind.get_state":
+            want: type = CrashDuringTransfer
+        elif kind == "bind.member" and getattr(event, "op", "") == "add":
+            want = PartitionDuringJoin
+        else:
+            return
+        for entry in self._armed:
+            action = entry["action"]
+            if (entry["armed"] and not entry["fired"]
+                    and isinstance(action, want)):
+                entry["fired"] = True
+                entry["armed"] = False
+                self.applied.append(
+                    (self.sim.now, "fired %s" % action.describe()))
+                # Never mutate the world from inside a bus handler — the
+                # emitting process is mid-execution.  A helper process
+                # spawned *now* performs the fault at this same virtual
+                # instant, once the kernel regains control.
+                if isinstance(action, CrashDuringTransfer):
+                    gen = self._fire_crash(
+                        self._machine_by_name[action.machine],
+                        action.duration)
+                    name = "armed-crash:%s" % action.machine
+                else:
+                    gen = self._fire_join_partition(action)
+                    name = "armed-partition:%s" % action.machine
+                proc = self.sim.spawn(gen, name=name, daemon=True)
+                self._processes.append(proc)
+                break
+
+    def _fire_crash(self, machine: Machine, duration):
+        self._crash_machine(machine)
+        if duration is None:
+            return
+        yield Sleep(duration)
+        self._repair_machine(machine)
+        self.applied.append(
+            (self.sim.now, "repair %s (armed)" % machine.name))
+
+    def _fire_join_partition(self, action: PartitionDuringJoin):
+        others = tuple(sorted(
+            name for name in self._machine_by_name if name != action.machine))
+        groups = tuple(g for g in ((action.machine,), others) if g)
+        self._open_partition(groups)
+        yield Sleep(action.duration)
+        self._close_partition(groups)
+        self.applied.append(
+            (self.sim.now, "heal join-partition %s" % action.machine))
 
     # -- op implementations ---------------------------------------------
 

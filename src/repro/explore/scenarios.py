@@ -24,6 +24,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.explore.schedule import (
     ADVERSARIAL_PROFILE,
     DEFAULT_PROFILE,
+    ELASTIC_ADVERSARIAL_PROFILE,
+    ELASTIC_PROFILE,
     Profile,
 )
 from repro.harness import World
@@ -643,6 +645,188 @@ def _make_list_append(seed: int, degree: int = 3,
                        history=recorder)
 
 
+# ---------------------------------------------------------------------------
+# Elastic scenarios: reconfiguration under fire (§6.4.1 + ROADMAP item 5)
+#
+# A TroupeAutoscaler (repro.elastic) grows and shrinks a replicated
+# register troupe while clients read and write it.  The workload is
+# shaped so membership changes happen even on fault-free seeds — a
+# concurrent read burst forces a load-grow, the quiet tail a shrink —
+# which keeps the bus full of the bind.get_state / bind.member events
+# the reconfiguration-aware fault kinds (crash-during-transfer,
+# partition-during-join) arm on.  Crashed members are swept and
+# repaired machines re-join, so a fault mid-transfer begets *another*
+# membership change for the next armed fault to hit.
+
+
+def _elastic_register_module():
+    """A fresh replicated register with §6.4.1 state transfer."""
+    from repro.binding import ReplaceableModule
+
+    state: Dict[bytes, bytes] = {}
+
+    def read(ctx, args):
+        return state.get(args, b"")
+
+    def write(ctx, args):
+        key, _, value = args.partition(b"=")
+        state[key] = value
+        return b"ok"
+
+    def externalize():
+        return b";".join(k + b"=" + state[k] for k in sorted(state))
+
+    def internalize(raw):
+        state.clear()
+        for pair in raw.split(b";"):
+            if pair:
+                key, _, value = pair.partition(b"=")
+                state[key] = value
+
+    return ReplaceableModule("elastic-reg", {0: read, 1: write},
+                             externalize=externalize,
+                             internalize=internalize)
+
+
+def _make_elastic(seed: int, pool: int = 4, clients: int = 2,
+                  scenario_name: str = "elastic") -> ScenarioRun:
+    """Autoscaled replicated register under client load.
+
+    The controller and the clients live on reliable machines (``ctl``,
+    ``obs``); faults target only the member pool.  Client operations are
+    recorded for the offline linearizability check — which here spans
+    reconfigurations: an operation can start against one troupe
+    incarnation and complete against the next.
+    """
+    from repro.binding import BindingClient, BindingError, start_ringmaster
+    from repro.core import CollationError, ReplicatedCallError
+    from repro.core.runtime import StaleBindingError
+    from repro.elastic.controller import AutoscalerConfig, TroupeAutoscaler
+    from repro.host.machine import MachineCrashed
+    from repro.obs.history import OperationHistoryRecorder
+    from repro.rpc.messages import RemoteError
+    from repro.sim.kernel import Sleep
+
+    READ, WRITE = 0, 1
+    NAME = "elastic-reg"
+    names = ["ctl", "obs"] + ["pool%d" % i for i in range(pool)]
+    world = World(machines=len(names), seed=seed, machine_names=names)
+    ringmaster, _rm = start_ringmaster([world.machine("ctl")])
+    controller_rt = world.make_client(machine_name="ctl")
+    controller_binding = BindingClient(controller_rt, ringmaster)
+    autoscaler = TroupeAutoscaler(
+        world, controller_rt, controller_binding, NAME,
+        _elastic_register_module,
+        [world.machine(n) for n in names[2:]],
+        config=AutoscalerConfig(interval=120.0, min_members=2,
+                                max_members=3, high_depth=2.0,
+                                low_depth=1.0, high_latency=70.0,
+                                low_latency=30.0))
+    recorder = OperationHistoryRecorder(
+        world.sim, scenario=scenario_name, seed=seed, semantics="register")
+
+    rng = RandomStream(seed, "explore-workload")
+    keys = (b"x", b"y")
+    plans = []
+    for ci in range(clients):
+        ops = []
+        for k in range(rng.randint(4, 7)):
+            key = keys[rng.randint(0, len(keys) - 1)]
+            gap = round(rng.uniform(0.0, 350.0), 3)
+            if rng.uniform(0.0, 1.0) < 0.55:
+                ops.append(("w", key, b"c%d-%d" % (ci, k), gap))
+            else:
+                ops.append(("r", key, None, gap))
+        plans.append(ops)
+    burst_at = round(rng.uniform(250.0, 600.0), 3)
+    burst_size = rng.randint(4, 6)
+
+    outcomes: List[str] = []
+    done: List[int] = []
+    expected = (BindingError, ReplicatedCallError, CollationError,
+                RemoteError, StaleBindingError, MachineCrashed)
+
+    def guarded_call(binding, proc, payload, hclient, op, tag):
+        try:
+            reply = yield from binding.call(NAME, proc, payload)
+        except expected as exc:
+            if hclient is not None:
+                hclient.info(op)   # unknown whether it took effect
+            outcomes.append("%s:%s" % (tag, type(exc).__name__))
+            return None
+        outcomes.append("%s:ok" % tag)
+        return reply
+
+    def make_driver(ci, binding, hclient):
+        def drive():
+            for oi, (kind, key, value, gap) in enumerate(plans[ci]):
+                if gap > 0:
+                    yield Sleep(gap)
+                tag = "c%d-%d" % (ci, oi)
+                if kind == "w":
+                    op = hclient.invoke("w", key=key.decode(),
+                                        args=value.decode())
+                    reply = yield from guarded_call(
+                        binding, WRITE, key + b"=" + value, hclient, op,
+                        tag)
+                    if reply is not None:
+                        hclient.ok(op, "ok")
+                else:
+                    op = hclient.invoke("r", key=key.decode())
+                    reply = yield from guarded_call(
+                        binding, READ, key, hclient, op, tag)
+                    if reply is not None:
+                        hclient.ok(op, None if reply == b"" else
+                                   reply.decode())
+            done.append(ci)
+        return drive
+
+    drivers = []
+    for ci in range(clients):
+        runtime = world.make_client(machine_name="obs")
+        binding = BindingClient(runtime, ringmaster)
+        drivers.append(make_driver(ci, binding,
+                                   recorder.client("c%d" % ci, runtime)))
+    burst_rt = world.make_client(machine_name="obs")
+    burst_binding = BindingClient(burst_rt, ringmaster)
+
+    def burst_reader(bi):
+        # unrecorded concurrent reads: they pile up queue depth to
+        # force a load-grow, and reads can't perturb the checked history
+        yield from guarded_call(burst_binding, READ, keys[0], None, None,
+                                "b%d" % bi)
+
+    def setup_step(op, tag):
+        try:
+            yield from op
+        except expected as exc:
+            outcomes.append("%s:%s" % (tag, type(exc).__name__))
+        else:
+            outcomes.append("%s:ok" % tag)
+
+    def body():
+        pool_machines = autoscaler.pool
+        yield from setup_step(autoscaler.bootstrap(pool_machines[0]),
+                              "setup-bootstrap")
+        yield from setup_step(autoscaler.join(pool_machines[1]),
+                              "setup-join")
+        autoscaler.start()
+        for ci, drive in enumerate(drivers):
+            world.spawn(drive(), name="elastic-client-%d" % ci)
+        yield Sleep(burst_at)
+        for bi in range(burst_size):
+            world.spawn(burst_reader(bi), name="elastic-burst-%d" % bi)
+            yield Sleep(5.0)
+        while len(done) < clients:
+            yield Sleep(50.0)
+        yield Sleep(400.0)   # quiet tail: the autoscaler shrinks; stray
+        autoscaler.stop()    # duplicates drain under the oracles
+        return sorted(outcomes)
+
+    return ScenarioRun(world=world, body=body,
+                       fault_machines=names[2:], history=recorder)
+
+
 SCENARIOS: Dict[str, Scenario] = {}
 
 
@@ -731,6 +915,25 @@ _register(Scenario(
     horizon=2500.0, budget=90000.0, profile=DEFAULT_PROFILE,
     factory=lambda seed: _make_bank(seed),
     oracles=TXN_ORACLES, checker="bank"))
+
+_register(Scenario(
+    name="elastic",
+    description="autoscaled replicated register: membership grows and "
+                "shrinks under load while armed faults land mid-transfer; "
+                "all six monitors plus the offline linearizability check "
+                "run across the membership boundary",
+    horizon=3000.0, budget=90000.0, profile=ELASTIC_PROFILE,
+    factory=lambda seed: _make_elastic(seed),
+    oracles=None, checker="register"))
+
+_register(Scenario(
+    name="elastic-adversarial",
+    description="the elastic scenario under dense armed fault schedules "
+                "(more mid-transfer crashes and mid-join partitions)",
+    horizon=3000.0, budget=90000.0, profile=ELASTIC_ADVERSARIAL_PROFILE,
+    factory=lambda seed: _make_elastic(
+        seed, scenario_name="elastic-adversarial"),
+    oracles=None, checker="register"))
 
 _register(Scenario(
     name="list-append",

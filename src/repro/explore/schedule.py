@@ -22,6 +22,28 @@ Action taxonomy (all times are virtual milliseconds):
 ``reorder``     a reordering window: with ``probability`` a packet is
                 held back up to ``hold`` extra ms, overtaking later ones
 ==============  ==========================================================
+
+Two kinds are *reconfiguration-aware* (§6.4.1): instead of firing at
+``at`` they are **armed** at ``at`` and fire when the driver observes the
+matching membership-change bus event, so the fault lands exactly inside
+the §6 window the paper worries about:
+
+==========================  ==============================================
+``crash-during-transfer``   armed at ``at``; crashes ``machine`` the
+                            moment the next ``bind.get_state`` event
+                            (a member externalizing state for a joiner)
+                            is observed; disarms after ``expiry`` ms
+``partition-during-join``   armed at ``at``; isolates ``machine`` from
+                            every other host the moment the next
+                            ``bind.member`` *add* event (the binding
+                            agent committing a join) is observed; heals
+                            ``duration`` ms later; disarms after
+                            ``expiry`` ms
+==========================  ==============================================
+
+An armed action whose trigger never happens before ``expiry`` simply
+never fires — the driver records it as expired, and the run digest (which
+includes the applied-op log) still distinguishes fired from unfired.
 """
 
 from __future__ import annotations
@@ -133,9 +155,45 @@ class Reorder(FaultAction):
     kind = "reorder"
 
 
+@dataclasses.dataclass(frozen=True)
+class CrashDuringTransfer(FaultAction):
+    """Armed at ``at``; crashes ``machine`` when the next
+    ``bind.get_state`` bus event lands — i.e. mid-state-transfer, after
+    an existing member externalized its state for a joiner but before
+    the reply (and the subsequent ``add_troupe_member``) completes."""
+
+    machine: str = ""
+    duration: Optional[float] = None   # repair delay once fired; None: never
+    expiry: float = 2000.0             # disarm this long after ``at``
+
+    kind = "crash-during-transfer"
+
+    @property
+    def window(self) -> Optional[float]:
+        # Not a plain window: ``duration`` is the post-trigger repair
+        # delay, and the shrinker/driver must not treat it as one.
+        return None
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionDuringJoin(FaultAction):
+    """Armed at ``at``; isolates ``machine`` from every other host when
+    the next ``bind.member`` *add* event lands — i.e. the instant the
+    binding agent commits a membership change, while the nested
+    ``set_troupe_id`` calls and the joiner's first serving window are
+    still in flight.  Heals ``duration`` ms after firing."""
+
+    duration: float = 0.0
+    machine: str = ""
+    expiry: float = 2000.0
+
+    kind = "partition-during-join"
+
+
 ACTION_TYPES: Dict[str, type] = {
     cls.kind: cls
-    for cls in (Crash, Partition, Loss, Duplicate, Delay, Reorder)
+    for cls in (Crash, Partition, Loss, Duplicate, Delay, Reorder,
+                CrashDuringTransfer, PartitionDuringJoin)
 }
 
 
@@ -187,6 +245,8 @@ class FaultSchedule:
             elif isinstance(action, Partition):
                 for group in action.groups:
                     names.update(group)
+            elif isinstance(action, (CrashDuringTransfer, PartitionDuringJoin)):
+                names.add(action.machine)
             else:
                 if action.src:
                     names.add(action.src)
@@ -258,6 +318,16 @@ class Profile:
     #: window durations as fractions of the horizon.
     min_window: float = 0.05
     max_window: float = 0.4
+    #: reconfiguration-aware (armed) kinds.  Default 0 so every profile
+    #: that predates them keeps generating byte-identical schedules.
+    crash_during_transfer_weight: int = 0
+    partition_during_join_weight: int = 0
+    #: guarantee at least this many crash-during-transfer actions per
+    #: schedule (topped up after the weighted draw, so the weighted
+    #: portion of the rng sequence is unchanged).
+    min_crash_during_transfer: int = 0
+    #: expiry for armed actions, as a fraction of the horizon.
+    arm_expiry: float = 0.9
 
     def weighted_kinds(self) -> List[str]:
         expanded: List[str] = []
@@ -266,7 +336,13 @@ class Profile:
                              ("loss", self.loss_weight),
                              ("duplicate", self.duplicate_weight),
                              ("delay", self.delay_weight),
-                             ("reorder", self.reorder_weight)):
+                             ("reorder", self.reorder_weight),
+                             # appended after the original six so legacy
+                             # profiles draw the exact same choices
+                             ("crash-during-transfer",
+                              self.crash_during_transfer_weight),
+                             ("partition-during-join",
+                              self.partition_during_join_weight)):
             expanded.extend([kind] * max(0, weight))
         if not expanded:
             raise ValueError("profile disables every fault kind")
@@ -286,6 +362,30 @@ ADVERSARIAL_PROFILE = Profile(
 CRASH_ONLY_PROFILE = Profile(
     partition_weight=0, loss_weight=0, duplicate_weight=0,
     delay_weight=0, reorder_weight=0)
+
+#: reconfiguration under fire (§6.4.1): armed faults that land
+#: mid-state-transfer and mid-join.  Blanket partitions are disabled —
+#: partitions only arrive event-aligned via ``partition-during-join`` —
+#: because the elastic scenarios run with all six oracles and an
+#: arbitrary long partition makes §4.3.5 troupe-determinism hazards
+#: (which the paper accepts as a known residual risk) dominate the
+#: signal.  Crashes, loss, and delay remain.
+ELASTIC_PROFILE = Profile(
+    min_actions=2, max_actions=6,
+    partition_weight=0, duplicate_weight=0, reorder_weight=0,
+    loss_weight=1, delay_weight=1, crash_weight=2,
+    crash_during_transfer_weight=3, partition_during_join_weight=1,
+    min_crash_during_transfer=1, permanent_crash_chance=0.0,
+    min_window=0.02, max_window=0.15)
+
+#: the dense variant: more armed faults, permanent crashes allowed.
+ELASTIC_ADVERSARIAL_PROFILE = Profile(
+    min_actions=4, max_actions=10,
+    partition_weight=0, duplicate_weight=0, reorder_weight=0,
+    loss_weight=2, delay_weight=2, crash_weight=3,
+    crash_during_transfer_weight=4, partition_during_join_weight=2,
+    min_crash_during_transfer=1, permanent_crash_chance=0.15,
+    min_window=0.03, max_window=0.25)
 
 
 def _round(value: float) -> float:
@@ -315,12 +415,24 @@ def generate(seed: int, machines: Sequence[str], horizon: float,
         at = _round(rng.uniform(0.0, horizon * 0.8))
         window = _round(rng.uniform(profile.min_window * horizon,
                                     profile.max_window * horizon))
+        expiry = _round(profile.arm_expiry * horizon)
         if kind == "crash":
             duration: Optional[float] = window
             if rng.chance(profile.permanent_crash_chance):
                 duration = None
             actions.append(Crash(at=at, machine=rng.choice(machines),
                                  duration=duration))
+        elif kind == "crash-during-transfer":
+            repair: Optional[float] = window
+            if rng.chance(profile.permanent_crash_chance):
+                repair = None
+            actions.append(CrashDuringTransfer(
+                at=at, machine=rng.choice(machines),
+                duration=repair, expiry=expiry))
+        elif kind == "partition-during-join":
+            actions.append(PartitionDuringJoin(
+                at=at, duration=window, machine=rng.choice(machines),
+                expiry=expiry))
         elif kind == "partition":
             shuffled = list(machines)
             rng.shuffle(shuffled)
@@ -355,6 +467,17 @@ def generate(seed: int, machines: Sequence[str], horizon: float,
                     probability=_round(rng.uniform(0.1, 0.8)),
                     hold=_round(rng.uniform(1.0, 20.0)),
                     src=src, dst=dst))
+    # Top up armed mid-transfer crashes *after* the weighted draw, so
+    # profiles without the floor consume the identical rng sequence.
+    have = sum(1 for a in actions if isinstance(a, CrashDuringTransfer))
+    for _ in range(max(0, profile.min_crash_during_transfer - have)):
+        at = _round(rng.uniform(0.0, horizon * 0.5))
+        window = _round(rng.uniform(profile.min_window * horizon,
+                                    profile.max_window * horizon))
+        repair = None if rng.chance(profile.permanent_crash_chance) else window
+        actions.append(CrashDuringTransfer(
+            at=at, machine=rng.choice(machines), duration=repair,
+            expiry=_round(profile.arm_expiry * horizon)))
     actions.sort(key=lambda a: (a.at, a.kind))
     return FaultSchedule(scenario=scenario, seed=seed, horizon=horizon,
                          actions=tuple(actions))

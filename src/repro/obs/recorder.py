@@ -69,6 +69,12 @@ class FlightRecorder:
         self.violations: List[obs_events.InvariantViolation] = []
         self.monitor_errors: List[obs_events.MonitorError] = []
         self.crash: Optional[Dict[str, Any]] = None
+        #: the full membership history, outside the ring: every
+        #: ``bind.member`` event as a troupe-ID timeline entry.  Ring
+        #: eviction never loses a reconfiguration, so a post-mortem
+        #: always shows which incarnation of each troupe a violation
+        #: happened against.
+        self.membership: List[Dict[str, Any]] = []
         #: arbitrary JSON-able context included in the post-mortem — the
         #: fault explorer stores the offending schedule and seed here so
         #: a dumped report is replayable on its own.
@@ -97,6 +103,15 @@ class FlightRecorder:
             self.violations.append(event)
         elif kind == "mon.error":
             self.monitor_errors.append(event)
+        elif kind == "bind.member":
+            self.membership.append({
+                "t": event.t,
+                "name": event.name,
+                "op": event.op,
+                "old_id": event.old_id,
+                "new_id": event.new_id,
+                "members": event.members,
+            })
         if overflowed and not self._overflow_warned:
             # Truncated post-mortems are self-announcing: the first drop
             # puts a mon.warn on the bus (once).
@@ -163,6 +178,8 @@ class FlightRecorder:
         }
         if self.context:
             report["context"] = self.context
+        if self.membership:
+            report["membership"] = list(self.membership)
         if self.crash is not None:
             # No violation frontier to cut at: give the investigator the
             # causally linearized tail of the ring instead.
@@ -281,6 +298,15 @@ def render_postmortem(report: Dict[str, Any]) -> str:
                     path.get("duration_ms", 0.0), path.get("dominant")))
             for stage, dur in path.get("stages", []):
                 push("    %-18s %10.3f ms" % (stage, dur))
+    membership = report.get("membership", [])
+    if membership:
+        push("")
+        push("membership history (%d change(s)):" % len(membership))
+        for entry in membership:
+            push("  [t=%-8g] %-8s %-20s id %d -> %d (%d member(s))" % (
+                entry.get("t", 0.0), entry.get("op", "?"),
+                entry.get("name", "?"), entry.get("old_id", 0),
+                entry.get("new_id", 0), entry.get("members", 0)))
     lincheck = report.get("lincheck")
     if lincheck:
         push("")

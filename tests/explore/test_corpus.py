@@ -1,10 +1,21 @@
-"""Regression corpus: the committed seed file sweeps clean.
+"""Regression corpora: the committed seed files sweep clean.
 
-These are the PR-gate oracles of §4.3 (exactly-once) and §4.2.3
-(crash-silence) over the echo scenario: 200 schedules of crashes,
-partitions, and link faults, none of which may produce a duplicate
-execution or a false crash declaration.  A failure here is a protocol
-regression; the failing seed prints a replayable repro command.
+The echo corpus is the PR-gate for the §4.3 (exactly-once) and §4.2.3
+(crash-silence) oracles: 200 schedules of crashes, partitions, and link
+faults, none of which may produce a duplicate execution or a false
+crash declaration.
+
+The elastic-adversarial corpus is the reconfiguration gate: 50 curated
+schedules whose armed faults (crash-during-transfer,
+partition-during-join) all land inside live §6.4.1 membership windows
+while the autoscaler keeps reshaping the troupe; every seed must sweep
+clean under all six invariant monitors *plus* the offline
+register-history oracle, and every seed fires at least one
+mid-transfer crash (the curation invariant — a seed that stops firing
+means the event alignment broke).
+
+A failure in either corpus is a protocol regression; the failing seed
+prints a replayable repro command.
 """
 
 import json
@@ -14,20 +25,23 @@ import pytest
 
 from repro import explore
 
-CORPUS_PATH = os.path.join(os.path.dirname(__file__), "corpus",
-                           "echo.seeds.json")
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS_PATH = os.path.join(CORPUS_DIR, "echo.seeds.json")
+ELASTIC_CORPUS_PATH = os.path.join(CORPUS_DIR,
+                                   "elastic-adversarial.seeds.json")
 ORACLES = ("exactly-once", "crash-silence")
 
 
-def load_corpus():
-    with open(CORPUS_PATH) as fh:
+def load_corpus(path, scenario):
+    with open(path) as fh:
         corpus = json.load(fh)
     assert corpus["format"] == "repro.fuzz.corpus/1"
-    assert corpus["scenario"] == "echo"
+    assert corpus["scenario"] == scenario
     return corpus["seeds"]
 
 
-CORPUS_SEEDS = load_corpus()
+CORPUS_SEEDS = load_corpus(CORPUS_PATH, "echo")
+ELASTIC_SEEDS = load_corpus(ELASTIC_CORPUS_PATH, "elastic-adversarial")
 
 
 def test_corpus_is_dense_and_sized():
@@ -41,3 +55,24 @@ def test_exactly_once_and_crash_silence_sweep(chunk, fuzz):
     block; each failing seed still reports its own repro command."""
     for seed in CORPUS_SEEDS[chunk * 25:(chunk + 1) * 25]:
         fuzz.check("echo", seed, oracles=ORACLES, shrink_attempts=80)
+
+
+def test_elastic_corpus_is_sized_and_sorted():
+    assert len(ELASTIC_SEEDS) == 50
+    assert ELASTIC_SEEDS == sorted(set(ELASTIC_SEEDS))
+
+
+@pytest.mark.parametrize("chunk", range(5))
+def test_elastic_adversarial_sweep_fires_in_every_window(chunk, fuzz):
+    """50 curated seeds in 5 chunks.  Each seed runs the full oracle
+    suite (all six monitors + the register HistoryOracle, the scenario
+    default) and must both pass clean and still fire at least one
+    crash-during-transfer inside a membership window — losing the
+    firing silently would turn the corpus into an unarmed sweep."""
+    for seed in ELASTIC_SEEDS[chunk * 10:(chunk + 1) * 10]:
+        result = fuzz.check("elastic-adversarial", seed, shrink_attempts=60)
+        fired = [d for d in result.stats["faults_applied"]
+                 if d.startswith("fired crash-during-transfer")]
+        assert fired, (
+            "seed %d no longer fires a crash-during-transfer inside the "
+            "§6.4.1 transfer window; the event alignment regressed" % seed)

@@ -1,0 +1,244 @@
+"""Dynamic vector clocks across membership changes (repro.obs.clocks).
+
+The clock scheme is *dynamic*: no fixed process count, entries appear
+as nodes first emit.  That is exactly what troupe reconfiguration needs
+— members join and leave at runtime, and stamps taken under different
+memberships must stay comparable.  These properties pin that down:
+
+- the vector-clock algebra is a partial order with least upper bounds
+  even when the two clocks were taken under different member sets
+  (absent entries count as zero);
+- under randomized join/leave/message schedules, every message edge
+  and every transitive causal chain — including chains from a member
+  that existed *before* a join to events on the member that joined —
+  is preserved by the stamps;
+- in a real simulated world, an execution on the original member
+  before a §6.4.1 join happens-before an execution on the member that
+  joined afterwards.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.binding import (
+    BindingClient,
+    ReplaceableModule,
+    join_troupe,
+    start_ringmaster,
+)
+from repro.core import TroupeRuntime
+from repro.harness import World
+from repro.obs import EventBus, events
+from repro.obs.clocks import (ClockDomain, concurrent, happens_before,
+                              vc_leq, vc_merge)
+
+# ---------------------------------------------------------------------------
+# The algebra under mixed memberships
+# ---------------------------------------------------------------------------
+
+#: clocks drawn over *different* member subsets — the post-join clock
+#: has entries the pre-join clock has never heard of, and vice versa.
+_MEMBERS = ["m%d" % i for i in range(6)]
+
+vcs = st.dictionaries(st.sampled_from(_MEMBERS),
+                      st.integers(min_value=1, max_value=5),
+                      max_size=len(_MEMBERS))
+
+
+@given(vcs, vcs, vcs)
+def test_vc_leq_is_a_partial_order_across_member_sets(a, b, c):
+    assert vc_leq(a, a)
+    if vc_leq(a, b) and vc_leq(b, a):
+        # antisymmetry modulo zero entries — generators emit counts >= 1,
+        # so mutual domination means literal equality.
+        assert a == b
+    if vc_leq(a, b) and vc_leq(b, c):
+        assert vc_leq(a, c)
+
+
+@given(vcs, vcs)
+def test_vc_comparisons_are_total_verdicts(a, b):
+    """Any two stamps — whatever membership they were taken under —
+    yield exactly one verdict: before, after, equal, or concurrent."""
+    verdicts = [happens_before(a, b), happens_before(b, a), a == b,
+                concurrent(a, b)]
+    assert verdicts.count(True) == 1
+
+
+@given(vcs, vcs, vcs)
+def test_vc_merge_is_the_least_upper_bound(a, b, c):
+    merged = vc_merge(dict(a), b)
+    assert vc_leq(a, merged)
+    assert vc_leq(b, merged)
+    # Least: any other upper bound dominates the merge.
+    if vc_leq(a, c) and vc_leq(b, c):
+        assert vc_leq(merged, c)
+
+
+# ---------------------------------------------------------------------------
+# Randomized join/leave/message schedules against a live ClockDomain
+# ---------------------------------------------------------------------------
+
+#: abstract schedule steps; interpreted against the current live set so
+#: every generated schedule is valid by construction.
+_steps = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=9),
+              st.integers(min_value=0, max_value=99),
+              st.integers(min_value=0, max_value=99)),
+    min_size=1, max_size=40)
+
+
+def _run_schedule(steps):
+    """Interpret (kind, a, b) steps as join/leave/message operations on
+    a synthetic paired-message world; returns (emitted events,
+    model causal past per event index)."""
+    bus = EventBus()
+    bus.subscribe(lambda e: None)           # make the bus active
+    ClockDomain().install(bus)
+    calls = itertools.count(1)
+    joined = ["n0"]                          # founding member
+    live = ["n0"]
+    emitted = []                             # (event, model_past frozenset)
+    past = {}                                # node -> set of event indices
+    t = [0.0]
+
+    def emit(node, event):
+        t[0] += 1.0
+        bus.emit(event)
+        index = len(emitted)
+        past.setdefault(node, set()).add(index)
+        emitted.append((event, frozenset(past[node])))
+        return index
+
+    for kind, a, b in steps:
+        if kind == 0:                        # join: a brand-new node
+            name = "n%d" % len(joined)
+            joined.append(name)
+            live.append(name)
+        elif kind == 1 and len(live) > 1:    # leave: stops emitting
+            live.pop(a % len(live))
+        elif len(live) >= 2:                 # message between live nodes
+            src = live[a % len(live)]
+            dst = live[b % len(live)]
+            if src == dst:
+                continue
+            number = next(calls)
+            emit(src, events.MessageSent(
+                t=t[0], endpoint=src + ":1", peer=dst + ":1", msg_type=0,
+                call_number=number, segments=1, size=8, proc="p"))
+            # The receiver inherits the sender's whole causal past.
+            past.setdefault(dst, set()).update(past[src])
+            emit(dst, events.MessageDelivered(
+                t=t[0], endpoint=dst + ":1", peer=src + ":1", msg_type=0,
+                call_number=number, size=8, proc="p"))
+    return emitted
+
+
+@settings(max_examples=60, deadline=None)
+@given(_steps)
+def test_stamps_preserve_causal_past_across_joins_and_leaves(steps):
+    """For every event, every event in its *model* causal past (message
+    edges + per-node order, tracked independently of the clocks) is
+    happens-before by the stamps — across any join/leave interleaving."""
+    emitted = _run_schedule(steps)
+    for index, (event, model_past) in enumerate(emitted):
+        for j in model_past:
+            if j == index:
+                continue
+            earlier = emitted[j][0]
+            assert vc_leq(earlier.vc, event.vc), (
+                "event %d not in causal past of %d despite model edge"
+                % (j, index))
+            assert happens_before(earlier.vc, event.vc)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_steps)
+def test_unrelated_events_never_gain_spurious_edges(steps):
+    """The converse: an event outside another's model causal past must
+    never be stamped into it (no spurious happens-before)."""
+    emitted = _run_schedule(steps)
+    for index, (event, model_past) in enumerate(emitted):
+        for j in range(index):
+            if j in model_past:
+                continue
+            earlier = emitted[j][0]
+            assert not vc_leq(earlier.vc, event.vc), (
+                "spurious causal edge from event %d to %d" % (j, index))
+
+
+# ---------------------------------------------------------------------------
+# End to end: pre-join events happen-before post-join executions
+# ---------------------------------------------------------------------------
+
+def _counter_module(state):
+    def increment(ctx, args):
+        state["count"] = state.get("count", 0) + 1
+        return b"%d" % state["count"]
+
+    return ReplaceableModule(
+        "counter", {0: increment},
+        externalize=lambda: b"%d" % state.get("count", 0),
+        internalize=lambda raw: state.__setitem__("count", int(raw)))
+
+
+def _make_server(world, machine, ringmaster, module):
+    process = machine.spawn_process("server")
+    holder = {}
+
+    def resolver(tid):
+        client = holder.get("binding")
+        return client.make_resolver()(tid) if client else None
+
+    runtime = TroupeRuntime(process, resolver=resolver)
+    binding = BindingClient(runtime, ringmaster)
+    holder["binding"] = binding
+    member_addr = runtime.export(module)
+    runtime.start_server()
+    return runtime, binding, member_addr
+
+
+def test_pre_join_execution_happens_before_post_join_execution():
+    """A §6.4.1 join in a real world: the execution the original member
+    ran *before* the join is in the causal past of the execution the
+    new member runs *after* it (the chain runs through the client), and
+    the join grew the clock domain with the new member's node."""
+    world = World(machines=6, seed=0)
+    execs = []
+    world.sim.bus.subscribe(execs.append, kinds=("rpc.exec_start",))
+    domain = ClockDomain().install(world.sim.bus)
+
+    ringmaster, _ = start_ringmaster(world.machines[:2])
+    state1 = {}
+    rt1, binding1, member1 = _make_server(
+        world, world.machines[2], ringmaster, _counter_module(state1))
+    world.run(binding1.export_module("counter", member1))
+
+    client_rt = world.make_client()
+    client_binding = BindingClient(client_rt, ringmaster)
+    world.run(client_binding.call("counter", 0, b""))
+
+    host1 = member1.process.host
+    pre = [e for e in execs if e.host == host1]
+    assert pre, "the pre-join call must execute on the original member"
+    nodes_before_join = domain.nodes()
+
+    state2 = {}
+    module2 = _counter_module(state2)
+    rt2, binding2, member2 = _make_server(
+        world, world.machines[3], ringmaster, module2)
+    world.run(join_troupe(rt2, module2, member2, "counter", binding2))
+    world.run(client_binding.call("counter", 0, b""))
+
+    host2 = member2.process.host
+    post = [e for e in execs if e.host == host2]
+    assert post, "the post-join call must reach the joined member"
+    # Pre-join work on the old member happens-before post-join work on
+    # a member that did not exist when it ran.
+    assert happens_before(pre[0].vc, post[-1].vc)
+    # The clock domain grew dynamically: the new member's server node
+    # only exists after the join.
+    assert all(not n.startswith(host2 + "/server")
+               for n in nodes_before_join)
+    assert any(n.startswith(host2 + "/") for n in domain.nodes())

@@ -183,3 +183,40 @@ def test_render_postmortem_reports_clean_runs():
     recorder = FlightRecorder(EventBus(), capacity=8)
     text = render_postmortem(recorder.postmortem())
     assert "0 violation(s)" in text
+
+
+def test_membership_timeline_survives_ring_eviction():
+    """Every bind.member event lands in the post-mortem's membership
+    timeline — outside the bounded ring, so reconfigurations recorded
+    long before a violation are never evicted."""
+    bus = _bus()
+    recorder = FlightRecorder(bus, capacity=4)
+    bus.emit(events.MembershipChanged(
+        t=1.0, host="m0", proc="agent", op="register", name="svc",
+        old_id=0, new_id=7, members=1))
+    bus.emit(events.MembershipChanged(
+        t=2.0, host="m0", proc="agent", op="add", name="svc",
+        old_id=7, new_id=8, members=2))
+    for t in range(10, 20):             # evict everything from the ring
+        _tick(bus, float(t))
+    bus.emit(events.MembershipChanged(
+        t=25.0, host="m0", proc="agent", op="remove", name="svc",
+        old_id=8, new_id=9, members=1))
+    report = recorder.postmortem()
+    timeline = report["membership"]
+    assert [e["op"] for e in timeline] == ["register", "add", "remove"]
+    assert [(e["old_id"], e["new_id"]) for e in timeline] == \
+        [(0, 7), (7, 8), (8, 9)]
+    assert all(e["name"] == "svc" for e in timeline)
+    # ...and the renderer shows the troupe-ID timeline.
+    text = render_postmortem(report)
+    assert "membership history (3 change(s)):" in text
+    assert "id 7 -> 8" in text
+    json.dumps(report)
+
+
+def test_postmortem_omits_membership_when_none_recorded():
+    bus = _bus()
+    recorder = FlightRecorder(bus, capacity=8)
+    _tick(bus, 1.0)
+    assert "membership" not in recorder.postmortem()
